@@ -1,0 +1,43 @@
+// Ablation: the cost of the ready round when no faults occur.
+//
+// Leopard adds one extra voting round (Ready, Algorithm 3) before a datablock
+// may be linked, purely to guarantee retrievability under Byzantine makers.
+// This bench quantifies what that guarantee costs in the fault-free case:
+// throughput, leader traffic, and confirmation latency with and without the
+// round. Expected: a small constant overhead (≈n Ready hashes per datablock),
+// i.e. the insurance is nearly free — the paper's justification for always
+// paying it.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t("Ablation: ready round on/off (fault-free)",
+                               {"n", "ready_round", "kreqs/s", "latency_s", "leader_Mbps"});
+  return t;
+}
+
+void run_point(benchmark::State& state, bool ready_round) {
+  harness::ExperimentConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  bench::apply_table2_batches(cfg);
+  cfg.enable_ready_round = ready_round;
+  const auto r = bench::run_and_count(state, cfg);
+  table().add_row({std::to_string(cfg.n), ready_round ? "on" : "off",
+                   bench::fmt(r.throughput_kreqs), bench::fmt(r.mean_latency_sec, 2),
+                   bench::fmt((r.leader_send_bps + r.leader_recv_bps) / 1e6)});
+}
+
+void BM_WithReadyRound(benchmark::State& state) { run_point(state, true); }
+void BM_WithoutReadyRound(benchmark::State& state) { run_point(state, false); }
+
+}  // namespace
+
+BENCHMARK(BM_WithReadyRound)->Arg(16)->Arg(64)->Arg(128)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WithoutReadyRound)->Arg(16)->Arg(64)->Arg(128)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

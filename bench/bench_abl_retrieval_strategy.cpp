@@ -1,0 +1,55 @@
+// Ablation: committee retrieval with erasure codes vs the naive
+// "ask the leader" strategy (§IV's rejected intuitive solution).
+//
+// Measured: per-responder bytes under the committee scheme (each of f+1
+// responders ships one chunk + Merkle proof). Modelled: the naive scheme,
+// where the leader re-sends the full α-byte datablock for every miss — an
+// O(n) hot spot that §V shows would erase the workload-balancing win.
+#include "bench_common.hpp"
+
+#include "analysis/cost_model.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t(
+      "Ablation: committee+erasure retrieval vs naive ask-the-leader",
+      {"n", "committee_KB", "naive_KB", "reduction", "time_ms"});
+  return t;
+}
+
+void BM_RetrievalStrategy(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.datablock_requests = 2000;
+  cfg.bftblock_links = 4;
+  cfg.offered_load = 4000.0 * cfg.n / 4.0;
+  cfg.byzantine_count = 1;
+  cfg.byzantine_spec.selective_recipients = 2 * ((cfg.n - 1) / 3);
+  cfg.warmup = 2 * sim::kSecond;
+  cfg.measure = 8 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+
+  // Naive strategy: the single responder (the leader) ships the entire
+  // datablock per miss.
+  const double alpha = 2000.0 * 128.0;
+  const double naive_per_responder = alpha;
+  const double reduction =
+      r.respond_bytes_per_response > 0 ? naive_per_responder / r.respond_bytes_per_response
+                                       : 0;
+  state.counters["committee_KB"] = r.respond_bytes_per_response / 1e3;
+  state.counters["reduction_x"] = reduction;
+  table().add_row({std::to_string(cfg.n), bench::fmt(r.respond_bytes_per_response / 1e3),
+                   bench::fmt(naive_per_responder / 1e3),
+                   bench::fmt(reduction, 1) + "x",
+                   bench::fmt(r.mean_recovery_time_sec * 1e3)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_RetrievalStrategy)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Figure 1: throughput vs scale for the leader-dissemination baselines
+// (HotStuff and the BFT-SMaRt/PBFT stand-in) at 128-byte and 1024-byte
+// payloads. Reproduces the paper's motivating observation: throughput drops
+// sharply as n grows, for every payload size.
+//
+// PBFT's all-to-all voting is O(n^2) messages per block; simulated points cap
+// at n = 128 to keep the bench's wall-clock bounded (the trend is established
+// well before that).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+using bench::TablePrinter;
+
+TablePrinter& table() {
+  static TablePrinter t("Figure 1: baseline throughput vs n (Kreq/s)",
+                        {"protocol", "payload", "n", "kreqs/s"});
+  return t;
+}
+
+void run_point(benchmark::State& state, harness::Protocol proto, std::uint32_t payload) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = proto;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.payload_size = payload;
+  cfg.batch_size = 800;
+  cfg.warmup = sim::kSecond;
+  cfg.measure = 3 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+  table().add_row({harness::protocol_name(proto), std::to_string(payload),
+                   std::to_string(cfg.n), bench::fmt(r.throughput_kreqs)});
+}
+
+void BM_HotStuff_p128(benchmark::State& state) {
+  run_point(state, harness::Protocol::kHotStuff, 128);
+}
+void BM_HotStuff_p1024(benchmark::State& state) {
+  run_point(state, harness::Protocol::kHotStuff, 1024);
+}
+void BM_BftSmart_p128(benchmark::State& state) {
+  run_point(state, harness::Protocol::kPbft, 128);
+}
+void BM_BftSmart_p1024(benchmark::State& state) {
+  run_point(state, harness::Protocol::kPbft, 1024);
+}
+
+}  // namespace
+
+BENCHMARK(BM_HotStuff_p128)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(400)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotStuff_p1024)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BftSmart_p128)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BftSmart_p1024)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Figure 2: HotStuff throughput AND the leader's bandwidth utilization as n
+// grows (128-byte payload). The paper's motivating measurement: the leader's
+// egress climbs with scale while throughput collapses — the Eq. (1)
+// bottleneck Leopard removes.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t(
+      "Figure 2: HotStuff throughput and leader bandwidth vs n (p = 128 B)",
+      {"n", "kreqs/s", "leader_Gbps"});
+  return t;
+}
+
+void BM_HotStuffLeaderLoad(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kHotStuff;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.batch_size = 800;
+  cfg.warmup = sim::kSecond;
+  cfg.measure = 3 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+  const double leader_gbps = (r.leader_send_bps + r.leader_recv_bps) / 1e9;
+  state.counters["leader_Gbps"] = leader_gbps;
+  table().add_row({std::to_string(cfg.n), bench::fmt(r.throughput_kreqs),
+                   bench::fmt(leader_gbps, 2)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_HotStuffLeaderLoad)
+    ->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(300)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Figure 6: HotStuff throughput on varying batch sizes. Throughput rises with
+// batch size (per-block fixed costs amortize) and then stops growing once the
+// leader's per-request dissemination dominates.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t("Figure 6: HotStuff throughput vs batch size (Kreq/s)",
+                               {"n", "batch", "kreqs/s"});
+  return t;
+}
+
+void BM_HotStuffBatch(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kHotStuff;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.batch_size = static_cast<std::uint32_t>(state.range(1));
+  cfg.warmup = sim::kSecond;
+  cfg.measure = 3 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+  table().add_row({std::to_string(cfg.n), std::to_string(cfg.batch_size),
+                   bench::fmt(r.throughput_kreqs)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_HotStuffBatch)
+    ->ArgsProduct({{32, 64, 128, 256, 300}, {50, 100, 200, 400, 800, 1200}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Figure 8: Leopard throughput on varying datablock sizes (α in requests),
+// with the BFTblock size fixed at 10 links (top panel: n = 32/64/128) and at
+// 100 links (bottom panel: n = 256/400). Small datablocks multiply the
+// per-datablock fixed costs — the ready round (n messages to the leader per
+// datablock), per-message dispatch, hashing — so throughput rises with α and
+// then flattens.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t("Figure 8: Leopard throughput vs datablock size (Kreq/s)",
+                               {"n", "bftblock", "datablock", "kreqs/s"});
+  return t;
+}
+
+void BM_LeopardDatablockSize(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.bftblock_links = static_cast<std::uint32_t>(state.range(1));
+  cfg.datablock_requests = static_cast<std::uint32_t>(state.range(2));
+  const auto r = bench::run_and_count(state, cfg);
+  table().add_row({std::to_string(cfg.n), std::to_string(cfg.bftblock_links),
+                   std::to_string(cfg.datablock_requests), bench::fmt(r.throughput_kreqs)});
+}
+
+}  // namespace
+
+// Top panel: BFTblock fixed at 10 links.
+BENCHMARK(BM_LeopardDatablockSize)
+    ->ArgsProduct({{32, 64, 128}, {10}, {100, 250, 500, 1000, 2000, 4000}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+// Bottom panel: BFTblock fixed at 100 links.
+BENCHMARK(BM_LeopardDatablockSize)
+    ->ArgsProduct({{256}, {100}, {2000, 3000, 4000}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Figure 9 (headline result): Leopard vs HotStuff throughput at different
+// scales, with the Table II batch parameters. The paper's claims to
+// reproduce: Leopard stays near 10^5 req/s through n = 600 while HotStuff
+// collapses; ≈5× advantage at n = 300, widening beyond.
+//
+// Also echoes Table II (the batch parameters used per n).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t(
+      "Figure 9: throughput at different scales (p = 128 B, Table II batches)",
+      {"protocol", "n", "datablock", "bftblock", "kreqs/s"});
+  return t;
+}
+
+void BM_Leopard(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  bench::apply_table2_batches(cfg);
+  const auto r = bench::run_and_count(state, cfg);
+  table().add_row({"Leopard", std::to_string(cfg.n), std::to_string(cfg.datablock_requests),
+                   std::to_string(cfg.bftblock_links), bench::fmt(r.throughput_kreqs)});
+}
+
+void BM_HotStuff(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kHotStuff;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.batch_size = 800;  // Table II
+  cfg.warmup = sim::kSecond;
+  cfg.measure = 3 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+  table().add_row({"HotStuff", std::to_string(cfg.n), "-", "800",
+                   bench::fmt(r.throughput_kreqs)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_Leopard)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(300)->Arg(400)->Arg(600)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+// The paper notes the HotStuff implementation "can hardly work when n > 300".
+BENCHMARK(BM_HotStuff)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(300)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

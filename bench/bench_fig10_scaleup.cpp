@@ -1,0 +1,57 @@
+// Figure 10: effectiveness of scaling up — throughput (Mbps of confirmed
+// payload) and latency under per-replica bandwidth throttled from 20 to
+// 200 Mbps (shared-duplex NIC, the NetEm substitution of DESIGN.md §2).
+//
+// Claims reproduced: throughput grows linearly with bandwidth in both
+// systems; Leopard converts ≈1/2 of added capacity into throughput at every
+// scale, HotStuff's conversion rate decays like 1/(n−1); Leopard's latency is
+// higher but the gap narrows as bandwidth grows.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t(
+      "Figure 10: throughput and latency vs per-replica bandwidth (shared duplex)",
+      {"protocol", "n", "bw_Mbps", "tput_Mbps", "latency_s"});
+  return t;
+}
+
+void run_point(benchmark::State& state, harness::Protocol proto) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = proto;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.bandwidth_bps = static_cast<double>(state.range(1)) * 1e6;
+  cfg.shared_duplex = true;
+  if (proto == harness::Protocol::kLeopard) {
+    cfg.datablock_requests = 1000;  // fixed batches, as the paper does
+    cfg.bftblock_links = 10;
+    cfg.warmup = 6 * sim::kSecond;
+    cfg.measure = 8 * sim::kSecond;
+  } else {
+    cfg.batch_size = 400;
+    cfg.warmup = 4 * sim::kSecond;
+    cfg.measure = 8 * sim::kSecond;
+  }
+  const auto r = bench::run_and_count(state, cfg);
+  state.counters["tput_Mbps"] = r.throughput_mbps;
+  table().add_row({harness::protocol_name(proto), std::to_string(cfg.n),
+                   std::to_string(state.range(1)), bench::fmt(r.throughput_mbps, 2),
+                   bench::fmt(r.mean_latency_sec, 2)});
+}
+
+void BM_Leopard(benchmark::State& state) { run_point(state, harness::Protocol::kLeopard); }
+void BM_HotStuff(benchmark::State& state) { run_point(state, harness::Protocol::kHotStuff); }
+
+}  // namespace
+
+BENCHMARK(BM_Leopard)
+    ->ArgsProduct({{4, 16, 64, 128}, {20, 40, 80, 100, 200}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotStuff)
+    ->ArgsProduct({{4, 16, 64, 128}, {20, 40, 80, 100, 200}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Figure 11: bandwidth usage of the leader, Leopard vs HotStuff, as n grows.
+// Reproduces: HotStuff's leader climbs into multi-Gbps territory while
+// Leopard's leader stays far lower and roughly flat — the decoupling removed
+// the hot spot.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t("Figure 11: leader bandwidth usage (Mbps)",
+                               {"protocol", "n", "leader_Mbps", "kreqs/s"});
+  return t;
+}
+
+void run_point(benchmark::State& state, harness::Protocol proto) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = proto;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  if (proto == harness::Protocol::kLeopard) {
+    bench::apply_table2_batches(cfg);
+  } else {
+    cfg.batch_size = 800;
+    cfg.warmup = sim::kSecond;
+    cfg.measure = 3 * sim::kSecond;
+  }
+  const auto r = bench::run_and_count(state, cfg);
+  const double mbps = (r.leader_send_bps + r.leader_recv_bps) / 1e6;
+  state.counters["leader_Mbps"] = mbps;
+  table().add_row({harness::protocol_name(proto), std::to_string(cfg.n),
+                   bench::fmt(mbps), bench::fmt(r.throughput_kreqs)});
+}
+
+void BM_Leopard(benchmark::State& state) { run_point(state, harness::Protocol::kLeopard); }
+void BM_HotStuff(benchmark::State& state) { run_point(state, harness::Protocol::kHotStuff); }
+
+}  // namespace
+
+BENCHMARK(BM_Leopard)->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(400)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotStuff)->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(300)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

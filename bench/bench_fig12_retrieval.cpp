@@ -1,0 +1,59 @@
+// Figure 12 + Table V: communication and time costs of retrieving a missing
+// datablock (2000 requests × 128 B) at different scales, under a selective
+// attacker whose datablocks reach only the leader and one other replica.
+//
+// Reproduces: the querier's recovery cost stays ≈ α (325→356 KB in the
+// paper) while each responder's cost collapses with n (163 KB → 8 KB) thanks
+// to (f+1, n) erasure coding; retrieval time stays in tens of milliseconds.
+// The closed-form §V bounds are printed alongside the measurements.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "analysis/cost_model.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t(
+      "Figure 12 / Table V: datablock retrieval costs (2000-request datablock)",
+      {"n", "recover_KB", "model_KB", "respond_KB", "model_KB", "time_ms"});
+  return t;
+}
+
+void BM_Retrieval(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.datablock_requests = 2000;
+  cfg.bftblock_links = 4;
+  // Modest load (well under capacity at every n): isolate retrieval costs.
+  cfg.offered_load = std::min(4000.0 * cfg.n / 4.0, 50000.0);
+  cfg.byzantine_count = 1;
+  // s = 2f recipients: the ready quorum is met exactly, so withheld
+  // datablocks get linked and the remaining f replicas must retrieve.
+  cfg.byzantine_spec.selective_recipients = 2 * ((cfg.n - 1) / 3);
+  cfg.warmup = 2 * sim::kSecond;
+  cfg.measure = 8 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+
+  state.counters["recover_KB"] = r.recover_bytes_per_datablock / 1e3;
+  state.counters["respond_KB"] = r.respond_bytes_per_response / 1e3;
+  state.counters["time_ms"] = r.mean_recovery_time_sec * 1e3;
+  state.counters["recovered"] = static_cast<double>(r.datablocks_recovered);
+
+  const double alpha = 2000.0 * 128.0;
+  table().add_row({std::to_string(cfg.n), bench::fmt(r.recover_bytes_per_datablock / 1e3),
+                   bench::fmt(analysis::retrieval_recover_bytes(cfg.n, alpha) / 1e3),
+                   bench::fmt(r.respond_bytes_per_response / 1e3),
+                   bench::fmt(analysis::retrieval_respond_bytes(cfg.n, alpha) / 1e3),
+                   bench::fmt(r.mean_recovery_time_sec * 1e3)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_Retrieval)->Arg(4)->Arg(7)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

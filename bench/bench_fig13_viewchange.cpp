@@ -1,0 +1,52 @@
+// Figure 13: view-change time and communication costs as n grows. The leader
+// is stopped at a random-ish point mid-run; we measure trigger→new-view
+// latency and the traffic split: total, new-leader send/receive (the
+// new-view message is O(n)-sized), and per-replica send/receive.
+//
+// Reproduces: time stays in seconds even at hundreds of replicas; total
+// communication is dominated by the new leader's new-view multicast.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace leopard;
+
+bench::TablePrinter& table() {
+  static bench::TablePrinter t(
+      "Figure 13: view-change time and communication costs",
+      {"n", "time_s", "total_MB", "leader_send_MB", "leader_recv_MB", "replica_send_KB",
+       "replica_recv_KB"});
+  return t;
+}
+
+void BM_ViewChange(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.datablock_requests = 500;
+  cfg.bftblock_links = 5;
+  cfg.offered_load = 2000.0 * cfg.n;  // keep some BFTblocks outstanding
+  cfg.crash_leader_at = 25 * sim::kSecond / 10;  // 2.5 s: mid-run, after progress
+  cfg.view_timeout = 2 * sim::kSecond;
+  cfg.client_resubmit_timeout = 3 * sim::kSecond;
+  cfg.warmup = sim::kSecond;
+  cfg.measure = 12 * sim::kSecond;
+  const auto r = bench::run_and_count(state, cfg);
+
+  state.counters["vc_time_s"] = r.view_change_duration_sec;
+  state.counters["vc_total_MB"] = r.vc_total_bytes / 1e6;
+  state.counters["view_changes"] = static_cast<double>(r.view_changes);
+
+  table().add_row({std::to_string(cfg.n), bench::fmt(r.view_change_duration_sec, 2),
+                   bench::fmt(r.vc_total_bytes / 1e6, 2),
+                   bench::fmt(r.vc_leader_send_bytes / 1e6, 2),
+                   bench::fmt(r.vc_leader_recv_bytes / 1e6, 2),
+                   bench::fmt(r.vc_replica_send_bytes / 1e3),
+                   bench::fmt(r.vc_replica_recv_bytes / 1e3)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_ViewChange)->Arg(4)->Arg(8)->Arg(13)->Arg(32)->Arg(64)->Arg(128)->Arg(400)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Table I: amortized communication complexity, scaling factor, and number of
+// voting rounds for PBFT / SBFT / HotStuff / Leopard (honest leader, after
+// GST). The O(·) rows come from the closed-form §V cost model; numeric
+// scaling-factor evaluations at n = 100 vs n = 400 demonstrate the
+// constant-vs-linear asymptotics concretely.
+#include "bench_common.hpp"
+
+#include "analysis/cost_model.hpp"
+
+namespace {
+
+using namespace leopard;
+
+void BM_TableOne(benchmark::State& state) {
+  std::vector<analysis::TableOneRow> rows;
+  for (auto _ : state) {
+    rows = analysis::table_one();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows.size());
+}
+
+void BM_ScalingFactorEvaluation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  double leopard_sf = 0;
+  double hotstuff_sf = 0;
+  for (auto _ : state) {
+    const auto p = analysis::leopard_params_for_constant_sf(n, 10, 100);
+    leopard_sf = analysis::leopard_scaling_factor(n, p);
+    hotstuff_sf = analysis::leader_based_scaling_factor(n, 800, true);
+    benchmark::DoNotOptimize(leopard_sf);
+  }
+  state.counters["SF_leopard"] = leopard_sf;
+  state.counters["SF_hotstuff"] = hotstuff_sf;
+  state.counters["gamma_leopard"] = analysis::scale_up_gamma(leopard_sf);
+  state.counters["gamma_hotstuff"] = analysis::scale_up_gamma(hotstuff_sf);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TableOne)->Iterations(1000);
+BENCHMARK(BM_ScalingFactorEvaluation)->Arg(100)->Arg(400)->Iterations(1000);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Table I: amortized cost when the leader is honest and after GST ===\n");
+  std::printf("%-24s%-12s%-12s%-10s%-12s%-10s\n", "Protocol", "leader", "non-leader",
+              "SF", "vote(opt)", "vote(faulty)");
+  for (const auto& row : leopard::analysis::table_one()) {
+    std::printf("%-24s%-12s%-12s%-10s%-12d%-10d\n", row.protocol.c_str(),
+                row.leader_complexity.c_str(), row.replica_complexity.c_str(),
+                row.scaling_factor.c_str(), row.voting_rounds_optimistic,
+                row.voting_rounds_faulty);
+  }
+
+  std::printf("\nNumeric scaling factors (α = λ(n−1), τ = 100, batch = 800):\n");
+  std::printf("%-8s%-16s%-16s\n", "n", "SF_Leopard", "SF_HotStuff");
+  for (std::uint32_t n : {16u, 100u, 400u, 600u}) {
+    const auto p = leopard::analysis::leopard_params_for_constant_sf(n, 10, 100);
+    std::printf("%-8u%-16.3f%-16.1f\n", n, leopard::analysis::leopard_scaling_factor(n, p),
+                leopard::analysis::leader_based_scaling_factor(n, 800, true));
+  }
+  return 0;
+}

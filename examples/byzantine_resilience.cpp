@@ -1,0 +1,107 @@
+// Byzantine resilience walkthrough: a 7-replica cluster (f = 2) is pushed
+// through the paper's two fault scenarios back to back.
+//
+//   Phase 1 — selective attack (§IV, §VI-D1): a faulty replica multicasts
+//   its datablocks to only the leader and one accomplice; honest replicas
+//   discover the gap when a BFTblock links the withheld datablock and
+//   recover it from a committee via erasure-coded chunks.
+//
+//   Phase 2 — leader failure (§VI-D2): the leader goes silent; progress
+//   timers fire, timeouts aggregate, and a PBFT-style view-change installs
+//   replica 2 as the new leader. Clients re-submit and confirmation resumes.
+//
+// Watch the printed timeline: liveness dips, the protocol heals, and safety
+// (identical logs) holds throughout.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/replica.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+using namespace leopard;
+
+int main() {
+  constexpr std::uint32_t kReplicas = 7;  // f = 2
+
+  sim::Simulator simulator;
+  sim::NetworkConfig net_cfg;
+  sim::Network network(simulator, net_cfg);
+  const crypto::ThresholdScheme scheme(kReplicas, 5, /*seed=*/3);
+  core::ProtocolMetrics metrics;
+
+  core::LeopardConfig cfg;
+  cfg.n = kReplicas;
+  cfg.datablock_requests = 100;
+  cfg.bftblock_links = 2;
+  cfg.view_timeout = 2 * sim::kSecond;
+
+  std::vector<std::unique_ptr<core::LeopardReplica>> replicas;
+  for (std::uint32_t id = 0; id < kReplicas; ++id) {
+    core::ByzantineSpec byz;
+    if (id == 5) {
+      byz.selective_recipients = 4;  // s = 2f: blocks link, f replicas must retrieve
+      byz.ignore_queries = true;     // ...and it refuses to help retrieval
+    }
+    if (id == 1) {
+      byz.crash_at = 4 * sim::kSecond;  // phase 2: view-1 leader goes silent
+    }
+    replicas.push_back(
+        std::make_unique<core::LeopardReplica>(network, cfg, scheme, metrics, id, byz));
+    network.add_node(replicas.back().get());
+  }
+
+  std::vector<std::unique_ptr<core::LeopardClient>> clients;
+  for (std::uint32_t id = 0; id < kReplicas; ++id) {
+    if (id == 1) continue;
+    core::ClientConfig client_cfg;
+    client_cfg.request_rate = 2000;
+    client_cfg.resubmit_timeout = 2 * sim::kSecond;  // re-route around faults
+    auto client = std::make_unique<core::LeopardClient>(network, metrics, client_cfg, id,
+                                                        kReplicas, 1, 500 + id);
+    client->set_node_id(network.add_node(client.get(), /*metered=*/false));
+    clients.push_back(std::move(client));
+  }
+
+  network.start_all();
+
+  std::printf("t(s)  confirmed  recovered  view@r0  leader-status\n");
+  std::uint64_t last_confirmed = 0;
+  for (int second = 1; second <= 12; ++second) {
+    simulator.run_until(second * sim::kSecond);
+    const auto confirmed = metrics.executed_requests;
+    const char* status = second < 4              ? "honest (selective attacker active)"
+                         : replicas[0]->view() == 1 ? "CRASHED - timers running"
+                                                    : "replaced via view-change";
+    std::printf("%4d  %9llu  %9llu  %7u  %s\n", second,
+                static_cast<unsigned long long>(confirmed - last_confirmed),
+                static_cast<unsigned long long>(metrics.datablocks_recovered),
+                replicas[0]->view(), status);
+    last_confirmed = confirmed;
+  }
+
+  std::printf("\nOutcome:\n");
+  std::printf("  view-changes completed : %u\n", metrics.view_changes_completed);
+  std::printf("  datablocks recovered   : %llu\n",
+              static_cast<unsigned long long>(metrics.datablocks_recovered));
+  std::printf("  total confirmed        : %llu requests\n",
+              static_cast<unsigned long long>(metrics.executed_requests));
+
+  // Safety across the faults: position-wise log agreement among honest
+  // replicas (1 crashed, 5 is the attacker).
+  bool consistent = true;
+  const auto reference = replicas[0]->confirmed_log();
+  for (std::uint32_t id : {2u, 3u, 4u, 6u}) {
+    for (const auto& [sn, digest] : replicas[id]->confirmed_log()) {
+      const auto it = reference.find(sn);
+      if (it != reference.end() && it->second != digest) consistent = false;
+    }
+  }
+  std::printf("  safety (logs agree)    : %s\n", consistent ? "yes" : "NO (bug!)");
+  std::printf("  new leader             : replica %u (view %u)\n",
+              replicas[0]->view() % kReplicas, replicas[0]->view());
+  return consistent && metrics.view_changes_completed >= 1 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the smallest possible Leopard deployment — a 4-replica cluster
+// (f = 1), three client groups, two seconds of simulated traffic. Shows how
+// to wire the public API together and what the protocol produces: a growing
+// log of confirmed BFTblocks, consistent across replicas, with client acks.
+//
+// Build & run:   cmake --build build && ./build/examples/example_quickstart
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/replica.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+using namespace leopard;
+
+int main() {
+  constexpr std::uint32_t kReplicas = 4;  // n = 3f + 1 with f = 1
+
+  // 1. The simulation substrate: event clock + network with NIC/CPU models.
+  sim::Simulator simulator;
+  sim::NetworkConfig net_cfg;  // defaults: 9.8 Gbps NICs, 250 us propagation
+  sim::Network network(simulator, net_cfg);
+
+  // 2. Shared threshold-signature setup (2f+1 = 3 of 4).
+  const crypto::ThresholdScheme scheme(kReplicas, 3, /*seed=*/42);
+
+  // 3. Metrics sink shared by all parties.
+  core::ProtocolMetrics metrics;
+
+  // 4. Four Leopard replicas. Replica ids must equal network node ids, so
+  //    replicas register first.
+  core::LeopardConfig cfg;
+  cfg.n = kReplicas;
+  cfg.datablock_requests = 100;  // small batches: this is a demo, not a bench
+  cfg.bftblock_links = 2;
+  std::vector<std::unique_ptr<core::LeopardReplica>> replicas;
+  for (std::uint32_t id = 0; id < kReplicas; ++id) {
+    replicas.push_back(
+        std::make_unique<core::LeopardReplica>(network, cfg, scheme, metrics, id));
+    network.add_node(replicas.back().get());
+  }
+
+  // 5. Clients submit to non-leader replicas (view 1's leader is replica 1).
+  std::vector<std::unique_ptr<core::LeopardClient>> clients;
+  for (std::uint32_t id = 0; id < kReplicas; ++id) {
+    if (id == 1) continue;
+    core::ClientConfig client_cfg;
+    client_cfg.request_rate = 5000;  // requests/s to this replica
+    client_cfg.payload_size = 128;
+    auto client = std::make_unique<core::LeopardClient>(network, metrics, client_cfg, id,
+                                                        kReplicas, /*avoid=*/1,
+                                                        /*seed=*/100 + id);
+    client->set_node_id(network.add_node(client.get(), /*metered=*/false));
+    clients.push_back(std::move(client));
+  }
+
+  // 6. Run two seconds of cluster time.
+  network.start_all();
+  simulator.run_until(2 * sim::kSecond);
+
+  // 7. What happened?
+  std::printf("Leopard quickstart (n = %u, f = 1)\n", kReplicas);
+  std::printf("  simulated time        : %.2f s\n", sim::to_seconds(simulator.now()));
+  std::printf("  requests confirmed    : %llu\n",
+              static_cast<unsigned long long>(metrics.executed_requests));
+  std::printf("  requests acknowledged : %llu\n",
+              static_cast<unsigned long long>(metrics.acked_requests));
+  std::printf("  mean latency          : %.1f ms\n", metrics.mean_latency_sec() * 1e3);
+
+  std::printf("\nPer-replica view of the log:\n");
+  for (const auto& replica : replicas) {
+    std::printf("  replica %u: executed through sn=%llu, state digest %s\n",
+                replica->id(),
+                static_cast<unsigned long long>(replica->executed_through()),
+                replica->state_digest().short_hex().c_str());
+  }
+
+  // Safety check: every pair of replicas agrees on every confirmed position.
+  const auto reference = replicas[0]->confirmed_log();
+  bool consistent = true;
+  for (const auto& replica : replicas) {
+    for (const auto& [sn, digest] : replica->confirmed_log()) {
+      const auto it = reference.find(sn);
+      if (it != reference.end() && it->second != digest) consistent = false;
+    }
+  }
+  std::printf("\nlogs consistent across replicas: %s\n", consistent ? "yes" : "NO (bug!)");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Scaling survey: a compact, runnable version of the paper's headline
+// comparison (Fig. 9) using the experiment harness — Leopard vs HotStuff
+// throughput as the cluster grows, with the closed-form scaling-factor
+// prediction printed alongside the simulation.
+//
+// Scales are kept modest so the example finishes in well under a minute; run
+// bench_fig09_scalability for the full 600-replica sweep.
+#include <cstdio>
+
+#include "analysis/cost_model.hpp"
+#include "harness/experiment.hpp"
+
+using namespace leopard;
+
+int main() {
+  std::printf("Leopard vs HotStuff while the cluster grows (payload 128 B)\n");
+  std::printf("%-6s%-18s%-18s%-12s%-14s\n", "n", "Leopard Kreq/s", "HotStuff Kreq/s",
+              "ratio", "SF_hs (model)");
+
+  for (const std::uint32_t n : {8u, 16u, 32u, 64u, 96u}) {
+    harness::ExperimentConfig leo;
+    leo.n = n;
+    leo.datablock_requests = 1000;
+    leo.bftblock_links = 20;
+
+    harness::ExperimentConfig hs;
+    hs.protocol = harness::Protocol::kHotStuff;
+    hs.n = n;
+    hs.batch_size = 800;
+    hs.warmup = sim::kSecond;
+    hs.measure = 3 * sim::kSecond;
+
+    const auto leo_result = harness::run_experiment(leo);
+    const auto hs_result = harness::run_experiment(hs);
+    const double ratio = hs_result.throughput_kreqs > 0
+                             ? leo_result.throughput_kreqs / hs_result.throughput_kreqs
+                             : 0;
+    std::printf("%-6u%-18.1f%-18.1f%-12.2f%-14.1f\n", n, leo_result.throughput_kreqs,
+                hs_result.throughput_kreqs, ratio,
+                analysis::leader_based_scaling_factor(n, 800, true));
+  }
+
+  std::printf(
+      "\nReading the table: HotStuff's scaling factor (rightmost column) grows\n"
+      "linearly with n, so its throughput falls as ~1/n once the leader\n"
+      "saturates; Leopard's scaling factor is a constant ~2, so its row stays\n"
+      "flat and the ratio keeps widening — the paper's Fig. 9 in miniature.\n");
+  return 0;
+}

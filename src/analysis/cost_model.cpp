@@ -1,0 +1,115 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace leopard::analysis {
+
+namespace {
+/// The per-proposal vote/link overhead (β + 4κ/τ) of Eqs. (2)/(3): one link
+/// hash plus four vote-stage signatures amortized over the τ-link batch.
+double link_overhead(const LeopardParams& p, const SizeParams& s) {
+  return s.beta + 4.0 * s.kappa / p.tau;
+}
+}  // namespace
+
+double leopard_leader_cost_per_bit(std::uint32_t n, const LeopardParams& p,
+                                   const SizeParams& s) {
+  util::expects(n >= 2, "need at least two replicas");
+  return link_overhead(p, s) * static_cast<double>(n - 1) / p.alpha_bytes + 1.0;
+}
+
+double leopard_replica_cost_per_bit(std::uint32_t n, const LeopardParams& p,
+                                    const SizeParams& s) {
+  util::expects(n >= 2, "need at least two replicas");
+  return 2.0 + link_overhead(p, s) / p.alpha_bytes;
+}
+
+double leopard_scaling_factor(std::uint32_t n, const LeopardParams& p,
+                              const SizeParams& s) {
+  return std::max(leopard_leader_cost_per_bit(n, p, s),
+                  leopard_replica_cost_per_bit(n, p, s));
+}
+
+LeopardParams leopard_params_for_constant_sf(std::uint32_t n, double requests_per_unit,
+                                             double tau, const SizeParams& s) {
+  util::expects(requests_per_unit > 0 && tau > 0, "positive batch parameters required");
+  LeopardParams p;
+  p.tau = tau;
+  // α = λ(n−1) with λ = X · payload bytes (X requests per replica unit).
+  p.alpha_bytes = requests_per_unit * s.payload_bytes * static_cast<double>(n - 1);
+  return p;
+}
+
+double leader_based_leader_cost_per_bit(std::uint32_t n, double batch_size,
+                                        bool aggregated_votes, const SizeParams& s) {
+  util::expects(n >= 2 && batch_size > 0, "bad parameters");
+  const double batch_bits = batch_size * s.payload_bytes;
+  // Dissemination: every request to n−1 replicas (Eq. (1)); plus receiving
+  // votes (n−1 shares aggregated to one proof, or 2(n−1) flat PBFT votes)
+  // amortized over the batch.
+  const double vote_bytes = aggregated_votes
+                                ? static_cast<double>(n - 1) * s.kappa + 2.0 * s.kappa
+                                : 2.0 * static_cast<double>(n - 1) * s.kappa;
+  return static_cast<double>(n - 1) + vote_bytes / batch_bits;
+}
+
+double leader_based_replica_cost_per_bit(std::uint32_t n, double batch_size,
+                                         bool aggregated_votes, const SizeParams& s) {
+  util::expects(n >= 2 && batch_size > 0, "bad parameters");
+  const double batch_bits = batch_size * s.payload_bytes;
+  // Receive the batch once; send votes (one share to the leader, or 2(n−1)
+  // all-to-all PBFT votes) amortized over the batch.
+  const double vote_bytes = aggregated_votes
+                                ? 2.0 * s.kappa
+                                : 4.0 * static_cast<double>(n - 1) * s.kappa;
+  return 1.0 + vote_bytes / batch_bits;
+}
+
+double leader_based_scaling_factor(std::uint32_t n, double batch_size,
+                                   bool aggregated_votes, const SizeParams& s) {
+  return std::max(leader_based_leader_cost_per_bit(n, batch_size, aggregated_votes, s),
+                  leader_based_replica_cost_per_bit(n, batch_size, aggregated_votes, s));
+}
+
+double scale_up_gamma(double scaling_factor) {
+  util::expects(scaling_factor > 0, "scaling factor must be positive");
+  return 1.0 / scaling_factor;
+}
+
+double expected_throughput_bps(double capacity_bps, double scaling_factor) {
+  util::expects(capacity_bps > 0 && scaling_factor > 0, "bad parameters");
+  return capacity_bps / scaling_factor;
+}
+
+double retrieval_recover_bytes(std::uint32_t n, double alpha_bytes, const SizeParams& s) {
+  const double f = std::floor(static_cast<double>(n - 1) / 3.0);
+  const double chunks = f + 1.0;
+  return chunks * (alpha_bytes / chunks + s.beta * std::log2(static_cast<double>(n)));
+}
+
+double retrieval_respond_bytes(std::uint32_t n, double alpha_bytes, const SizeParams& s) {
+  const double f = std::floor(static_cast<double>(n - 1) / 3.0);
+  return alpha_bytes / (f + 1.0) + s.beta * std::log2(static_cast<double>(n));
+}
+
+double retrieval_attack_overhead_per_bit(std::uint32_t n, double alpha_bytes,
+                                         const SizeParams& s) {
+  const double f = std::floor(static_cast<double>(n - 1) / 3.0);
+  return 5.0 / (3.0 * alpha_bytes) *
+         (alpha_bytes + s.beta * (f * std::log2(static_cast<double>(n)) + 3.0 / 5.0));
+}
+
+std::vector<TableOneRow> table_one() {
+  return {
+      {"PBFT", "O(n)", "O(1)", "O(n)", 2, 2},
+      {"SBFT", "O(n)", "O(1)", "O(n)", 1, 2},
+      {"HotStuff (pipelined)", "O(n)", "O(1)", "O(n)", 1, 1},
+      {"Leopard", "O(1)", "O(1)", "O(1)", 2, 3},
+  };
+}
+
+}  // namespace leopard::analysis

@@ -1,0 +1,99 @@
+// Closed-form efficiency analysis of §V: per-protocol communication cost per
+// confirmed bit, the scaling-factor metric (Definition 1), the scale-up
+// effectiveness γ of Eq. (4), and the retrieval cost bounds of cases (b)/(c).
+//
+// Used by bench_table1_amortized_costs and cross-checked against the
+// simulator's measured traffic in tests/analysis_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leopard::analysis {
+
+/// Shared size parameters (paper §VI footnote 7 defaults).
+struct SizeParams {
+  double payload_bytes = 128;  // request payload
+  double beta = 32;            // hash size (SHA-256)
+  double kappa = 48;           // threshold signature size (BLS)
+};
+
+/// Leopard parameters: α in *bytes* per datablock, τ links per BFTblock.
+struct LeopardParams {
+  double alpha_bytes = 2000.0 * 128.0;
+  double tau = 100;
+};
+
+// -- Leopard (§V case a, Eqs. (2) and (3)) ----------------------------------
+
+/// Leader communication per confirmed request-bit: (β + 4κ/τ)(n−1)/α + 1.
+double leopard_leader_cost_per_bit(std::uint32_t n, const LeopardParams& p,
+                                   const SizeParams& s = {});
+
+/// Non-leader cost per confirmed request-bit: 2 + (β + 4κ/τ)/α.
+double leopard_replica_cost_per_bit(std::uint32_t n, const LeopardParams& p,
+                                    const SizeParams& s = {});
+
+/// SF_Leopard = max of the two (Definition 1).
+double leopard_scaling_factor(std::uint32_t n, const LeopardParams& p,
+                              const SizeParams& s = {});
+
+/// Picks α = λ(n−1) with λ = payload·X (X requests per datablock per replica
+/// unit): the paper's recipe for a constant scaling factor.
+LeopardParams leopard_params_for_constant_sf(std::uint32_t n, double requests_per_unit,
+                                             double tau, const SizeParams& s = {});
+
+// -- Leader-dissemination protocols (PBFT / SBFT / HotStuff, Eq. (1)) --------
+
+/// Leader cost per confirmed bit: the leader ships every request to n−1
+/// replicas, plus per-batch vote overhead. `aggregated_votes` distinguishes
+/// HotStuff/SBFT (threshold, O(1) per decision) from PBFT (O(n) votes).
+double leader_based_leader_cost_per_bit(std::uint32_t n, double batch_size,
+                                        bool aggregated_votes, const SizeParams& s = {});
+
+double leader_based_replica_cost_per_bit(std::uint32_t n, double batch_size,
+                                         bool aggregated_votes, const SizeParams& s = {});
+
+double leader_based_scaling_factor(std::uint32_t n, double batch_size,
+                                   bool aggregated_votes, const SizeParams& s = {});
+
+// -- Scale-up effectiveness (Eq. (4)) -----------------------------------------
+
+/// γ = Λ∆_b / C∆ = 1 / SF: throughput gained per added unit of capacity.
+double scale_up_gamma(double scaling_factor);
+
+/// Expected throughput in request-bits/s given per-replica capacity C (bps).
+double expected_throughput_bps(double capacity_bps, double scaling_factor);
+
+// -- Retrieval costs (§V cases b and c) ----------------------------------------
+
+/// Bytes a querier receives to recover one missing datablock:
+/// (f+1)·(α/(f+1) + β·log2(n)).
+double retrieval_recover_bytes(std::uint32_t n, double alpha_bytes,
+                               const SizeParams& s = {});
+
+/// Bytes one responder sends per query it answers: α/(f+1) + β·log2(n).
+double retrieval_respond_bytes(std::uint32_t n, double alpha_bytes,
+                               const SizeParams& s = {});
+
+/// Upper bound on the per-replica extra communication under the selective
+/// attack (case b): 5/(3α)·(α + β(f·log n + 3/5)) per request-bit.
+double retrieval_attack_overhead_per_bit(std::uint32_t n, double alpha_bytes,
+                                         const SizeParams& s = {});
+
+// -- Table I rows ---------------------------------------------------------------
+
+struct TableOneRow {
+  std::string protocol;
+  std::string leader_complexity;     // amortized, O-notation
+  std::string replica_complexity;
+  std::string scaling_factor;
+  int voting_rounds_optimistic = 0;
+  int voting_rounds_faulty = 0;
+};
+
+/// The four rows of Table I.
+std::vector<TableOneRow> table_one();
+
+}  // namespace leopard::analysis

@@ -1,0 +1,201 @@
+#include "baselines/hotstuff.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace leopard::baselines {
+
+using crypto::Digest;
+using proto::ReplicaId;
+using proto::SeqNum;
+
+HotStuffReplica::HotStuffReplica(sim::Network& net, HotStuffConfig cfg,
+                                 const crypto::ThresholdScheme& ts,
+                                 core::ProtocolMetrics& metrics, ReplicaId id)
+    : net_(net), cfg_(cfg), ts_(ts), metrics_(metrics), id_(id) {
+  util::expects(cfg_.n >= 4, "HotStuff baseline requires n >= 4");
+  replica_ids_.resize(cfg_.n);
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) replica_ids_[i] = i;
+}
+
+void HotStuffReplica::start() {
+  if (is_leader()) proposal_flush_tick();
+}
+
+void HotStuffReplica::on_message(sim::NodeId from, const sim::PayloadPtr& msg) {
+  if (auto m = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(msg)) {
+    handle_client_request(*m);
+  } else if (auto b = std::dynamic_pointer_cast<const proto::BaselineBlockMsg>(msg)) {
+    handle_block(static_cast<ReplicaId>(from), b);
+  } else if (auto v = std::dynamic_pointer_cast<const proto::BaselineVoteMsg>(msg)) {
+    handle_vote(static_cast<ReplicaId>(from), *v);
+  }
+}
+
+void HotStuffReplica::handle_client_request(const proto::ClientRequestMsg& msg) {
+  if (!is_leader()) return;  // clients submit to the leader in HotStuff
+  sim::SimTime cost = 0;
+  for (const auto& req : msg.requests) {
+    if (mempool_.size() >= cfg_.mempool_capacity) {
+      cost += net_.costs().client_request_shed;  // overload: reject cheaply
+      continue;
+    }
+    cost += net_.costs().client_request_ingress;
+    if (mempool_.empty()) oldest_pending_at_ = net_.sim().now();
+    mempool_.push_back(req);
+  }
+  charge(cost);
+  maybe_propose();
+}
+
+void HotStuffReplica::maybe_propose() {
+  if (!is_leader() || proposal_outstanding_) return;
+  if (mempool_.size() >= cfg_.batch_size) propose();
+}
+
+void HotStuffReplica::proposal_flush_tick() {
+  if (!proposal_outstanding_ && !mempool_.empty() &&
+      net_.sim().now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
+    propose();
+  }
+  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond),
+                            [this] { proposal_flush_tick(); });
+}
+
+void HotStuffReplica::propose() {
+  const auto take = std::min<std::size_t>(mempool_.size(), cfg_.batch_size);
+  if (take == 0) return;
+
+  auto block = std::make_shared<proto::BaselineBlockMsg>();
+  block->view = 1;
+  block->height = next_height_++;
+  block->parent = high_qc_digest_;
+  block->justify_target = high_qc_digest_;
+  block->justify_sig = high_qc_sig_;
+  block->batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    block->batch.push_back(std::move(mempool_.front()));
+    mempool_.pop_front();
+  }
+  oldest_pending_at_ = net_.sim().now();
+
+  // Digest over identity + batch (digest-of-digests, like Leopard datablocks).
+  util::ByteWriter w(16 + 32 * block->batch.size());
+  w.u64(block->height);
+  for (const auto& r : block->batch) w.raw(r.digest().bytes());
+  block->cached_digest = Digest::of(w.bytes());
+  charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, block->wire_size()));
+
+  // Leader's own vote opens the collection for this height.
+  proposal_outstanding_ = true;
+  voting_digest_ = block->cached_digest;
+  voting_height_ = block->height;
+  votes_.clear();
+  voters_.clear();
+  charge(net_.costs().share_sign);
+  votes_.push_back(ts_.sign_share(id_, voting_digest_));
+  voters_.insert(id_);
+
+  chain_.emplace(block->height, block);
+  net_.multicast(id_, replica_ids_, block);
+
+  // The justify QC notarizes the parent: leader advances its commit state too.
+  if (block->height > 1) advance_commit(block->height - 1);
+}
+
+void HotStuffReplica::handle_block(ReplicaId from,
+                                   std::shared_ptr<const proto::BaselineBlockMsg> msg) {
+  if (from != 0 || is_leader()) return;  // stable leader protocol
+
+  // Verify the justify QC and charge per-request batch handling.
+  charge(net_.costs().combined_verify +
+         net_.costs().block_per_request * static_cast<sim::SimTime>(msg->batch.size()));
+  if (msg->height > 1 && !ts_.verify(msg->justify_target, msg->justify_sig)) return;
+
+  const auto height = msg->height;
+  chain_.emplace(height, std::move(msg));
+
+  // Vote for the block (threshold share to the leader).
+  charge(net_.costs().share_sign);
+  auto vote = std::make_shared<proto::BaselineVoteMsg>();
+  vote->view = 1;
+  vote->height = height;
+  vote->block_digest = chain_[height]->cached_digest;
+  vote->share = ts_.sign_share(id_, vote->block_digest);
+  net_.send(id_, 0, std::move(vote));
+
+  // The justify QC notarizes the parent height.
+  if (height > 1) advance_commit(height - 1);
+}
+
+void HotStuffReplica::handle_vote(ReplicaId from, const proto::BaselineVoteMsg& msg) {
+  if (!is_leader() || msg.height != voting_height_ || !proposal_outstanding_) return;
+  charge(net_.costs().share_verify);
+  if (msg.block_digest != voting_digest_) return;
+  if (!ts_.verify_share(voting_digest_, msg.share) || msg.share.signer != from) return;
+  if (!voters_.insert(from).second) return;
+  votes_.push_back(msg.share);
+
+  if (votes_.size() >= cfg_.quorum()) {
+    charge(net_.costs().combine_base +
+           net_.costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
+    const auto qc = ts_.combine(voting_digest_, votes_);
+    util::ensures(qc.has_value(), "HotStuff QC combine must succeed");
+    high_qc_digest_ = voting_digest_;
+    high_qc_sig_ = *qc;
+    high_qc_height_ = voting_height_;
+    proposal_outstanding_ = false;
+    // Chained pipelining: the QC ships inside the next proposal.
+    maybe_propose();
+  }
+}
+
+void HotStuffReplica::advance_commit(SeqNum notarized_height) {
+  notarized_ = std::max(notarized_, notarized_height);
+  // 3-chain rule with a stable leader and consecutive heights: the
+  // grandparent of the newest notarized block is committed.
+  if (notarized_ >= 3) {
+    const auto commit_to = notarized_ - 2;
+    if (commit_to > committed_) {
+      committed_ = commit_to;
+      execute_through(committed_);
+    }
+  }
+}
+
+void HotStuffReplica::execute_through(SeqNum height) {
+  while (executed_ < height) {
+    const auto it = chain_.find(executed_ + 1);
+    if (it == chain_.end()) return;
+    const auto& block = it->second;
+    const auto reqs = block->batch.size();
+    charge(net_.costs().execute_per_request * static_cast<sim::SimTime>(reqs));
+    executed_requests_ += reqs;
+
+    if (is_leader()) {
+      // The leader is the observer and the clients' contact point.
+      metrics_.executed_requests += reqs;
+      std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> acks;
+      for (const auto& r : block->batch) acks[r.client_id].push_back(r.seq);
+      for (auto& [client, seqs] : acks) {
+        auto ack = std::make_shared<proto::AckMsg>();
+        ack->client_id = client;
+        ack->seqs = std::move(seqs);
+        net_.send(id_, static_cast<sim::NodeId>(client), std::move(ack));
+      }
+    }
+    ++executed_;
+    // Keep memory bounded on long runs: executed blocks are no longer needed.
+    if (executed_ > 8) chain_.erase(executed_ - 8);
+  }
+}
+
+std::optional<Digest> HotStuffReplica::committed_digest(SeqNum height) const {
+  if (height > committed_) return std::nullopt;
+  const auto it = chain_.find(height);
+  if (it == chain_.end()) return std::nullopt;
+  return it->second->cached_digest;
+}
+
+}  // namespace leopard::baselines

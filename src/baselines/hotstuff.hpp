@@ -1,0 +1,96 @@
+// Chained, pipelined HotStuff baseline (Yin et al. 2019) on the simulation
+// substrate: the leader batches client requests into blocks carrying FULL
+// request payloads and disseminates them to all replicas — the O(n) leader
+// cost of Eq. (1) that Leopard removes. Votes are threshold signature shares
+// aggregated by the leader into QCs; a block commits under the 3-chain rule.
+//
+// Scope: the paper compares against HotStuff only in the normal case (honest
+// stable leader, after GST) — Figs. 1, 2, 6, 9, 10, 11. The HotStuff
+// pacemaker/view-change is therefore not modelled (Leopard's own view-change
+// is, see core/replica.hpp).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+
+namespace leopard::baselines {
+
+struct HotStuffConfig {
+  std::uint32_t n = 4;
+  std::uint32_t batch_size = 800;  // requests per block (Fig. 6 sweeps this)
+  std::uint32_t payload_size = 128;
+  /// Propose a partial block if requests waited this long (keeps the pipeline
+  /// alive under light load).
+  sim::SimTime proposal_max_wait = 20 * sim::kMillisecond;
+  std::uint32_t mempool_capacity = 40000;
+
+  [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
+  [[nodiscard]] std::uint32_t quorum() const { return 2 * f() + 1; }
+};
+
+/// The leader is replica 0 (also the throughput observer).
+class HotStuffReplica final : public sim::Node {
+ public:
+  HotStuffReplica(sim::Network& net, HotStuffConfig cfg, const crypto::ThresholdScheme& ts,
+                  core::ProtocolMetrics& metrics, proto::ReplicaId id);
+
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+  [[nodiscard]] bool is_leader() const { return id_ == 0; }
+  [[nodiscard]] proto::SeqNum committed_height() const { return committed_; }
+  [[nodiscard]] std::uint64_t executed_request_count() const { return executed_requests_; }
+  [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
+  /// Digest of the committed block at `height` (safety checks in tests).
+  [[nodiscard]] std::optional<crypto::Digest> committed_digest(proto::SeqNum height) const;
+
+ private:
+  void handle_client_request(const proto::ClientRequestMsg& msg);
+  void handle_block(proto::ReplicaId from, std::shared_ptr<const proto::BaselineBlockMsg> msg);
+  void handle_vote(proto::ReplicaId from, const proto::BaselineVoteMsg& msg);
+
+  void maybe_propose();
+  void propose();
+  void proposal_flush_tick();
+  void advance_commit(proto::SeqNum notarized_height);
+  void execute_through(proto::SeqNum height);
+
+  void charge(sim::SimTime cost) { net_.charge_cpu(id_, cost); }
+
+  sim::Network& net_;
+  HotStuffConfig cfg_;
+  const crypto::ThresholdScheme& ts_;
+  core::ProtocolMetrics& metrics_;
+  proto::ReplicaId id_;
+  std::vector<sim::NodeId> replica_ids_;
+
+  // Leader state.
+  std::deque<proto::Request> mempool_;
+  sim::SimTime oldest_pending_at_ = 0;
+  proto::SeqNum next_height_ = 1;
+  bool proposal_outstanding_ = false;  // one in-flight proposal (chained pipeline)
+  std::vector<crypto::SignatureShare> votes_;
+  std::set<proto::ReplicaId> voters_;
+  crypto::Digest voting_digest_;
+  proto::SeqNum voting_height_ = 0;
+  crypto::Digest high_qc_digest_;
+  crypto::ThresholdSignature high_qc_sig_;
+  proto::SeqNum high_qc_height_ = 0;
+
+  // Replica state.
+  std::map<proto::SeqNum, std::shared_ptr<const proto::BaselineBlockMsg>> chain_;
+  proto::SeqNum notarized_ = 0;  // highest height with a known QC
+  proto::SeqNum committed_ = 0;  // 3-chain committed prefix
+  proto::SeqNum executed_ = 0;
+  std::uint64_t executed_requests_ = 0;
+};
+
+}  // namespace leopard::baselines

@@ -1,0 +1,175 @@
+#include "baselines/pbft.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace leopard::baselines {
+
+using crypto::Digest;
+using proto::ReplicaId;
+using proto::SeqNum;
+
+PbftReplica::PbftReplica(sim::Network& net, PbftConfig cfg, const crypto::ThresholdScheme& ts,
+                         core::ProtocolMetrics& metrics, ReplicaId id)
+    : net_(net), cfg_(cfg), ts_(ts), metrics_(metrics), id_(id) {
+  util::expects(cfg_.n >= 4, "PBFT baseline requires n >= 4");
+  replica_ids_.resize(cfg_.n);
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) replica_ids_[i] = i;
+}
+
+void PbftReplica::start() {
+  if (is_leader()) proposal_flush_tick();
+}
+
+void PbftReplica::on_message(sim::NodeId from, const sim::PayloadPtr& msg) {
+  if (auto m = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(msg)) {
+    handle_client_request(*m);
+  } else if (auto b = std::dynamic_pointer_cast<const proto::BaselineBlockMsg>(msg)) {
+    handle_preprepare(static_cast<ReplicaId>(from), b);
+  } else if (auto v = std::dynamic_pointer_cast<const proto::BaselineVoteMsg>(msg)) {
+    handle_vote(static_cast<ReplicaId>(from), *v);
+  }
+}
+
+void PbftReplica::handle_client_request(const proto::ClientRequestMsg& msg) {
+  if (!is_leader()) return;
+  sim::SimTime cost = 0;
+  for (const auto& req : msg.requests) {
+    if (mempool_.size() >= cfg_.mempool_capacity) {
+      cost += net_.costs().client_request_shed;
+      continue;
+    }
+    cost += net_.costs().client_request_ingress;
+    if (mempool_.empty()) oldest_pending_at_ = net_.sim().now();
+    mempool_.push_back(req);
+  }
+  charge(cost);
+  maybe_propose();
+}
+
+void PbftReplica::maybe_propose() {
+  while (is_leader() && mempool_.size() >= cfg_.batch_size &&
+         next_sn_ <= executed_ + cfg_.max_parallel_instances) {
+    propose();
+  }
+}
+
+void PbftReplica::proposal_flush_tick() {
+  if (!mempool_.empty() && next_sn_ <= executed_ + cfg_.max_parallel_instances &&
+      net_.sim().now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
+    propose();
+  }
+  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond),
+                            [this] { proposal_flush_tick(); });
+}
+
+void PbftReplica::propose() {
+  const auto take = std::min<std::size_t>(mempool_.size(), cfg_.batch_size);
+  if (take == 0) return;
+
+  auto block = std::make_shared<proto::BaselineBlockMsg>();
+  block->view = 1;
+  block->height = next_sn_++;
+  block->batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    block->batch.push_back(std::move(mempool_.front()));
+    mempool_.pop_front();
+  }
+  oldest_pending_at_ = net_.sim().now();
+
+  util::ByteWriter w(16 + 32 * block->batch.size());
+  w.u64(block->height);
+  for (const auto& r : block->batch) w.raw(r.digest().bytes());
+  block->cached_digest = Digest::of(w.bytes());
+  charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, block->wire_size()));
+
+  auto& inst = instances_[block->height];
+  inst.block = block;
+  inst.prepares.insert(id_);
+
+  net_.multicast(id_, replica_ids_, block);
+  broadcast_vote(1, block->height, block->cached_digest);
+}
+
+void PbftReplica::handle_preprepare(ReplicaId from,
+                                    std::shared_ptr<const proto::BaselineBlockMsg> msg) {
+  if (from != 0 || is_leader()) return;
+  charge(net_.costs().block_per_request * static_cast<sim::SimTime>(msg->batch.size()));
+
+  const auto sn = msg->height;
+  auto& inst = instances_[sn];
+  if (inst.block) return;  // duplicate
+  inst.block = std::move(msg);
+  inst.prepares.insert(id_);
+  broadcast_vote(1, sn, inst.block->cached_digest);
+  try_advance(sn);
+}
+
+void PbftReplica::broadcast_vote(std::uint8_t phase, SeqNum sn, const Digest& digest) {
+  // Flat authenticator (MAC vector): reuse the share container for its wire
+  // size; verification cost is the cheap cfg_.vote_verify_cost.
+  auto vote = std::make_shared<proto::BaselineVoteMsg>();
+  vote->phase = phase;
+  vote->view = 1;
+  vote->height = sn;
+  vote->block_digest = digest;
+  vote->share = ts_.sign_share(id_, digest);
+  net_.multicast(id_, replica_ids_, std::move(vote));
+}
+
+void PbftReplica::handle_vote(ReplicaId from, const proto::BaselineVoteMsg& msg) {
+  charge(cfg_.vote_verify_cost);
+  auto& inst = instances_[msg.height];
+  if (inst.block && msg.block_digest != inst.block->cached_digest) return;
+  if (msg.phase == 1) {
+    inst.prepares.insert(from);
+  } else {
+    inst.commits.insert(from);
+  }
+  try_advance(msg.height);
+}
+
+void PbftReplica::try_advance(SeqNum sn) {
+  auto& inst = instances_[sn];
+  if (!inst.block) return;
+
+  if (!inst.prepared && inst.prepares.size() >= cfg_.quorum()) {
+    inst.prepared = true;
+    inst.commits.insert(id_);
+    broadcast_vote(2, sn, inst.block->cached_digest);
+  }
+  if (inst.prepared && !inst.committed && inst.commits.size() >= cfg_.quorum()) {
+    inst.committed = true;
+    execute_ready();
+  }
+}
+
+void PbftReplica::execute_ready() {
+  while (true) {
+    const auto it = instances_.find(executed_ + 1);
+    if (it == instances_.end() || !it->second.committed || it->second.executed) return;
+    auto& inst = it->second;
+    const auto reqs = inst.block->batch.size();
+    charge(net_.costs().execute_per_request * static_cast<sim::SimTime>(reqs));
+    executed_requests_ += reqs;
+    inst.executed = true;
+
+    if (is_leader()) {
+      metrics_.executed_requests += reqs;
+      std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> acks;
+      for (const auto& r : inst.block->batch) acks[r.client_id].push_back(r.seq);
+      for (auto& [client, seqs] : acks) {
+        auto ack = std::make_shared<proto::AckMsg>();
+        ack->client_id = client;
+        ack->seqs = std::move(seqs);
+        net_.send(id_, static_cast<sim::NodeId>(client), std::move(ack));
+      }
+    }
+    ++executed_;
+    if (executed_ > 16) instances_.erase(executed_ - 16);
+    if (is_leader()) maybe_propose();  // window advanced
+  }
+}
+
+}  // namespace leopard::baselines

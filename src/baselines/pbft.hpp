@@ -1,0 +1,94 @@
+// PBFT baseline (BFT-SMaRt stand-in for Fig. 1): leader disseminates
+// full-payload blocks; voting is ALL-TO-ALL with flat (non-aggregated)
+// authenticators — the O(n²) vote pattern that threshold signatures remove.
+// BFT-SMaRt authenticates with MAC vectors, so vote verification is cheap;
+// the dominant large-n cost is the quadratic vote traffic plus the leader's
+// O(n) dissemination.
+//
+// Normal case only (honest stable leader, after GST), matching its role in
+// the paper's evaluation.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+
+namespace leopard::baselines {
+
+struct PbftConfig {
+  std::uint32_t n = 4;
+  std::uint32_t batch_size = 800;
+  std::uint32_t payload_size = 128;
+  /// Parallel in-flight instances (BFT-SMaRt pipelines consensus instances).
+  std::uint32_t max_parallel_instances = 10;
+  sim::SimTime proposal_max_wait = 20 * sim::kMillisecond;
+  std::uint32_t mempool_capacity = 40000;
+  /// MAC-vector verification cost per vote (BFT-SMaRt-style, much cheaper
+  /// than signature verification).
+  sim::SimTime vote_verify_cost = 3 * sim::kMicrosecond;
+
+  [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
+  [[nodiscard]] std::uint32_t quorum() const { return 2 * f() + 1; }
+};
+
+/// The leader is replica 0 (also the throughput observer).
+class PbftReplica final : public sim::Node {
+ public:
+  PbftReplica(sim::Network& net, PbftConfig cfg, const crypto::ThresholdScheme& ts,
+              core::ProtocolMetrics& metrics, proto::ReplicaId id);
+
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+  [[nodiscard]] bool is_leader() const { return id_ == 0; }
+  [[nodiscard]] proto::SeqNum executed_through() const { return executed_; }
+  [[nodiscard]] std::uint64_t executed_request_count() const { return executed_requests_; }
+
+ private:
+  struct Instance {
+    std::shared_ptr<const proto::BaselineBlockMsg> block;
+    std::set<proto::ReplicaId> prepares;
+    std::set<proto::ReplicaId> commits;
+    bool prepared = false;
+    bool committed = false;
+    bool executed = false;
+  };
+
+  void handle_client_request(const proto::ClientRequestMsg& msg);
+  void handle_preprepare(proto::ReplicaId from,
+                         std::shared_ptr<const proto::BaselineBlockMsg> msg);
+  void handle_vote(proto::ReplicaId from, const proto::BaselineVoteMsg& msg);
+
+  void maybe_propose();
+  void propose();
+  void proposal_flush_tick();
+  void broadcast_vote(std::uint8_t phase, proto::SeqNum sn, const crypto::Digest& digest);
+  void try_advance(proto::SeqNum sn);
+  void execute_ready();
+
+  void charge(sim::SimTime cost) { net_.charge_cpu(id_, cost); }
+
+  sim::Network& net_;
+  PbftConfig cfg_;
+  const crypto::ThresholdScheme& ts_;
+  core::ProtocolMetrics& metrics_;
+  proto::ReplicaId id_;
+  std::vector<sim::NodeId> replica_ids_;
+
+  std::deque<proto::Request> mempool_;
+  sim::SimTime oldest_pending_at_ = 0;
+  proto::SeqNum next_sn_ = 1;
+
+  std::map<proto::SeqNum, Instance> instances_;
+  proto::SeqNum executed_ = 0;
+  std::uint64_t executed_requests_ = 0;
+};
+
+}  // namespace leopard::baselines

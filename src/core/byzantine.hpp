@@ -1,0 +1,45 @@
+// Scripted Byzantine behaviours for fault-injection experiments (§VI-D).
+// Honest replicas keep ByzantineSpec{} (all behaviours off); attacks compose.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace leopard::core {
+
+struct ByzantineSpec {
+  /// Selective attack (§IV, §V case b): multicast own datablocks only to the
+  /// leader plus the first `s - 1` other replicas instead of everyone.
+  std::optional<std::uint32_t> selective_recipients;
+
+  /// Drop datablocks received from other replicas (pretend not received):
+  /// no pool insert, no Ready. Combined with `vote_blindly` the replica still
+  /// participates in agreement so the attack stays covert.
+  bool drop_foreign_datablocks = false;
+
+  /// Vote on BFTblocks without checking datablock availability.
+  bool vote_blindly = false;
+
+  /// Never answer retrieval queries.
+  bool ignore_queries = false;
+
+  /// Withhold all votes (reduces effective quorum progress).
+  bool withhold_votes = false;
+
+  /// Leader-only: propose two different BFTblocks with the same serial number
+  /// to two halves of the replicas (safety attack; must never confirm both).
+  bool equivocate = false;
+
+  /// Stop participating entirely at this time (models a crashed/silent
+  /// replica; used to trigger view-changes in Fig. 13).
+  std::optional<sim::SimTime> crash_at;
+
+  [[nodiscard]] bool is_byzantine() const {
+    return selective_recipients || drop_foreign_datablocks || vote_blindly ||
+           ignore_queries || withhold_votes || equivocate || crash_at.has_value();
+  }
+};
+
+}  // namespace leopard::core

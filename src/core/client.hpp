@@ -1,0 +1,92 @@
+// Open-loop client group: submits requests at a configured rate to an
+// assigned replica (the paper's µ(req) deterministic assignment), measures
+// submit→ack latency, and re-submits to the next replica on timeout (§IV-1:
+// "up to f times changes will guarantee the existence of an honest replica").
+//
+// A ClientGroup aggregates all clients attached to one replica; it is an
+// unmetered node (its own NIC/CPU are not modelled) but its traffic meters
+// the replica side, which is what Table III's "Reqs. from Clients" row needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace leopard::core {
+
+struct ClientConfig {
+  /// Requests per second this group submits (0 = inject nothing).
+  double request_rate = 0;
+  std::uint32_t payload_size = 128;
+  /// Materialize payload bytes (true) or use synthetic sizes (false).
+  bool real_payload = false;
+  /// Re-submit to the next replica if unacked after this long (0 = never).
+  sim::SimTime resubmit_timeout = 0;
+  /// Stop submitting at this time (<0 = run forever).
+  sim::SimTime stop_at = -1;
+  /// Requests injected in one burst at t = 0 (models a standing backlog:
+  /// "stress test with a saturated request rate", §VI-A).
+  std::uint32_t initial_backlog = 0;
+  /// Requests batched per submission message (transport pipelining; 0 = pick
+  /// automatically from the rate so event counts stay bounded).
+  std::uint32_t burst = 0;
+  /// Submit each request to this many replicas at once (§IV-1: "The number
+  /// of identified replicas in each submit can also be as large as f+1 —
+  /// more replicas lower latency whereas fewer replicas increase
+  /// throughput"). 1 = the paper's default single-replica submission.
+  std::uint32_t submit_copies = 1;
+  /// Route each request by the deterministic µ(req) assignment instead of
+  /// pinning this group to one replica (§IV-1 load balancing).
+  bool route_by_mu = false;
+};
+
+class LeopardClient final : public sim::Node {
+ public:
+  /// `target` is the replica this group submits to; `replica_count` bounds
+  /// the re-submission rotation; `avoid` (the initial leader) is skipped.
+  LeopardClient(sim::Network& net, ProtocolMetrics& metrics, ClientConfig cfg,
+                sim::NodeId target, std::uint32_t replica_count, sim::NodeId avoid,
+                std::uint64_t seed);
+
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+  /// Network node id of this client group; must be set right after add_node.
+  void set_node_id(sim::NodeId id) { self_ = id; }
+
+  [[nodiscard]] std::uint64_t submitted() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t acked() const { return acked_; }
+
+ private:
+  void submit_next();
+  void submit_burst(std::uint32_t count);
+  void resubmit_tick();
+
+  struct Outstanding {
+    sim::SimTime submitted_at = 0;
+    sim::SimTime last_sent_at = 0;
+    std::uint32_t attempts = 1;
+    sim::NodeId sent_to = 0;
+  };
+
+  sim::Network& net_;
+  ProtocolMetrics& metrics_;
+  ClientConfig cfg_;
+  sim::NodeId self_ = 0;
+  sim::NodeId target_;
+  std::uint32_t replica_count_;
+  sim::NodeId avoid_;
+  util::Rng rng_;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t acked_ = 0;
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  static constexpr std::size_t kMaxTracked = 400000;  // bound memory at saturation
+};
+
+}  // namespace leopard::core

@@ -1,0 +1,65 @@
+// Run-wide protocol metrics shared by replicas and clients (single-threaded
+// simulation: plain counters). The harness snapshots counters at warmup end
+// and reports deltas.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace leopard::core {
+
+struct ProtocolMetrics {
+  // Confirmed throughput: counted once per request, at its datablock's maker
+  // (Leopard) or at the leader (baselines), when executed.
+  std::uint64_t executed_requests = 0;
+
+  // Client-observed latency (submit → ack).
+  std::uint64_t acked_requests = 0;
+  double latency_sum_sec = 0;
+  std::vector<double> latency_samples;  // capped reservoir for percentiles
+  static constexpr std::size_t kMaxSamples = 200000;
+
+  // Latency breakdown sums (Table IV), recorded at execution time on the
+  // datablock maker for its own requests.
+  std::uint64_t breakdown_count = 0;
+  double sum_generation_sec = 0;     // submit → datablock created
+  double sum_dissemination_sec = 0;  // datablock created → linked by leader
+  double sum_agreement_sec = 0;      // linked → executed
+
+  // Retrieval (Fig. 12 / Table V).
+  std::uint64_t queries_sent = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t datablocks_recovered = 0;
+  double recovery_time_sum_sec = 0;  // query sent → datablock decoded
+
+  // View-change (Fig. 13).
+  std::uint32_t view_changes_completed = 0;
+  sim::SimTime vc_triggered_at = -1;
+  sim::SimTime vc_completed_at = -1;
+
+  // Safety-violation canary: set by replicas if they ever observe conflicting
+  // confirmations; integration tests assert it stays false.
+  bool safety_violation = false;
+
+  void record_ack_latency(double seconds) {
+    ++acked_requests;
+    latency_sum_sec += seconds;
+    if (latency_samples.size() < kMaxSamples) latency_samples.push_back(seconds);
+  }
+
+  [[nodiscard]] double mean_latency_sec() const {
+    return acked_requests == 0 ? 0.0 : latency_sum_sec / static_cast<double>(acked_requests);
+  }
+
+  [[nodiscard]] double latency_percentile(double p) {
+    if (latency_samples.empty()) return 0.0;
+    std::sort(latency_samples.begin(), latency_samples.end());
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(latency_samples.size() - 1));
+    return latency_samples[idx];
+  }
+};
+
+}  // namespace leopard::core

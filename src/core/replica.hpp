@@ -1,0 +1,255 @@
+// LeopardReplica: the full Leopard protocol of §IV — datablock preparation
+// (Algorithm 1), two-round agreement on BFTblocks with a ready round
+// (Algorithms 2 and 3), committee-based datablock retrieval with erasure
+// codes (Algorithm 3), checkpointing/garbage collection (Algorithm 4), and
+// the PBFT-style view-change (Appendix A).
+//
+// One instance per replica; all replicas of a cluster share a Network, a
+// ThresholdScheme and a ProtocolMetrics. Replica ids must equal their network
+// NodeIds (replicas register with the network first).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/byzantine.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+
+namespace leopard::core {
+
+class LeopardReplica final : public sim::Node {
+ public:
+  LeopardReplica(sim::Network& net, LeopardConfig cfg, const crypto::ThresholdScheme& ts,
+                 ProtocolMetrics& metrics, proto::ReplicaId id, ByzantineSpec byz = {});
+
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+  /// Application hook: invoked once per request, in the total order the
+  /// protocol commits (BFTblock serial number, then link order, then request
+  /// order within a datablock). This is where a replicated state machine
+  /// applies commands (see examples/kv_store.cpp).
+  using ExecutionHandler = std::function<void(const proto::Request&)>;
+  void set_execution_handler(ExecutionHandler handler) {
+    execution_handler_ = std::move(handler);
+  }
+
+  /// Application-specific request validity predicate verify(·) (§IV):
+  /// invoked on each request at client ingress (invalid submissions are
+  /// rejected outright) and on every received datablock before the replica
+  /// will vote for a BFTblock linking it. Datablocks containing any invalid
+  /// request are treated as invalid in their entirety.
+  using RequestValidator = std::function<bool(const proto::Request&)>;
+  void set_request_validator(RequestValidator validator) {
+    request_validator_ = std::move(validator);
+  }
+
+  // -- Introspection (tests, harness) --------------------------------------
+  [[nodiscard]] proto::ReplicaId id() const { return id_; }
+  [[nodiscard]] proto::View view() const { return view_; }
+  [[nodiscard]] proto::ReplicaId leader_of(proto::View v) const { return v % cfg_.n; }
+  [[nodiscard]] bool is_leader() const { return leader_of(view_) == id_ && !in_view_change_; }
+  [[nodiscard]] proto::SeqNum executed_through() const { return exec_sn_; }
+  [[nodiscard]] proto::SeqNum low_watermark() const { return lw_; }
+  [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
+  [[nodiscard]] std::size_t datablock_pool_size() const { return pool_.size(); }
+  [[nodiscard]] std::uint64_t executed_request_count() const { return executed_request_count_; }
+  [[nodiscard]] bool in_view_change() const { return in_view_change_; }
+  [[nodiscard]] std::size_t ready_queue_size() const { return ready_queue_.size(); }
+  [[nodiscard]] proto::SeqNum next_sn() const { return next_sn_; }
+  [[nodiscard]] std::size_t open_instances() const { return instances_.size(); }
+
+  /// Digest of the confirmed BFTblock at `sn`, if confirmed at this replica.
+  [[nodiscard]] std::optional<crypto::Digest> confirmed_digest(proto::SeqNum sn) const;
+  /// All confirmed (sn → digest) pairs; safety tests compare across replicas.
+  [[nodiscard]] std::map<proto::SeqNum, crypto::Digest> confirmed_log() const;
+  /// Running hash over the executed block sequence (state-machine state).
+  [[nodiscard]] const crypto::Digest& state_digest() const { return state_digest_; }
+
+ private:
+  // -- Agreement-instance bookkeeping ---------------------------------------
+  struct Instance {
+    proto::BftBlock block;
+    crypto::Digest digest;          // H(m)
+    proto::View proposed_view = 0;
+    sim::SimTime received_at = 0;  // when this replica saw the proposal
+    bool have_block = false;
+    bool voted1 = false;
+    bool voted2 = false;
+    bool notarized = false;
+    bool confirmed = false;
+    bool executed = false;
+    std::optional<crypto::ThresholdSignature> sigma1;  // notarization proof
+    crypto::Digest sigma1_digest;                      // H(ˆσ1): round-2 target
+    std::optional<crypto::ThresholdSignature> sigma2;  // confirmation proof
+    std::set<crypto::Digest> missing;                  // links awaiting retrieval
+    // Leader-side vote collection.
+    std::vector<crypto::SignatureShare> votes1, votes2;
+    std::set<proto::ReplicaId> voters1, voters2;
+  };
+
+  struct Retrieval {
+    sim::EventHandle timer;
+    bool query_sent = false;
+    sim::SimTime query_sent_at = 0;
+    // chunks grouped by claimed Merkle root; decode at f+1 consistent chunks.
+    std::unordered_map<crypto::Digest, std::vector<std::shared_ptr<const proto::ChunkResponseMsg>>>
+        chunks_by_root;
+  };
+
+  // -- Message handlers ------------------------------------------------------
+  void handle_client_request(sim::NodeId from, const proto::ClientRequestMsg& msg);
+  void handle_datablock(proto::ReplicaId from, std::shared_ptr<const proto::DatablockMsg> msg);
+  void handle_ready(proto::ReplicaId from, const proto::ReadyMsg& msg);
+  void handle_bftblock(proto::ReplicaId from, const proto::BftBlockMsg& msg);
+  void handle_vote(proto::ReplicaId from, const proto::VoteMsg& msg);
+  void handle_proof(proto::ReplicaId from, const proto::ProofMsg& msg);
+  void handle_query(proto::ReplicaId from, const proto::QueryMsg& msg);
+  void handle_chunk(proto::ReplicaId from, std::shared_ptr<const proto::ChunkResponseMsg> msg);
+  void handle_checkpoint(proto::ReplicaId from, const proto::CheckpointMsg& msg);
+  void handle_timeout(proto::ReplicaId from, const proto::TimeoutMsg& msg);
+  void handle_view_change(proto::ReplicaId from, std::shared_ptr<const proto::ViewChangeMsg> msg);
+  void handle_new_view(proto::ReplicaId from, const proto::NewViewMsg& msg);
+
+  // -- Datablock preparation (Algorithm 1) ----------------------------------
+  void maybe_generate_datablocks();
+  void generate_datablock(std::size_t request_count);
+  void accept_datablock(const std::shared_ptr<const proto::DatablockMsg>& msg, bool recovered);
+  void datablock_flush_tick();
+
+  // -- Leader: ready round and proposals (Algorithms 2, 3) -------------------
+  void leader_note_ready(proto::ReplicaId from, const crypto::Digest& digest);
+  void leader_promote_if_ready(const crypto::Digest& digest);
+  void maybe_propose();
+  void propose(std::vector<crypto::Digest> links);
+  void propose_block(proto::SeqNum sn, std::vector<crypto::Digest> links);
+  void proposal_flush_tick();
+  void leader_install_proposal(const proto::BftBlockMsg& msg);
+
+  // -- Voting ----------------------------------------------------------------
+  [[nodiscard]] bool verify_bftblock(const proto::BftBlockMsg& msg);
+  void try_vote_round1(proto::SeqNum sn);
+  void send_vote(std::uint8_t round, const Instance& inst);
+  void on_notarized(proto::SeqNum sn);
+  void on_confirmed(proto::SeqNum sn);
+  void execute_ready_blocks();
+  void execute_block(Instance& inst);
+
+  // -- Retrieval (Algorithm 3) ------------------------------------------------
+  void note_missing(proto::SeqNum sn, const crypto::Digest& digest);
+  void send_queries(const crypto::Digest& digest);
+  void try_decode(const crypto::Digest& digest, Retrieval& ret);
+
+  // -- Checkpoint / garbage collection (Algorithm 4) --------------------------
+  void maybe_checkpoint();
+  void adopt_checkpoint(proto::SeqNum sn, const crypto::Digest& state,
+                        const crypto::ThresholdSignature& proof);
+  void garbage_collect(proto::SeqNum through_sn);
+
+  // -- View-change (Appendix A) ------------------------------------------------
+  void progress_tick();
+  void broadcast_timeout();
+  void enter_view_change();
+  void send_view_change(proto::View target);
+  void schedule_vc_escalation();
+  void leader_try_new_view(proto::View target);
+  void adopt_new_view(const proto::NewViewMsg& msg);
+
+  // -- Helpers -----------------------------------------------------------------
+  [[nodiscard]] bool crashed() const;
+  void send_to(sim::NodeId to, sim::PayloadPtr msg);
+  void multicast_to_replicas(const sim::PayloadPtr& msg);
+  void charge(sim::SimTime cost) { net_.charge_cpu(id_, cost); }
+  [[nodiscard]] Instance* instance_by_digest(const crypto::Digest& d);
+  [[nodiscard]] crypto::Digest timeout_digest(proto::View v) const;
+
+  sim::Network& net_;
+  LeopardConfig cfg_;
+  const crypto::ThresholdScheme& ts_;
+  ProtocolMetrics& metrics_;
+  proto::ReplicaId id_;
+  ByzantineSpec byz_;
+  std::vector<sim::NodeId> replica_ids_;  // 0..n-1
+  erasure::ReedSolomon rs_;               // (f+1, n) code for retrieval
+
+  // Protocol state.
+  proto::View view_ = 1;
+  bool in_view_change_ = false;
+  proto::SeqNum next_sn_ = 1;   // leader: next serial number to assign
+  proto::SeqNum exec_sn_ = 0;   // highest consecutively executed sn
+  proto::SeqNum lw_ = 0;        // low watermark (latest stable checkpoint)
+  crypto::Digest state_digest_;
+  crypto::ThresholdSignature checkpoint_proof_;  // proof for lw_
+  crypto::Digest checkpoint_state_;
+
+  // Mempool of pending client requests (FIFO) with enqueue times.
+  std::deque<proto::Request> mempool_;
+  std::deque<sim::SimTime> mempool_enqueued_;
+  std::uint64_t datablock_counter_ = 1;
+  std::uint64_t shed_requests_ = 0;
+
+  // Datablock storage.
+  std::unordered_map<crypto::Digest, std::shared_ptr<const proto::DatablockMsg>> pool_;
+  std::unordered_map<proto::ReplicaId, std::unordered_set<std::uint64_t>> seen_counters_;
+
+  // Leader-side ready tracking.
+  std::unordered_map<crypto::Digest, std::set<proto::ReplicaId>> ready_votes_;
+  std::deque<crypto::Digest> ready_queue_;
+  std::unordered_set<crypto::Digest> queued_or_linked_;
+  sim::SimTime oldest_ready_at_ = 0;
+
+  // Agreement instances.
+  std::map<proto::SeqNum, Instance> instances_;
+  std::unordered_map<crypto::Digest, proto::SeqNum> sn_by_digest_;
+  std::unordered_map<crypto::Digest, std::vector<proto::SeqNum>> waiting_on_datablock_;
+
+  // Retrieval state.
+  std::unordered_map<crypto::Digest, Retrieval> retrievals_;
+  std::set<std::pair<crypto::Digest, proto::ReplicaId>> responded_once_;
+
+  // Checkpoint votes (leader).
+  std::unordered_map<proto::SeqNum, std::vector<crypto::SignatureShare>> checkpoint_votes_;
+  std::unordered_map<proto::SeqNum, std::set<proto::ReplicaId>> checkpoint_voters_;
+  std::unordered_map<proto::SeqNum, crypto::Digest> checkpoint_states_;
+
+  // View-change state.
+  std::unordered_map<proto::View, std::set<proto::ReplicaId>> timeout_votes_;
+  bool timeout_sent_ = false;
+  std::unordered_map<proto::View, std::vector<std::shared_ptr<const proto::ViewChangeMsg>>>
+      view_change_msgs_;
+  std::unordered_map<proto::View, std::set<proto::ReplicaId>> view_change_senders_;
+  proto::View last_new_view_sent_ = 0;
+  sim::SimTime last_progress_at_ = 0;
+  proto::SeqNum last_progress_sn_ = 0;
+  // View-change escalation: if the prospective leader is also faulty, retry
+  // with the next one after an exponentially growing delay (PBFT-style).
+  proto::View vc_target_ = 0;
+  sim::SimTime vc_escalation_delay_ = 0;
+  sim::EventHandle vc_escalation_timer_;
+
+  // Execution accounting.
+  std::uint64_t executed_request_count_ = 0;
+  ExecutionHandler execution_handler_;
+  RequestValidator request_validator_;
+  std::unordered_set<crypto::Digest> invalid_datablocks_;
+};
+
+/// The paper's deterministic assignment function µ(req): maps a request to
+/// the non-leader replica responsible for disseminating it, balancing load
+/// uniformly. Deterministic but not predictable-in-advance by the assignee
+/// (clients may switch to the next replica on censorship, §IV-1).
+proto::ReplicaId assign_replica(const proto::Request& request, std::uint32_t n,
+                                proto::ReplicaId leader);
+
+}  // namespace leopard::core

@@ -1,0 +1,13 @@
+#include "crypto/digest.hpp"
+
+#include "util/hex.hpp"
+
+namespace leopard::crypto {
+
+std::string Digest::hex() const { return util::to_hex(bytes_); }
+
+std::string Digest::short_hex() const {
+  return util::to_hex(std::span<const std::uint8_t>(bytes_.data(), 4));
+}
+
+}  // namespace leopard::crypto

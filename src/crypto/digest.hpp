@@ -1,0 +1,62 @@
+// 32-byte digest value type (the paper's β = 32 bytes, SHA-256 based).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace leopard::crypto {
+
+/// A 32-byte hash value with value semantics; ordered and hashable so it can
+/// key maps of datablocks/BFTblocks.
+class Digest {
+ public:
+  static constexpr std::size_t kSize = Sha256::kDigestSize;
+
+  constexpr Digest() = default;
+  explicit Digest(const Sha256::DigestBytes& bytes) : bytes_(bytes) {}
+
+  static Digest of(std::span<const std::uint8_t> data) { return Digest(Sha256::hash(data)); }
+  static Digest of_string(std::string_view s) {
+    return of({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t, kSize> bytes() const { return bytes_; }
+  [[nodiscard]] bool is_zero() const {
+    for (auto b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  /// First 8 bytes as a little-endian integer, for cheap hashing/short ids.
+  [[nodiscard]] std::uint64_t prefix64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[i]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::string hex() const;
+  /// Short human-readable form (first 4 bytes) for logs.
+  [[nodiscard]] std::string short_hex() const;
+
+  friend auto operator<=>(const Digest&, const Digest&) = default;
+
+ private:
+  Sha256::DigestBytes bytes_{};
+};
+
+}  // namespace leopard::crypto
+
+template <>
+struct std::hash<leopard::crypto::Digest> {
+  std::size_t operator()(const leopard::crypto::Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};

@@ -1,0 +1,16 @@
+// HMAC-SHA-256 (RFC 2104), from scratch. Backs the deterministic threshold
+// signature scheme (see threshold_sig.hpp for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace leopard::crypto {
+
+/// Computes HMAC-SHA-256(key, message).
+Sha256::DigestBytes hmac_sha256(std::span<const std::uint8_t> key,
+                                std::span<const std::uint8_t> message);
+
+}  // namespace leopard::crypto

@@ -1,0 +1,73 @@
+#include "crypto/merkle.hpp"
+
+#include "util/check.hpp"
+
+namespace leopard::crypto {
+
+Digest MerkleTree::hash_leaf(std::span<const std::uint8_t> data) {
+  Sha256 ctx;
+  const std::uint8_t tag = 0x00;
+  ctx.update({&tag, 1});
+  ctx.update(data);
+  return Digest(ctx.finalize());
+}
+
+Digest MerkleTree::hash_interior(const Digest& left, const Digest& right) {
+  Sha256 ctx;
+  const std::uint8_t tag = 0x01;
+  ctx.update({&tag, 1});
+  ctx.update(left.bytes());
+  ctx.update(right.bytes());
+  return Digest(ctx.finalize());
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+  util::expects(!leaves.empty(), "MerkleTree requires at least one leaf");
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(hash_interior(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 == 1) above.push_back(below.back());  // promote odd node
+    levels_.push_back(std::move(above));
+  }
+}
+
+std::vector<Digest> MerkleTree::proof(std::size_t index) const {
+  util::expects(index < leaf_count(), "Merkle proof index out of range");
+  std::vector<Digest> path;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling < nodes.size()) path.push_back(nodes[sibling]);
+    // else: promoted node, nothing to prove at this level
+    i /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::verify(const Digest& root, const Digest& leaf, std::size_t index,
+                        std::size_t leaf_count, std::span<const Digest> proof) {
+  if (leaf_count == 0 || index >= leaf_count) return false;
+  Digest node = leaf;
+  std::size_t i = index;
+  std::size_t width = leaf_count;
+  std::size_t used = 0;
+  while (width > 1) {
+    const bool has_sibling = (i % 2 == 0) ? (i + 1 < width) : true;
+    if (has_sibling) {
+      if (used >= proof.size()) return false;
+      const Digest& sibling = proof[used++];
+      node = (i % 2 == 0) ? hash_interior(node, sibling) : hash_interior(sibling, node);
+    }
+    i /= 2;
+    width = (width + 1) / 2;
+  }
+  return used == proof.size() && node == root;
+}
+
+}  // namespace leopard::crypto

@@ -1,0 +1,48 @@
+// Merkle tree with audit proofs, used by the datablock retrieval mechanism
+// (Algorithm 3): responders erasure-code a datablock into n chunks, build a
+// Merkle tree over the chunks, and attach an inclusion proof so the querier
+// can validate each chunk before decoding (proof size β·log n, as in §V).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace leopard::crypto {
+
+/// Binary Merkle tree over caller-provided leaf digests. Odd nodes at a level
+/// are promoted unchanged (no duplication). Domain separation: leaves are
+/// hashed with a 0x00 prefix, interior nodes with 0x01.
+class MerkleTree {
+ public:
+  /// Builds the full tree; `leaves` must be non-empty.
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  /// Hashes raw chunk data into a leaf digest (0x00-prefixed).
+  static Digest hash_leaf(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const Digest& root() const { return levels_.back().front(); }
+  [[nodiscard]] std::size_t leaf_count() const { return levels_.front().size(); }
+
+  /// Sibling path for the leaf at `index`, bottom-up. Levels where the node
+  /// was promoted (no sibling) contribute no entry.
+  [[nodiscard]] std::vector<Digest> proof(std::size_t index) const;
+
+  /// Verifies an audit proof produced by proof(); `leaf_count` must match the
+  /// tree the proof came from.
+  static bool verify(const Digest& root, const Digest& leaf, std::size_t index,
+                     std::size_t leaf_count, std::span<const Digest> proof);
+
+  /// Serialized proof size in bytes (each element is one digest).
+  static std::size_t proof_wire_size(std::size_t proof_len) { return proof_len * Digest::kSize; }
+
+ private:
+  static Digest hash_interior(const Digest& left, const Digest& right);
+
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace leopard::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the β = 32-byte collision-resistant hash H(·) used throughout the
+// Leopard protocol: datablock/BFTblock digests, Merkle trees, vote targets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace leopard::crypto {
+
+/// Incremental SHA-256 context. Use Sha256::hash() for one-shot hashing.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using DigestBytes = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs more input; can be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalizes and returns the digest. The context must not be reused after.
+  DigestBytes finalize();
+
+  /// One-shot convenience.
+  static DigestBytes hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+  void absorb_padding(const std::uint8_t* data, std::size_t len);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace leopard::crypto

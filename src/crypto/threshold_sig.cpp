@@ -1,0 +1,82 @@
+#include "crypto/threshold_sig.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace leopard::crypto {
+
+ThresholdScheme::ThresholdScheme(std::uint32_t n, std::uint32_t threshold, std::uint64_t seed)
+    : n_(n), threshold_(threshold) {
+  util::expects(n >= 1, "threshold scheme needs at least one signer");
+  util::expects(threshold >= 1 && threshold <= n, "threshold must be in [1, n]");
+
+  // Trusted key generation: master key plus per-signer keys derived from it.
+  util::Rng rng(seed ^ 0x7e0bafd5u);
+  master_key_.resize(32);
+  rng.fill(master_key_.data(), master_key_.size());
+
+  signer_keys_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    util::ByteWriter w;
+    w.str("leopard.tsig.signer");
+    w.u32(i);
+    const auto derived = hmac_sha256(master_key_, w.bytes());
+    signer_keys_.emplace_back(derived.begin(), derived.end());
+  }
+}
+
+SignatureBytes ThresholdScheme::evaluate(std::span<const std::uint8_t> key,
+                                         std::span<const std::uint8_t> message) const {
+  // 48-byte output: HMAC(key, 0x00 || m) || first 16 bytes of HMAC(key, 0x01 || m).
+  SignatureBytes out{};
+  util::ByteWriter w0;
+  w0.u8(0x00);
+  w0.raw(message);
+  const auto h0 = hmac_sha256(key, w0.bytes());
+  std::memcpy(out.data(), h0.data(), 32);
+
+  util::ByteWriter w1;
+  w1.u8(0x01);
+  w1.raw(message);
+  const auto h1 = hmac_sha256(key, w1.bytes());
+  std::memcpy(out.data() + 32, h1.data(), 16);
+  return out;
+}
+
+SignatureShare ThresholdScheme::sign_share(SignerIndex i,
+                                           std::span<const std::uint8_t> message) const {
+  util::expects(i < n_, "signer index out of range");
+  return SignatureShare{i, evaluate(signer_keys_[i], message)};
+}
+
+bool ThresholdScheme::verify_share(std::span<const std::uint8_t> message,
+                                   const SignatureShare& share) const {
+  if (share.signer >= n_) return false;
+  return evaluate(signer_keys_[share.signer], message) == share.bytes;
+}
+
+std::optional<ThresholdSignature> ThresholdScheme::combine(
+    std::span<const std::uint8_t> message, std::span<const SignatureShare> shares) const {
+  // Count distinct signers with valid shares.
+  std::vector<SignerIndex> seen;
+  seen.reserve(shares.size());
+  for (const auto& share : shares) {
+    if (!verify_share(message, share)) continue;
+    if (std::find(seen.begin(), seen.end(), share.signer) != seen.end()) continue;
+    seen.push_back(share.signer);
+  }
+  if (seen.size() < threshold_) return std::nullopt;
+  // Unique-signature property: the combined value depends only on the message.
+  return ThresholdSignature{evaluate(master_key_, message)};
+}
+
+bool ThresholdScheme::verify(std::span<const std::uint8_t> message,
+                             const ThresholdSignature& sig) const {
+  return evaluate(master_key_, message) == sig.bytes;
+}
+
+}  // namespace leopard::crypto

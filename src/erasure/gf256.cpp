@@ -1,0 +1,60 @@
+#include "erasure/gf256.hpp"
+
+#include "util/check.hpp"
+
+namespace leopard::erasure {
+
+Gf256::Tables::Tables() {
+  // Generator 2 over 0x11D generates the multiplicative group of GF(2^8).
+  int x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[i] = static_cast<Gf>(x);
+    log[x] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  // Double the exp table so mul can skip a mod-255 reduction.
+  for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = -1;  // log(0) is undefined
+}
+
+const Gf256::Tables& Gf256::tables() {
+  static const Tables t;
+  return t;
+}
+
+Gf Gf256::mul(Gf a, Gf b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+Gf Gf256::div(Gf a, Gf b) {
+  util::expects(b != 0, "GF(256) division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] - t.log[b] + 255];
+}
+
+Gf Gf256::inv(Gf a) {
+  util::expects(a != 0, "GF(256) inverse of zero");
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+Gf Gf256::exp(int power) {
+  const auto& t = tables();
+  int p = power % 255;
+  if (p < 0) p += 255;
+  return t.exp[p];
+}
+
+Gf Gf256::pow(Gf a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const auto l = static_cast<unsigned>(t.log[a]);
+  return t.exp[(l * e) % 255];
+}
+
+}  // namespace leopard::erasure

@@ -1,0 +1,34 @@
+// Arithmetic over GF(2^8) with the AES/RS-standard reduction polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D). Backs the Reed-Solomon erasure codes
+// used by Leopard's datablock retrieval (§IV, Algorithm 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace leopard::erasure {
+
+/// Field element.
+using Gf = std::uint8_t;
+
+/// Table-driven GF(2^8) operations; tables are built once at static init.
+class Gf256 {
+ public:
+  static Gf add(Gf a, Gf b) { return a ^ b; }
+  static Gf sub(Gf a, Gf b) { return a ^ b; }
+  static Gf mul(Gf a, Gf b);
+  static Gf div(Gf a, Gf b);  // b must be non-zero
+  static Gf inv(Gf a);        // a must be non-zero
+  static Gf exp(int power);   // generator^power (power taken mod 255)
+  static Gf pow(Gf a, unsigned e);
+
+ private:
+  struct Tables {
+    std::array<Gf, 512> exp{};
+    std::array<int, 256> log{};
+    Tables();
+  };
+  static const Tables& tables();
+};
+
+}  // namespace leopard::erasure

@@ -1,0 +1,174 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace leopard::erasure {
+
+namespace {
+
+/// Multiplies an r×k GF matrix by a k×w byte matrix (shards as rows).
+void matrix_apply(const std::vector<std::vector<Gf>>& rows,
+                  const std::vector<const std::uint8_t*>& inputs, std::size_t width,
+                  std::vector<util::Bytes>& outputs) {
+  outputs.resize(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    auto& out = outputs[r];
+    out.assign(width, 0);
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      const Gf coef = rows[r][c];
+      if (coef == 0) continue;
+      const std::uint8_t* in = inputs[c];
+      for (std::size_t b = 0; b < width; ++b) {
+        out[b] = Gf256::add(out[b], Gf256::mul(coef, in[b]));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool invert_matrix(std::vector<std::vector<Gf>>& m) {
+  const std::size_t k = m.size();
+  for (auto& r : m) {
+    if (r.size() != k) return false;
+  }
+
+  // Augment with identity.
+  std::vector<std::vector<Gf>> aug(k, std::vector<Gf>(2 * k, 0));
+  for (std::size_t i = 0; i < k; ++i) {
+    std::copy(m[i].begin(), m[i].end(), aug[i].begin());
+    aug[i][k + i] = 1;
+  }
+
+  for (std::size_t col = 0; col < k; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < k && aug[pivot][col] == 0) ++pivot;
+    if (pivot == k) return false;  // singular
+    std::swap(aug[pivot], aug[col]);
+
+    // Scale pivot row to 1.
+    const Gf inv = Gf256::inv(aug[col][col]);
+    for (auto& v : aug[col]) v = Gf256::mul(v, inv);
+
+    // Eliminate other rows.
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col || aug[r][col] == 0) continue;
+      const Gf factor = aug[r][col];
+      for (std::size_t c = 0; c < 2 * k; ++c) {
+        aug[r][c] = Gf256::add(aug[r][c], Gf256::mul(factor, aug[col][c]));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    std::copy(aug[i].begin() + static_cast<std::ptrdiff_t>(k), aug[i].end(), m[i].begin());
+  }
+  return true;
+}
+
+ReedSolomon::ReedSolomon(std::uint32_t data_shards, std::uint32_t total_shards)
+    : k_(data_shards), n_(total_shards) {
+  util::expects(k_ >= 1, "need at least one data shard");
+  util::expects(n_ >= k_, "total shards must be >= data shards");
+  util::expects(n_ <= 255, "GF(256) Reed-Solomon supports at most 255 shards");
+
+  // Vandermonde rows: V[r][c] = (r+1)^c. (Row value r+1 avoids the all-zero
+  // row for r = 0 power progression degeneracy; any distinct non-zero
+  // evaluation points work.)
+  std::vector<std::vector<Gf>> vand(n_, std::vector<Gf>(k_, 0));
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    for (std::uint32_t c = 0; c < k_; ++c) {
+      vand[r][c] = Gf256::pow(static_cast<Gf>(r + 1), c);
+    }
+  }
+
+  // Row-reduce so the top k×k block becomes the identity (systematic form):
+  // multiply the whole matrix by inverse(top block). Any k rows of the result
+  // remain invertible because it differs from Vandermonde by a nonsingular
+  // right factor.
+  std::vector<std::vector<Gf>> top(vand.begin(), vand.begin() + k_);
+  const bool ok = invert_matrix(top);
+  util::ensures(ok, "Vandermonde top block must be invertible");
+
+  matrix_.assign(n_, std::vector<Gf>(k_, 0));
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    for (std::uint32_t c = 0; c < k_; ++c) {
+      Gf acc = 0;
+      for (std::uint32_t i = 0; i < k_; ++i) {
+        acc = Gf256::add(acc, Gf256::mul(vand[r][i], top[i][c]));
+      }
+      matrix_[r][c] = acc;
+    }
+  }
+}
+
+std::size_t ReedSolomon::shard_size(std::size_t message_size) const {
+  const std::size_t with_header = message_size + 4;
+  return (with_header + k_ - 1) / k_;
+}
+
+std::vector<Shard> ReedSolomon::encode(std::span<const std::uint8_t> message) const {
+  const std::size_t width = shard_size(message.size());
+
+  // Layout: u32 length || message || zero padding, split row-major into k rows.
+  util::Bytes padded(width * k_, 0);
+  const auto len = static_cast<std::uint32_t>(message.size());
+  for (int i = 0; i < 4; ++i) padded[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  std::memcpy(padded.data() + 4, message.data(), message.size());
+
+  std::vector<const std::uint8_t*> inputs(k_);
+  for (std::uint32_t c = 0; c < k_; ++c) inputs[c] = padded.data() + c * width;
+
+  std::vector<util::Bytes> coded;
+  matrix_apply(matrix_, inputs, width, coded);
+
+  std::vector<Shard> out(n_);
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    out[r] = Shard{r, std::move(coded[r])};
+  }
+  return out;
+}
+
+std::optional<util::Bytes> ReedSolomon::decode(std::span<const Shard> shards) const {
+  // Select the first k distinct, in-range shards of consistent size.
+  std::vector<const Shard*> chosen;
+  for (const auto& s : shards) {
+    if (s.index >= n_) continue;
+    const bool dup = std::any_of(chosen.begin(), chosen.end(),
+                                 [&](const Shard* c) { return c->index == s.index; });
+    if (dup) continue;
+    if (!chosen.empty() && s.data.size() != chosen.front()->data.size()) continue;
+    chosen.push_back(&s);
+    if (chosen.size() == k_) break;
+  }
+  if (chosen.size() < k_) return std::nullopt;
+  const std::size_t width = chosen.front()->data.size();
+  if (width == 0) return std::nullopt;
+
+  // Invert the k×k submatrix of the rows we actually hold.
+  std::vector<std::vector<Gf>> sub(k_, std::vector<Gf>(k_));
+  for (std::uint32_t i = 0; i < k_; ++i) sub[i] = matrix_[chosen[i]->index];
+  if (!invert_matrix(sub)) return std::nullopt;
+
+  std::vector<const std::uint8_t*> inputs(k_);
+  for (std::uint32_t i = 0; i < k_; ++i) inputs[i] = chosen[i]->data.data();
+
+  std::vector<util::Bytes> data_rows;
+  matrix_apply(sub, inputs, width, data_rows);
+
+  // Reassemble and strip the length header + padding.
+  util::Bytes padded;
+  padded.reserve(width * k_);
+  for (const auto& row : data_rows) padded.insert(padded.end(), row.begin(), row.end());
+
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(padded[i]) << (8 * i);
+  if (len + 4 > padded.size()) return std::nullopt;  // corrupt/mismatched shards
+  return util::Bytes(padded.begin() + 4, padded.begin() + 4 + len);
+}
+
+}  // namespace leopard::erasure

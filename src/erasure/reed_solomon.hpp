@@ -1,0 +1,63 @@
+// Systematic Reed-Solomon erasure code over GF(2^8): a message split into
+// `data_shards` chunks is extended to `total_shards` chunks such that ANY
+// `data_shards` of them reconstruct the message. Leopard uses (f+1, n) codes
+// so a missing datablock of α bits costs each responder only ≈ α/(f+1) bits
+// (§IV Datablock Retrieval, §V case (b)).
+//
+// Construction: an n×k Vandermonde matrix row-reduced so its top k×k block is
+// the identity (systematic form). Every k×k submatrix of a Vandermonde-derived
+// matrix is invertible, which yields the any-k-of-n decoding property.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "erasure/gf256.hpp"
+#include "util/bytes.hpp"
+
+namespace leopard::erasure {
+
+/// A single erasure-coded chunk: its index within [0, total_shards) plus data.
+struct Shard {
+  std::uint32_t index = 0;
+  util::Bytes data;
+};
+
+class ReedSolomon {
+ public:
+  /// `data_shards` = k (f+1 in Leopard), `total_shards` = n; requires
+  /// 1 <= k <= n <= 255 (field-size limit of GF(2^8)).
+  ReedSolomon(std::uint32_t data_shards, std::uint32_t total_shards);
+
+  [[nodiscard]] std::uint32_t data_shards() const { return k_; }
+  [[nodiscard]] std::uint32_t total_shards() const { return n_; }
+
+  /// Encodes a message into `total_shards` shards. A 4-byte length header is
+  /// prepended internally so decode() can strip padding.
+  [[nodiscard]] std::vector<Shard> encode(std::span<const std::uint8_t> message) const;
+
+  /// Size in bytes of each shard produced for a message of `message_size`.
+  [[nodiscard]] std::size_t shard_size(std::size_t message_size) const;
+
+  /// Reconstructs the message from any >= data_shards distinct valid shards.
+  /// Returns nullopt if there are not enough distinct in-range shards or the
+  /// shard sizes disagree. (Corrupted-but-well-formed shards yield a wrong
+  /// message; callers authenticate shards via Merkle proofs, Algorithm 3.)
+  [[nodiscard]] std::optional<util::Bytes> decode(std::span<const Shard> shards) const;
+
+ private:
+  /// Row `r` of the systematic encoding matrix (length k).
+  [[nodiscard]] const std::vector<Gf>& row(std::uint32_t r) const { return matrix_[r]; }
+
+  std::uint32_t k_;
+  std::uint32_t n_;
+  std::vector<std::vector<Gf>> matrix_;  // n rows × k cols, top k×k = identity
+};
+
+/// Inverts a square GF(256) matrix in place; returns false if singular.
+/// Exposed for tests.
+bool invert_matrix(std::vector<std::vector<Gf>>& m);
+
+}  // namespace leopard::erasure

@@ -1,0 +1,53 @@
+// CPU cost model: simulated processing costs charged to a replica's single
+// CPU timeline. Values are calibrated so the simulated cluster reproduces the
+// paper's absolute throughput magnitudes (HotStuff ≈ 1.5·10^5 req/s peak at
+// small n, Leopard ≈ 1.1·10^5 flat; see EXPERIMENTS.md "calibration").
+//
+// Rationale for the defaults:
+//  - per-byte receive cost models deserialization + copy (≈ 2 ns/B);
+//  - per-request handling models request parsing, dedup, mempool/pool
+//    bookkeeping (the dominant per-request work in the paper's Go prototype);
+//  - threshold-crypto costs model BLS share sign/verify/aggregate, which the
+//    substituted keyed-hash scheme does not itself exhibit.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace leopard::sim {
+
+struct CostModel {
+  // Transport-level costs (charged automatically by the Network).
+  SimTime send_per_msg = 1 * kMicrosecond;
+  double send_per_byte_ns = 1.0;
+  SimTime recv_per_msg = 1500;  // 1.5 us
+  double recv_per_byte_ns = 2.0;
+
+  // Application-level costs (charged by protocol code via charge_cpu).
+  // client_request_ingress and datablock_per_request are the calibration
+  // knobs that set absolute throughput magnitudes; the defaults land the
+  // paper's reported levels (HotStuff ≈ 3·10^5 at n = 4 and ≈ 1.2·10^5 at
+  // n = 32; Leopard ≈ 1.1·10^5 flat). See EXPERIMENTS.md "Calibration".
+  SimTime client_request_ingress = 2 * kMicrosecond;  // parse/authenticate/dedup
+  SimTime client_request_shed = 300;                  // overload rejection is cheap
+  SimTime datablock_per_request = 8 * kMicrosecond;   // Leopard pool bookkeeping
+  SimTime block_per_request = 2 * kMicrosecond;       // baseline batch handling
+  SimTime execute_per_request = 500;                  // 0.5 us state-machine apply
+
+  // Threshold-signature costs (modelling BLS on a c5.xlarge core).
+  SimTime share_sign = 25 * kMicrosecond;
+  SimTime share_verify = 35 * kMicrosecond;
+  SimTime combine_base = 30 * kMicrosecond;
+  SimTime combine_per_share = 2 * kMicrosecond;
+  SimTime combined_verify = 35 * kMicrosecond;
+
+  // Hashing / erasure coding throughput (per byte).
+  double hash_per_byte_ns = 1.0;
+  double erasure_encode_per_byte_ns = 4.0;
+  double erasure_decode_per_byte_ns = 6.0;
+
+  [[nodiscard]] SimTime per_bytes(double ns_per_byte, std::size_t bytes) const {
+    return static_cast<SimTime>(ns_per_byte * static_cast<double>(bytes));
+  }
+};
+
+}  // namespace leopard::sim

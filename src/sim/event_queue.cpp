@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+namespace leopard::sim {
+
+EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++,
+                   std::make_shared<std::function<void()>>(std::move(fn)), flag});
+  return EventHandle(std::move(flag));
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+std::optional<SimTime> EventQueue::next_time() {
+  drop_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().at;
+}
+
+std::optional<EventQueue::Popped> EventQueue::pop_next(SimTime limit) {
+  drop_cancelled();
+  if (heap_.empty() || heap_.top().at > limit) return std::nullopt;
+  // Copy the (cheap, shared) entry out before running so the callback can
+  // schedule new events freely.
+  Entry e = heap_.top();
+  heap_.pop();
+  return Popped{e.at, std::move(e.fn)};
+}
+
+std::optional<SimTime> EventQueue::run_next(SimTime limit) {
+  auto popped = pop_next(limit);
+  if (!popped) return std::nullopt;
+  (*popped->second)();
+  return popped->first;
+}
+
+}  // namespace leopard::sim

@@ -1,0 +1,77 @@
+// Deterministic discrete-event queue. Ties in time break by insertion
+// sequence so identical runs replay identically. Cancellation is lazy:
+// cancelled entries are skipped when they surface at the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace leopard::sim {
+
+/// Handle for cancelling a scheduled event; cheap to copy, may outlive the
+/// event (cancelling after the event fired is a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`.
+  EventHandle schedule(SimTime at, std::function<void()> fn);
+
+  /// Time of the earliest live event, or nullopt if none remain.
+  [[nodiscard]] std::optional<SimTime> next_time();
+
+  /// A popped event ready to execute: fire time plus the callback.
+  using Popped = std::pair<SimTime, std::shared_ptr<std::function<void()>>>;
+
+  /// Pops the earliest live event if its time is <= `limit` WITHOUT running
+  /// it, so the caller can advance its clock before executing the callback.
+  std::optional<Popped> pop_next(SimTime limit);
+
+  /// Pops and immediately runs the earliest live event due by `limit`.
+  std::optional<SimTime> run_next(SimTime limit);
+
+  /// True when no live events remain (prunes cancelled entries).
+  [[nodiscard]] bool empty() { return !next_time().has_value(); }
+
+ private:
+  struct Entry {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    // shared_ptr keeps Entry cheaply copyable inside the priority_queue
+    // (std::priority_queue only exposes a const top()).
+    std::shared_ptr<std::function<void()>> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace leopard::sim

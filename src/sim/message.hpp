@@ -1,0 +1,49 @@
+// Payload abstraction the network carries. Protocol modules derive their wire
+// messages from Payload; the network only needs sizes and a component tag for
+// bandwidth accounting (Table III's breakdown).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace leopard::sim {
+
+/// Traffic component a message belongs to, mirroring the rows of the paper's
+/// Table III bandwidth-utilization breakdown.
+enum class Component : std::uint8_t {
+  kClientRequest,  // client → replica submissions
+  kDatablock,      // Leopard datablock dissemination / HotStuff+PBFT blocks
+  kBftBlock,       // Leopard BFTblock proposals
+  kVote,           // threshold signature shares (all voting rounds)
+  kProof,          // combined notarization/confirmation proofs / QCs
+  kReady,          // Leopard ready round
+  kQuery,          // retrieval queries
+  kChunkResponse,  // retrieval erasure-coded chunk responses
+  kCheckpoint,     // checkpoint votes and proofs
+  kTimeout,        // view-change trigger timeouts
+  kViewChange,     // view-change messages
+  kNewView,        // new-view messages
+  kAck,            // replica → client acknowledgements
+  kMisc,
+  kCount,
+};
+
+/// Human-readable component name for reports.
+const char* component_name(Component c);
+
+/// Base of every simulated wire message.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Exact serialized size in bytes (excluding transport framing; the network
+  /// adds per-message framing overhead itself).
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Which accounting bucket this message belongs to.
+  [[nodiscard]] virtual Component component() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+}  // namespace leopard::sim

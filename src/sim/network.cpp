@@ -1,0 +1,139 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace leopard::sim {
+
+Network::Network(Simulator& sim, NetworkConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)), traffic_(0) {}
+
+NodeId Network::add_node(Node* node, bool metered) {
+  util::expects(node != nullptr, "add_node: null node");
+  const auto id = static_cast<NodeId>(states_.size());
+  NodeState st;
+  st.node = node;
+  st.metered = metered;
+  st.out_bps = cfg_.default_out_bps;
+  st.in_bps = cfg_.default_in_bps;
+  st.shared_duplex = cfg_.shared_duplex;
+  states_.push_back(st);
+  nodes_.push_back(node);
+  traffic_ = TrafficAccountant(states_.size());
+  return id;
+}
+
+void Network::set_nic(NodeId id, double out_bps, double in_bps, bool shared_duplex) {
+  util::expects(id < states_.size(), "set_nic: bad node id");
+  util::expects(out_bps > 0 && in_bps > 0, "set_nic: capacities must be positive");
+  states_[id].out_bps = out_bps;
+  states_[id].in_bps = in_bps;
+  states_[id].shared_duplex = shared_duplex;
+}
+
+void Network::start_all() {
+  for (auto* n : nodes_) n->start();
+}
+
+SimTime Network::extra_delay(NodeId from, NodeId to) const {
+  if (sim_.now() >= cfg_.gst || !cfg_.pre_gst_extra_delay) return 0;
+  return std::max<SimTime>(0, cfg_.pre_gst_extra_delay(from, to, sim_.now()));
+}
+
+void Network::send(NodeId from, NodeId to, PayloadPtr msg) {
+  util::expects(from < states_.size() && to < states_.size(), "send: bad node id");
+  util::expects(msg != nullptr, "send: null payload");
+  util::expects(from != to, "send: self-delivery not modelled");
+
+  if (filter_ && !filter_(from, to, *msg)) return;  // scripted drop (tests)
+
+  const std::size_t size = msg->wire_size() + cfg_.frame_overhead_bytes;
+  auto& s = states_[from];
+  SimTime depart = sim_.now();
+
+  if (s.metered) {
+    traffic_.record(from, Direction::kSend, msg->component(), size);
+    // Sender CPU: serialize/syscall.
+    const SimTime cpu_cost =
+        cfg_.costs.send_per_msg + cfg_.costs.per_bytes(cfg_.costs.send_per_byte_ns, size);
+    s.cpu_busy_until = std::max(s.cpu_busy_until, sim_.now()) + cpu_cost;
+    // Egress NIC serialization (shared duplex uses the tx timeline for both
+    // directions).
+    auto& link_busy = s.tx_busy_until;
+    const SimTime tx_start = std::max(s.cpu_busy_until, link_busy);
+    link_busy = tx_start + transmission_delay(size, s.out_bps);
+    if (s.shared_duplex) s.rx_busy_until = link_busy;
+    depart = link_busy;
+  }
+
+  const SimTime arrival = depart + cfg_.propagation_delay + extra_delay(from, to);
+  sim_.schedule_at(arrival,
+                   [this, from, to, msg = std::move(msg), size] { arrive(from, to, msg, size); });
+}
+
+void Network::arrive(NodeId from, NodeId to, const PayloadPtr& msg, std::size_t size) {
+  auto& r = states_[to];
+  if (!r.metered) {
+    // Aggregate client endpoints: no NIC/CPU model, deliver directly.
+    sim_.schedule_at(sim_.now(), [this, from, to, msg] { nodes_[to]->on_message(from, msg); });
+    return;
+  }
+
+  traffic_.record(to, Direction::kReceive, msg->component(), size);
+
+  // Ingress NIC serialization.
+  auto& link_busy = r.shared_duplex ? r.tx_busy_until : r.rx_busy_until;
+  const SimTime rx_start = std::max(sim_.now(), link_busy);
+  link_busy = rx_start + transmission_delay(size, r.in_bps);
+  if (r.shared_duplex) r.rx_busy_until = link_busy;
+  const SimTime rx_done = link_busy;
+
+  r.inbox.push_back(PendingDelivery{from, msg, rx_done, size});
+  maybe_dispatch(to);
+}
+
+void Network::maybe_dispatch(NodeId to) {
+  auto& r = states_[to];
+  if (r.dispatch_busy || r.inbox.empty()) return;
+  r.dispatch_busy = true;
+  const SimTime at = std::max({sim_.now(), r.inbox.front().ready_at, r.cpu_busy_until});
+  sim_.schedule_at(at, [this, to] { process_inbox_front(to); });
+}
+
+void Network::process_inbox_front(NodeId to) {
+  auto& r = states_[to];
+  util::expects(!r.inbox.empty(), "dispatch with empty inbox");
+  PendingDelivery d = std::move(r.inbox.front());
+  r.inbox.pop_front();
+
+  // Receiver CPU: deserialize + dispatch. Additional handler costs (crypto,
+  // bookkeeping) are charged by the handler via charge_cpu and delay the
+  // dispatch of everything still queued behind it.
+  const SimTime cpu_cost =
+      cfg_.costs.recv_per_msg + cfg_.costs.per_bytes(cfg_.costs.recv_per_byte_ns, d.size);
+  const SimTime start = std::max(sim_.now(), r.cpu_busy_until);
+  r.cpu_busy_until = start + cpu_cost;
+
+  sim_.schedule_at(r.cpu_busy_until, [this, to, from = d.from, msg = std::move(d.msg)] {
+    nodes_[to]->on_message(from, msg);
+    states_[to].dispatch_busy = false;
+    maybe_dispatch(to);
+  });
+}
+
+void Network::multicast(NodeId from, std::span<const NodeId> targets, const PayloadPtr& msg) {
+  for (const auto to : targets) {
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+void Network::charge_cpu(NodeId id, SimTime cost) {
+  util::expects(id < states_.size(), "charge_cpu: bad node id");
+  auto& s = states_[id];
+  if (!s.metered || cost <= 0) return;
+  s.cpu_busy_until = std::max(s.cpu_busy_until, sim_.now()) + cost;
+}
+
+}  // namespace leopard::sim

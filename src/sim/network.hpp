@@ -1,0 +1,133 @@
+// Simulated point-to-point authenticated network with per-node NIC and CPU
+// queues. This is the substitution for the paper's EC2 datacenter deployment
+// (see DESIGN.md §2): throughput emerges from which resource saturates first.
+//
+// Message pipeline (metered sender/receiver):
+//   sender CPU (serialize)  → egress NIC (size / out_bps)
+//   → propagation (+ adversarial pre-GST extra delay)
+//   → ingress NIC (size / in_bps) → receiver CPU → Node::on_message
+//
+// All queues are FIFO single-server timelines ("busy-until" clocks). With
+// shared-duplex NICs (the NetEm-throttled configuration of Fig. 10) egress
+// and ingress serialize on a single link timeline, matching §V's accounting
+// of send+receive against one capacity C.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace leopard::sim {
+
+/// A protocol participant. Implementations register with the Network and
+/// receive messages through on_message; timers are plain Simulator events.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once when the simulation starts (after all nodes registered).
+  virtual void start() {}
+
+  /// Delivery of a message from `from`. The network guarantees authenticated,
+  /// reliable, FIFO-per-link delivery (§III-A model).
+  virtual void on_message(NodeId from, const PayloadPtr& msg) = 0;
+};
+
+struct NetworkConfig {
+  double default_out_bps = 9.8e9;  // c5.xlarge TCP bandwidth (paper §VI)
+  double default_in_bps = 9.8e9;
+  bool shared_duplex = false;      // true under NetEm-style throttling
+  SimTime propagation_delay = 250 * kMicrosecond;  // intra-datacenter RTT/2
+  std::size_t frame_overhead_bytes = 66;           // Ethernet + IP + TCP
+  CostModel costs;
+
+  /// Global stabilization time: before `gst`, `pre_gst_extra_delay` (if set)
+  /// adds adversarial delay to every link. After GST, delays are bounded by
+  /// propagation + queueing, matching the partial-synchrony model.
+  SimTime gst = 0;
+  std::function<SimTime(NodeId from, NodeId to, SimTime now)> pre_gst_extra_delay;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetworkConfig cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; `metered = false` for aggregate client sources whose
+  /// own NIC/CPU are not modelled (their traffic still meters the peer side).
+  NodeId add_node(Node* node, bool metered = true);
+
+  /// Overrides the NIC of one node (e.g., a throttled replica).
+  void set_nic(NodeId id, double out_bps, double in_bps, bool shared_duplex);
+
+  /// Calls start() on every registered node.
+  void start_all();
+
+  /// Sends `msg` from `from` to `to` through the full pipeline.
+  void send(NodeId from, NodeId to, PayloadPtr msg);
+
+  /// Sends to every id in `targets` except `from` (the paper's "multicast to
+  /// all other replicas"): the sender pays one CPU+egress serialization per
+  /// copy, which is exactly the leader-bottleneck effect under study.
+  void multicast(NodeId from, std::span<const NodeId> targets, const PayloadPtr& msg);
+
+  /// Extends `id`'s CPU busy timeline (crypto, execution, bookkeeping).
+  void charge_cpu(NodeId id, SimTime cost);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] TrafficAccountant& traffic() { return traffic_; }
+  [[nodiscard]] const TrafficAccountant& traffic() const { return traffic_; }
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+  [[nodiscard]] const CostModel& costs() const { return cfg_.costs; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Test hook: return false to drop a message (models scripted partitions;
+  /// honest-path code never uses this).
+  using LinkFilter = std::function<bool(NodeId from, NodeId to, const Payload&)>;
+  void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
+
+ private:
+  struct PendingDelivery {
+    NodeId from = 0;
+    PayloadPtr msg;
+    SimTime ready_at = 0;  // ingress serialization finished
+    std::size_t size = 0;
+  };
+
+  struct NodeState {
+    Node* node = nullptr;
+    bool metered = true;
+    double out_bps = 0;
+    double in_bps = 0;
+    bool shared_duplex = false;
+    SimTime cpu_busy_until = 0;
+    SimTime tx_busy_until = 0;
+    SimTime rx_busy_until = 0;  // aliases tx under shared duplex
+    // Receiver-side CPU dispatch queue: handlers run strictly one at a time,
+    // and costs charged by a handler (charge_cpu) delay everything behind it.
+    std::deque<PendingDelivery> inbox;
+    bool dispatch_busy = false;
+  };
+
+  void arrive(NodeId from, NodeId to, const PayloadPtr& msg, std::size_t size);
+  void maybe_dispatch(NodeId to);
+  void process_inbox_front(NodeId to);
+  [[nodiscard]] SimTime extra_delay(NodeId from, NodeId to) const;
+
+  Simulator& sim_;
+  NetworkConfig cfg_;
+  std::vector<NodeState> states_;
+  std::vector<Node*> nodes_;
+  TrafficAccountant traffic_;
+  LinkFilter filter_;
+};
+
+}  // namespace leopard::sim

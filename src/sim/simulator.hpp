@@ -1,0 +1,35 @@
+// Simulation clock and scheduler: the single driver of all activity in a run.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace leopard::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Runs events until the queue is exhausted or `deadline` is passed;
+  /// advances the clock to min(deadline, last event). Returns the number of
+  /// events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs until no events remain (use with care: open-loop workloads never
+  /// drain). Returns the number of events executed.
+  std::size_t run_to_completion();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+};
+
+}  // namespace leopard::sim

@@ -1,0 +1,25 @@
+// Simulated time: signed 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace leopard::sim {
+
+/// Nanoseconds of simulated time.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+constexpr SimTime from_seconds(double s) { return static_cast<SimTime>(s * 1e9); }
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Time to push `bytes` through a link of `bits_per_sec` capacity.
+constexpr SimTime transmission_delay(std::uint64_t bytes, double bits_per_sec) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bits_per_sec * 1e9);
+}
+
+}  // namespace leopard::sim

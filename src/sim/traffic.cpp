@@ -1,0 +1,71 @@
+#include "sim/traffic.hpp"
+
+#include "util/check.hpp"
+
+namespace leopard::sim {
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kClientRequest: return "Reqs. from Clients";
+    case Component::kDatablock: return "Datablock";
+    case Component::kBftBlock: return "BFTblock";
+    case Component::kVote: return "Vote";
+    case Component::kProof: return "Proof";
+    case Component::kReady: return "Ready";
+    case Component::kQuery: return "Query";
+    case Component::kChunkResponse: return "ChunkResponse";
+    case Component::kCheckpoint: return "Checkpoint";
+    case Component::kTimeout: return "Timeout";
+    case Component::kViewChange: return "ViewChange";
+    case Component::kNewView: return "NewView";
+    case Component::kAck: return "Ack";
+    case Component::kMisc: return "Miscellaneous";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+TrafficAccountant::TrafficAccountant(std::size_t node_count)
+    : per_node_(node_count), baseline_(node_count) {}
+
+void TrafficAccountant::record(NodeId node, Direction dir, Component comp,
+                               std::size_t bytes) {
+  util::expects(node < per_node_.size(), "traffic: node out of range");
+  auto& cell = per_node_[node][dir_index(dir)][static_cast<std::size_t>(comp)];
+  cell.bytes += bytes;
+  cell.messages += 1;
+}
+
+void TrafficAccountant::mark_measurement_start(SimTime now) {
+  baseline_ = per_node_;
+  window_start_ = now;
+}
+
+std::uint64_t TrafficAccountant::bytes(NodeId node, Direction dir, Component comp) const {
+  const auto d = dir_index(dir);
+  const auto c = static_cast<std::size_t>(comp);
+  return per_node_[node][d][c].bytes - baseline_[node][d][c].bytes;
+}
+
+std::uint64_t TrafficAccountant::messages(NodeId node, Direction dir,
+                                          Component comp) const {
+  const auto d = dir_index(dir);
+  const auto c = static_cast<std::size_t>(comp);
+  return per_node_[node][d][c].messages - baseline_[node][d][c].messages;
+}
+
+std::uint64_t TrafficAccountant::total_bytes(NodeId node, Direction dir) const {
+  std::uint64_t sum = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(Component::kCount); ++c) {
+    sum += bytes(node, dir, static_cast<Component>(c));
+  }
+  return sum;
+}
+
+double TrafficAccountant::bandwidth_bps(NodeId node, Direction dir, SimTime now) const {
+  const auto window = now - window_start_;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(total_bytes(node, dir)) * 8.0 / to_seconds(window);
+}
+
+}  // namespace leopard::sim

@@ -1,0 +1,59 @@
+// Per-node, per-direction, per-component byte/message accounting.
+// Regenerates Table III (bandwidth-utilization breakdown) and Fig. 11
+// (leader bandwidth), and measures retrieval/view-change costs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace leopard::sim {
+
+using NodeId = std::uint32_t;
+
+enum class Direction : std::uint8_t { kSend, kReceive };
+
+class TrafficAccountant {
+ public:
+  explicit TrafficAccountant(std::size_t node_count);
+
+  void record(NodeId node, Direction dir, Component comp, std::size_t bytes);
+
+  /// Snapshot current counters as the measurement baseline (i.e., exclude
+  /// warmup traffic from reports).
+  void mark_measurement_start(SimTime now);
+  [[nodiscard]] SimTime measurement_start() const { return window_start_; }
+
+  /// Bytes since the measurement mark.
+  [[nodiscard]] std::uint64_t bytes(NodeId node, Direction dir, Component comp) const;
+  [[nodiscard]] std::uint64_t messages(NodeId node, Direction dir, Component comp) const;
+
+  /// Sum over all components for one node/direction since the mark.
+  [[nodiscard]] std::uint64_t total_bytes(NodeId node, Direction dir) const;
+
+  /// Average bits per second for a node/direction over [mark, now].
+  [[nodiscard]] double bandwidth_bps(NodeId node, Direction dir, SimTime now) const;
+
+  [[nodiscard]] std::size_t node_count() const { return per_node_.size(); }
+
+ private:
+  struct Cell {
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+  };
+  using NodeTable =
+      std::array<std::array<Cell, static_cast<std::size_t>(Component::kCount)>, 2>;
+
+  [[nodiscard]] static std::size_t dir_index(Direction d) {
+    return d == Direction::kSend ? 0 : 1;
+  }
+
+  std::vector<NodeTable> per_node_;
+  std::vector<NodeTable> baseline_;
+  SimTime window_start_ = 0;
+};
+
+}  // namespace leopard::sim

@@ -1,0 +1,11 @@
+#include "util/bytes.hpp"
+
+namespace leopard::util {
+
+Bytes to_bytes(std::span<const std::uint8_t> s) { return Bytes(s.begin(), s.end()); }
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace leopard::util

@@ -1,0 +1,27 @@
+// Lightweight contract checks in the spirit of the Core Guidelines' Expects/Ensures.
+// Violations throw ContractViolation so tests can assert on misuse, and so a
+// violated invariant never silently corrupts a simulation run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace leopard::util {
+
+/// Thrown when a precondition, postcondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Precondition check: call at function entry.
+inline void expects(bool cond, const char* msg = "precondition violated") {
+  if (!cond) throw ContractViolation(msg);
+}
+
+/// Postcondition / invariant check.
+inline void ensures(bool cond, const char* msg = "postcondition violated") {
+  if (!cond) throw ContractViolation(msg);
+}
+
+}  // namespace leopard::util

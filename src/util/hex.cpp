@@ -1,0 +1,43 @@
+#include "util/hex.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace leopard::util {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (auto b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  expects(hex.size() % 2 == 0, "hex string must have even length");
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = digit_value(hex[i]);
+    const int lo = digit_value(hex[i + 1]);
+    expects(hi >= 0 && lo >= 0, "invalid hex digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace leopard::util

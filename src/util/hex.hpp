@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leopard::util {
+
+/// Lowercase hex encoding of a byte range.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string; throws ContractViolation on odd length or bad digit.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace leopard::util

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random generators for reproducible simulation runs.
+//
+// xoshiro256** seeded via splitmix64, per Blackman & Vigna. Not cryptographic;
+// used only for workload generation and tie-breaking in experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace leopard::util {
+
+/// splitmix64: seeds other generators and serves as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) with Lemire's rejection method; bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// Exponentially distributed with the given mean (> 0); used for open-loop
+  /// Poisson request arrivals.
+  double exponential(double mean);
+
+  /// Fills a byte span with pseudo-random bytes.
+  void fill(std::uint8_t* out, std::size_t len);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace leopard::util

@@ -1,0 +1,130 @@
+// Merkle tree construction and audit-proof verification, including the
+// parameterized sweep over leaf counts that the retrieval path depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace lc = leopard::crypto;
+namespace lu = leopard::util;
+
+namespace {
+std::vector<lc::Digest> make_leaves(std::size_t count) {
+  std::vector<lc::Digest> leaves;
+  leaves.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    leaves.push_back(lc::Digest::of_string("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+}  // namespace
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  lc::MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  EXPECT_TRUE(tree.proof(0).empty());
+  EXPECT_TRUE(lc::MerkleTree::verify(tree.root(), leaves[0], 0, 1, {}));
+}
+
+TEST(Merkle, RootIsDeterministic) {
+  lc::MerkleTree a(make_leaves(9));
+  lc::MerkleTree b(make_leaves(9));
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(Merkle, RootChangesWhenAnyLeafChanges) {
+  const auto base = lc::MerkleTree(make_leaves(8)).root();
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto leaves = make_leaves(8);
+    leaves[i] = lc::Digest::of_string("tampered");
+    EXPECT_NE(lc::MerkleTree(leaves).root(), base) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, LeafOrderMatters) {
+  auto leaves = make_leaves(4);
+  const auto root = lc::MerkleTree(leaves).root();
+  std::swap(leaves[1], leaves[2]);
+  EXPECT_NE(lc::MerkleTree(leaves).root(), root);
+}
+
+TEST(Merkle, EmptyLeavesRejected) {
+  EXPECT_THROW(lc::MerkleTree(std::vector<lc::Digest>{}), lu::ContractViolation);
+}
+
+TEST(Merkle, ProofIndexOutOfRangeThrows) {
+  lc::MerkleTree tree(make_leaves(4));
+  EXPECT_THROW(tree.proof(4), lu::ContractViolation);
+}
+
+TEST(Merkle, WrongIndexFailsVerification) {
+  const auto leaves = make_leaves(8);
+  lc::MerkleTree tree(leaves);
+  const auto proof = tree.proof(3);
+  EXPECT_TRUE(lc::MerkleTree::verify(tree.root(), leaves[3], 3, 8, proof));
+  EXPECT_FALSE(lc::MerkleTree::verify(tree.root(), leaves[3], 2, 8, proof));
+}
+
+TEST(Merkle, TamperedProofFailsVerification) {
+  const auto leaves = make_leaves(8);
+  lc::MerkleTree tree(leaves);
+  auto proof = tree.proof(5);
+  ASSERT_FALSE(proof.empty());
+  proof[0] = lc::Digest::of_string("evil");
+  EXPECT_FALSE(lc::MerkleTree::verify(tree.root(), leaves[5], 5, 8, proof));
+}
+
+TEST(Merkle, TruncatedProofFailsVerification) {
+  const auto leaves = make_leaves(16);
+  lc::MerkleTree tree(leaves);
+  auto proof = tree.proof(7);
+  proof.pop_back();
+  EXPECT_FALSE(lc::MerkleTree::verify(tree.root(), leaves[7], 7, 16, proof));
+}
+
+TEST(Merkle, OverlongProofFailsVerification) {
+  const auto leaves = make_leaves(8);
+  lc::MerkleTree tree(leaves);
+  auto proof = tree.proof(0);
+  proof.push_back(lc::Digest::of_string("extra"));
+  EXPECT_FALSE(lc::MerkleTree::verify(tree.root(), leaves[0], 0, 8, proof));
+}
+
+TEST(Merkle, HashLeafIsDomainSeparated) {
+  // A leaf hash of 32 concatenated bytes must not equal an interior hash of
+  // the same bytes; domain tags prevent second-preimage splicing.
+  const lu::Bytes data(64, 0xAB);
+  const auto leaf = lc::MerkleTree::hash_leaf(data);
+  EXPECT_NE(leaf, lc::Digest::of(data));
+}
+
+// Every leaf of every tree size in [1, 40] must verify; sizes cover perfect
+// binary trees, odd promotions, and deep unbalanced shapes.
+class MerkleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSweep, AllProofsVerify) {
+  const auto count = GetParam();
+  const auto leaves = make_leaves(count);
+  lc::MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto proof = tree.proof(i);
+    EXPECT_TRUE(lc::MerkleTree::verify(tree.root(), leaves[i], i, count, proof))
+        << "leaf " << i << " of " << count;
+    // A proof for leaf i must not verify any other leaf position.
+    if (count > 1) {
+      const std::size_t other = (i + 1) % count;
+      EXPECT_FALSE(
+          lc::MerkleTree::verify(tree.root(), leaves[other], other, count, proof) &&
+          proof != tree.proof(other))
+          << "proof for " << i << " cross-verified leaf " << other;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16, 17,
+                                           21, 31, 32, 33, 40));

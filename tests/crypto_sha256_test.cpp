@@ -1,0 +1,132 @@
+// SHA-256 / HMAC-SHA-256 correctness against published test vectors
+// (FIPS 180-4 examples and RFC 4231).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/digest.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/hex.hpp"
+
+namespace lc = leopard::crypto;
+namespace lu = leopard::util;
+
+namespace {
+std::string hash_hex(std::string_view msg) {
+  return lu::to_hex(lc::Sha256::hash(lu::as_bytes(msg)));
+}
+}  // namespace
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  // FIPS 180-4 example #2 (448-bit message spanning the padding boundary).
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  lc::Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(lu::as_bytes(chunk));
+  EXPECT_EQ(lu::to_hex(ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, across block "
+      "boundaries of the compression function to exercise buffering.";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    lc::Sha256 ctx;
+    ctx.update(lu::as_bytes(std::string_view(msg).substr(0, split)));
+    ctx.update(lu::as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(lu::to_hex(ctx.finalize()), hash_hex(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockSizedMessages) {
+  // 55/56/63/64/65 bytes straddle the padding rules.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    lc::Sha256 a;
+    a.update(lu::as_bytes(msg));
+    EXPECT_EQ(lu::to_hex(a.finalize()), hash_hex(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinalizeThrows) {
+  lc::Sha256 ctx;
+  ctx.update(lu::as_bytes("abc"));
+  (void)ctx.finalize();
+  EXPECT_THROW(ctx.update(lu::as_bytes("more")), lu::ContractViolation);
+  EXPECT_THROW((void)ctx.finalize(), lu::ContractViolation);
+}
+
+TEST(Digest, EqualityAndOrdering) {
+  const auto a = lc::Digest::of_string("a");
+  const auto b = lc::Digest::of_string("b");
+  EXPECT_EQ(a, lc::Digest::of_string("a"));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(Digest, ZeroDetection) {
+  lc::Digest zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(lc::Digest::of_string("x").is_zero());
+}
+
+TEST(Digest, HexFormats) {
+  const auto d = lc::Digest::of_string("abc");
+  EXPECT_EQ(d.hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(d.short_hex(), "ba7816bf");
+}
+
+TEST(Digest, Prefix64MatchesBytes) {
+  const auto d = lc::Digest::of_string("abc");
+  // First 8 bytes little-endian: ba 78 16 bf 8f 01 cf ea.
+  EXPECT_EQ(d.prefix64(), 0xeacf018fbf1678baULL);
+}
+
+// RFC 4231 test cases for HMAC-SHA-256.
+TEST(HmacSha256, Rfc4231Case1) {
+  const auto key = lu::from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto result = lc::hmac_sha256(key, lu::as_bytes("Hi There"));
+  EXPECT_EQ(lu::to_hex(result),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto result = lc::hmac_sha256(lu::as_bytes("Jefe"),
+                                      lu::as_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(lu::to_hex(result),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3_FiftyBytes) {
+  const auto key = lu::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  const std::vector<std::uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(lu::to_hex(lc::hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6_LongKey) {
+  // Key longer than the block size must be hashed first.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto result = lc::hmac_sha256(
+      key, lu::as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(lu::to_hex(result),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}

@@ -1,0 +1,171 @@
+// Threshold signature scheme TS = (TSig, TVrf, TSR): share validity,
+// combination threshold, uniqueness, and wire sizes (κ = 48 bytes).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/threshold_sig.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace lc = leopard::crypto;
+namespace lu = leopard::util;
+
+namespace {
+constexpr std::uint32_t kN = 7;          // n = 3f+1 with f = 2
+constexpr std::uint32_t kThreshold = 5;  // 2f+1
+
+lc::ThresholdScheme make_scheme() { return lc::ThresholdScheme(kN, kThreshold, 42); }
+
+std::vector<lc::SignatureShare> shares_from(const lc::ThresholdScheme& ts,
+                                            const lc::Digest& msg,
+                                            std::initializer_list<std::uint32_t> signers) {
+  std::vector<lc::SignatureShare> out;
+  for (auto i : signers) out.push_back(ts.sign_share(i, msg));
+  return out;
+}
+}  // namespace
+
+TEST(ThresholdSig, ShareSizesMatchPaper) {
+  EXPECT_EQ(lc::kSignatureSize, 48u);                    // κ
+  EXPECT_EQ(lc::SignatureShare::kWireSize, 52u);         // signer id + share
+  EXPECT_EQ(lc::ThresholdSignature::kWireSize, 48u);     // combined proof
+}
+
+TEST(ThresholdSig, ValidShareVerifies) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("proposal");
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(ts.verify_share(msg, ts.sign_share(i, msg)));
+  }
+}
+
+TEST(ThresholdSig, ShareDoesNotVerifyOtherMessage) {
+  const auto ts = make_scheme();
+  const auto share = ts.sign_share(0, lc::Digest::of_string("m1"));
+  EXPECT_FALSE(ts.verify_share(lc::Digest::of_string("m2"), share));
+}
+
+TEST(ThresholdSig, ShareBoundToSigner) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("m");
+  auto share = ts.sign_share(2, msg);
+  share.signer = 3;  // claim another identity
+  EXPECT_FALSE(ts.verify_share(msg, share));
+}
+
+TEST(ThresholdSig, TamperedShareRejected) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("m");
+  auto share = ts.sign_share(1, msg);
+  share.bytes[10] ^= 0x01;
+  EXPECT_FALSE(ts.verify_share(msg, share));
+}
+
+TEST(ThresholdSig, OutOfRangeSignerRejected) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("m");
+  auto share = ts.sign_share(0, msg);
+  share.signer = kN + 3;
+  EXPECT_FALSE(ts.verify_share(msg, share));
+  EXPECT_THROW((void)ts.sign_share(kN, msg), lu::ContractViolation);
+}
+
+TEST(ThresholdSig, CombineWithExactThreshold) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("block-7");
+  const auto sig = ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3, 4}));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(ts.verify(msg, *sig));
+}
+
+TEST(ThresholdSig, CombineBelowThresholdFails) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("block-7");
+  EXPECT_FALSE(ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3})).has_value());
+}
+
+TEST(ThresholdSig, DuplicateSharesDoNotCount) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("dup");
+  auto shares = shares_from(ts, msg, {0, 1, 2, 3});
+  shares.push_back(ts.sign_share(3, msg));  // duplicate signer
+  EXPECT_FALSE(ts.combine(msg, shares).has_value());
+}
+
+TEST(ThresholdSig, InvalidSharesDoNotCount) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("inv");
+  auto shares = shares_from(ts, msg, {0, 1, 2, 3});
+  auto bad = ts.sign_share(4, msg);
+  bad.bytes[0] ^= 0xFF;
+  shares.push_back(bad);
+  EXPECT_FALSE(ts.combine(msg, shares).has_value());
+}
+
+TEST(ThresholdSig, AnyThresholdSubsetYieldsSameSignature) {
+  // Unique-signature property: as with threshold BLS, the combined signature
+  // is independent of which 2f+1 shares were used.
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("unique");
+  const auto s1 = ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3, 4}));
+  const auto s2 = ts.combine(msg, shares_from(ts, msg, {2, 3, 4, 5, 6}));
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(ThresholdSig, CombinedSignatureBoundToMessage) {
+  const auto ts = make_scheme();
+  const auto m1 = lc::Digest::of_string("m1");
+  const auto sig = ts.combine(m1, shares_from(ts, m1, {0, 1, 2, 3, 4}));
+  ASSERT_TRUE(sig);
+  EXPECT_FALSE(ts.verify(lc::Digest::of_string("m2"), *sig));
+}
+
+TEST(ThresholdSig, TamperedCombinedSignatureRejected) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("m");
+  auto sig = ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3, 4}));
+  ASSERT_TRUE(sig);
+  sig->bytes[47] ^= 0x80;
+  EXPECT_FALSE(ts.verify(msg, *sig));
+}
+
+TEST(ThresholdSig, SchemesWithDifferentSeedsAreIndependent) {
+  const lc::ThresholdScheme a(kN, kThreshold, 1);
+  const lc::ThresholdScheme b(kN, kThreshold, 2);
+  const auto msg = lc::Digest::of_string("m");
+  EXPECT_FALSE(b.verify_share(msg, a.sign_share(0, msg)));
+}
+
+TEST(ThresholdSig, RejectsInvalidParameters) {
+  EXPECT_THROW(lc::ThresholdScheme(0, 0, 1), lu::ContractViolation);
+  EXPECT_THROW(lc::ThresholdScheme(4, 5, 1), lu::ContractViolation);
+  EXPECT_THROW(lc::ThresholdScheme(4, 0, 1), lu::ContractViolation);
+}
+
+// Parameterized sweep: for n = 3f+1, combining exactly 2f+1 shares succeeds
+// and 2f fails, across system sizes used throughout the evaluation.
+class ThresholdSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThresholdSweep, ThresholdBoundaryIsExact) {
+  const std::uint32_t f = GetParam();
+  const std::uint32_t n = 3 * f + 1;
+  const std::uint32_t threshold = 2 * f + 1;
+  const lc::ThresholdScheme ts(n, threshold, 7);
+  const auto msg = lc::Digest::of_string("sweep");
+
+  std::vector<lc::SignatureShare> shares;
+  for (std::uint32_t i = 0; i < threshold; ++i) shares.push_back(ts.sign_share(i, msg));
+
+  auto below = shares;
+  below.pop_back();
+  EXPECT_FALSE(ts.combine(msg, below).has_value()) << "f=" << f;
+
+  const auto sig = ts.combine(msg, shares);
+  ASSERT_TRUE(sig.has_value()) << "f=" << f;
+  EXPECT_TRUE(ts.verify(msg, *sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultLevels, ThresholdSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 21, 42, 85, 133, 199));

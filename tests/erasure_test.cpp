@@ -1,0 +1,280 @@
+// GF(2^8) field axioms and Reed-Solomon any-k-of-n reconstruction, including
+// the exhaustive small-parameter sweeps backing Leopard's retrieval.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "erasure/gf256.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace le = leopard::erasure;
+namespace lu = leopard::util;
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(le::Gf256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(le::Gf256::add(0xFF, 0xFF), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(le::Gf256::mul(static_cast<le::Gf>(a), 1), a);
+    EXPECT_EQ(le::Gf256::mul(static_cast<le::Gf>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  lu::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<le::Gf>(rng.uniform(256));
+    const auto b = static_cast<le::Gf>(rng.uniform(256));
+    EXPECT_EQ(le::Gf256::mul(a, b), le::Gf256::mul(b, a));
+  }
+}
+
+TEST(Gf256, MultiplicationAssociates) {
+  lu::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<le::Gf>(rng.uniform(256));
+    const auto b = static_cast<le::Gf>(rng.uniform(256));
+    const auto c = static_cast<le::Gf>(rng.uniform(256));
+    EXPECT_EQ(le::Gf256::mul(a, le::Gf256::mul(b, c)),
+              le::Gf256::mul(le::Gf256::mul(a, b), c));
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  lu::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<le::Gf>(rng.uniform(256));
+    const auto b = static_cast<le::Gf>(rng.uniform(256));
+    const auto c = static_cast<le::Gf>(rng.uniform(256));
+    EXPECT_EQ(le::Gf256::mul(a, le::Gf256::add(b, c)),
+              le::Gf256::add(le::Gf256::mul(a, b), le::Gf256::mul(a, c)));
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = le::Gf256::inv(static_cast<le::Gf>(a));
+    EXPECT_EQ(le::Gf256::mul(static_cast<le::Gf>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  lu::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<le::Gf>(rng.uniform(256));
+    const auto b = static_cast<le::Gf>(1 + rng.uniform(255));
+    EXPECT_EQ(le::Gf256::div(le::Gf256::mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, ZeroDivisionAndInverseThrow) {
+  EXPECT_THROW(le::Gf256::div(1, 0), lu::ContractViolation);
+  EXPECT_THROW(le::Gf256::inv(0), lu::ContractViolation);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // exp must cycle with period exactly 255.
+  EXPECT_EQ(le::Gf256::exp(0), 1);
+  EXPECT_EQ(le::Gf256::exp(255), 1);
+  for (int i = 1; i < 255; ++i) EXPECT_NE(le::Gf256::exp(i), 1) << i;
+}
+
+TEST(InvertMatrix, IdentityInvertsToItself) {
+  std::vector<std::vector<le::Gf>> m = {{1, 0}, {0, 1}};
+  ASSERT_TRUE(le::invert_matrix(m));
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[1][1], 1);
+  EXPECT_EQ(m[0][1], 0);
+}
+
+TEST(InvertMatrix, SingularMatrixRejected) {
+  std::vector<std::vector<le::Gf>> m = {{3, 3}, {3, 3}};
+  EXPECT_FALSE(le::invert_matrix(m));
+}
+
+TEST(InvertMatrix, RandomMatricesRoundTrip) {
+  lu::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t k = 1 + rng.uniform(8);
+    std::vector<std::vector<le::Gf>> m(k, std::vector<le::Gf>(k));
+    for (auto& row : m) {
+      for (auto& v : row) v = static_cast<le::Gf>(rng.uniform(256));
+    }
+    auto inv = m;
+    if (!le::invert_matrix(inv)) continue;  // singular draw, skip
+    // m * inv must be identity.
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        le::Gf acc = 0;
+        for (std::size_t t = 0; t < k; ++t) {
+          acc = le::Gf256::add(acc, le::Gf256::mul(m[i][t], inv[t][j]));
+        }
+        EXPECT_EQ(acc, i == j ? 1 : 0);
+      }
+    }
+  }
+}
+
+namespace {
+lu::Bytes random_message(std::size_t size, std::uint64_t seed) {
+  lu::Bytes msg(size);
+  lu::Rng rng(seed);
+  rng.fill(msg.data(), msg.size());
+  return msg;
+}
+}  // namespace
+
+TEST(ReedSolomon, RejectsInvalidParameters) {
+  EXPECT_THROW(le::ReedSolomon(0, 4), lu::ContractViolation);
+  EXPECT_THROW(le::ReedSolomon(5, 4), lu::ContractViolation);
+  EXPECT_THROW(le::ReedSolomon(10, 256), lu::ContractViolation);
+}
+
+TEST(ReedSolomon, SystematicPrefixHoldsData) {
+  // The first k shards concatenated must contain header+message verbatim.
+  const le::ReedSolomon rs(3, 7);
+  const auto msg = random_message(100, 1);
+  const auto shards = rs.encode(msg);
+  ASSERT_EQ(shards.size(), 7u);
+  lu::Bytes joined;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    joined.insert(joined.end(), shards[i].data.begin(), shards[i].data.end());
+  }
+  // Skip the 4-byte length header.
+  EXPECT_TRUE(std::equal(msg.begin(), msg.end(), joined.begin() + 4));
+}
+
+TEST(ReedSolomon, DecodesFromDataShardsOnly) {
+  const le::ReedSolomon rs(4, 10);
+  const auto msg = random_message(1000, 2);
+  auto shards = rs.encode(msg);
+  shards.resize(4);  // only systematic shards
+  EXPECT_EQ(rs.decode(shards), msg);
+}
+
+TEST(ReedSolomon, DecodesFromParityShardsOnly) {
+  const le::ReedSolomon rs(4, 10);
+  const auto msg = random_message(777, 3);
+  const auto shards = rs.encode(msg);
+  const std::vector<le::Shard> parity(shards.begin() + 6, shards.begin() + 10);
+  EXPECT_EQ(rs.decode(parity), msg);
+}
+
+TEST(ReedSolomon, EveryKSubsetDecodes) {
+  // Exhaustive over all C(6,3) = 20 subsets.
+  const le::ReedSolomon rs(3, 6);
+  const auto msg = random_message(200, 4);
+  const auto shards = rs.encode(msg);
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = a + 1; b < 6; ++b) {
+      for (std::size_t c = b + 1; c < 6; ++c) {
+        const std::vector<le::Shard> subset = {shards[a], shards[b], shards[c]};
+        EXPECT_EQ(rs.decode(subset), msg) << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(ReedSolomon, InsufficientShardsFail) {
+  const le::ReedSolomon rs(4, 8);
+  const auto msg = random_message(100, 5);
+  auto shards = rs.encode(msg);
+  shards.resize(3);
+  EXPECT_FALSE(rs.decode(shards).has_value());
+}
+
+TEST(ReedSolomon, DuplicateShardsDoNotCount) {
+  const le::ReedSolomon rs(3, 6);
+  const auto msg = random_message(64, 6);
+  const auto shards = rs.encode(msg);
+  const std::vector<le::Shard> dup = {shards[0], shards[0], shards[0]};
+  EXPECT_FALSE(rs.decode(dup).has_value());
+}
+
+TEST(ReedSolomon, OutOfRangeShardIndexIgnored) {
+  const le::ReedSolomon rs(2, 4);
+  const auto msg = random_message(64, 7);
+  auto shards = rs.encode(msg);
+  shards[0].index = 99;
+  const std::vector<le::Shard> picked = {shards[0], shards[1]};
+  EXPECT_FALSE(rs.decode(picked).has_value());
+}
+
+TEST(ReedSolomon, EmptyMessageRoundTrips) {
+  const le::ReedSolomon rs(3, 5);
+  const auto shards = rs.encode(lu::Bytes{});
+  EXPECT_EQ(rs.decode(shards), lu::Bytes{});
+}
+
+TEST(ReedSolomon, SingleByteRoundTrips) {
+  const le::ReedSolomon rs(5, 9);
+  const lu::Bytes msg = {0x42};
+  EXPECT_EQ(rs.decode(rs.encode(msg)), msg);
+}
+
+TEST(ReedSolomon, KEqualsOneReplicates) {
+  const le::ReedSolomon rs(1, 4);
+  const auto msg = random_message(50, 8);
+  const auto shards = rs.encode(msg);
+  for (const auto& s : shards) {
+    EXPECT_EQ(rs.decode(std::vector<le::Shard>{s}), msg) << "shard " << s.index;
+  }
+}
+
+TEST(ReedSolomon, KEqualsNIsPlainSplit) {
+  const le::ReedSolomon rs(4, 4);
+  const auto msg = random_message(128, 9);
+  EXPECT_EQ(rs.decode(rs.encode(msg)), msg);
+}
+
+TEST(ReedSolomon, ShardSizeMatchesFormula) {
+  const le::ReedSolomon rs(4, 8);
+  // α/(f+1) scaling from §V: shard carries ceil((len+4)/k) bytes.
+  EXPECT_EQ(rs.shard_size(0), 1u);
+  EXPECT_EQ(rs.shard_size(12), 4u);
+  EXPECT_EQ(rs.shard_size(13), 5u);
+  const auto shards = rs.encode(random_message(13, 10));
+  for (const auto& s : shards) EXPECT_EQ(s.data.size(), 5u);
+}
+
+// Property sweep: random erasure patterns across (k, n) pairs, message sizes
+// spanning sub-shard to multi-KB, always recover from any k survivors.
+class RsSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, std::size_t>> {};
+
+TEST_P(RsSweep, RandomErasuresRecover) {
+  const auto [k, n, msg_size] = GetParam();
+  const le::ReedSolomon rs(k, n);
+  const auto msg = random_message(msg_size, k * 1000 + n);
+  const auto shards = rs.encode(msg);
+
+  lu::Rng rng(msg_size + 17);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Choose a random k-subset of survivors.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform(i)]);
+    }
+    std::vector<le::Shard> survivors;
+    for (std::uint32_t i = 0; i < k; ++i) survivors.push_back(shards[order[i]]);
+    EXPECT_EQ(rs.decode(survivors), msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, RsSweep,
+    ::testing::Values(std::make_tuple(2u, 4u, std::size_t{100}),
+                      std::make_tuple(3u, 10u, std::size_t{1000}),
+                      std::make_tuple(5u, 16u, std::size_t{4096}),
+                      std::make_tuple(11u, 32u, std::size_t{2048}),
+                      std::make_tuple(22u, 64u, std::size_t{8192}),
+                      std::make_tuple(43u, 128u, std::size_t{10000}),
+                      std::make_tuple(1u, 7u, std::size_t{333}),
+                      std::make_tuple(85u, 255u, std::size_t{512})));

@@ -1,0 +1,222 @@
+// Wire messages: encode/decode round trips, digest stability, and the exact
+// wire sizes the evaluation's bandwidth accounting depends on (β = 32,
+// κ = 48, payload as configured).
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "util/rng.hpp"
+
+namespace lp = leopard::proto;
+namespace lc = leopard::crypto;
+namespace lu = leopard::util;
+
+namespace {
+lp::Request make_request(std::uint64_t client, std::uint64_t seq, std::uint32_t size,
+                         bool real) {
+  lp::Request r;
+  r.client_id = client;
+  r.seq = seq;
+  r.payload_size = size;
+  if (real) {
+    lu::Rng rng(client * 1000 + seq);
+    r.payload.resize(size);
+    rng.fill(r.payload.data(), r.payload.size());
+  }
+  return r;
+}
+}  // namespace
+
+TEST(Request, WireSizeIsHeaderPlusPayload) {
+  const auto r = make_request(1, 2, 128, false);
+  EXPECT_EQ(r.wire_size(), 8u + 8u + 4u + 128u);
+}
+
+TEST(Request, RoundTripsWithRealPayload) {
+  const auto r = make_request(7, 42, 64, true);
+  lu::ByteWriter w;
+  r.encode(w);
+  lu::ByteReader reader(w.bytes());
+  const auto back = lp::Request::decode(reader);
+  EXPECT_EQ(back.client_id, 7u);
+  EXPECT_EQ(back.seq, 42u);
+  EXPECT_EQ(back.payload_size, 64u);
+  EXPECT_EQ(back.payload, r.payload);
+  EXPECT_EQ(back.digest(), r.digest());
+}
+
+TEST(Request, RoundTripsSynthetic) {
+  const auto r = make_request(7, 42, 128, false);
+  lu::ByteWriter w;
+  r.encode(w);
+  lu::ByteReader reader(w.bytes());
+  const auto back = lp::Request::decode(reader);
+  EXPECT_TRUE(back.payload.empty());
+  EXPECT_EQ(back.payload_size, 128u);
+  EXPECT_EQ(back.digest(), r.digest());
+}
+
+TEST(Request, DistinctIdentitiesDistinctDigests) {
+  EXPECT_NE(make_request(1, 1, 128, false).digest(), make_request(1, 2, 128, false).digest());
+  EXPECT_NE(make_request(1, 1, 128, false).digest(), make_request(2, 1, 128, false).digest());
+}
+
+TEST(Datablock, WireSizeSumsRequests) {
+  lp::Datablock db;
+  db.maker = 3;
+  db.counter = 9;
+  for (int i = 0; i < 5; ++i) db.requests.push_back(make_request(1, i, 128, false));
+  EXPECT_EQ(db.wire_size(), 4u + 8u + 4u + 5u * (20u + 128u));
+}
+
+TEST(Datablock, RoundTripPreservesDigest) {
+  lp::Datablock db;
+  db.maker = 2;
+  db.counter = 5;
+  for (int i = 0; i < 8; ++i) db.requests.push_back(make_request(4, i, 32, true));
+
+  lu::ByteWriter w;
+  db.encode(w);
+  lu::ByteReader r(w.bytes());
+  const auto back = lp::Datablock::decode(r);
+  EXPECT_EQ(back.digest(), db.digest());
+  EXPECT_EQ(back.maker, 2u);
+  EXPECT_EQ(back.counter, 5u);
+  ASSERT_EQ(back.requests.size(), 8u);
+}
+
+TEST(Datablock, DigestDependsOnMakerCounterAndContent) {
+  lp::Datablock a;
+  a.maker = 1;
+  a.counter = 1;
+  a.requests.push_back(make_request(1, 1, 16, false));
+  auto b = a;
+  b.maker = 2;
+  EXPECT_NE(a.digest(), b.digest());
+  auto c = a;
+  c.counter = 2;
+  EXPECT_NE(a.digest(), c.digest());
+  auto d = a;
+  d.requests.push_back(make_request(1, 2, 16, false));
+  EXPECT_NE(a.digest(), d.digest());
+}
+
+TEST(BftBlock, WireSizeIsBetaPerLink) {
+  lp::BftBlock b;
+  b.view = 1;
+  b.sn = 10;
+  for (int i = 0; i < 7; ++i) b.links.push_back(lc::Digest::of_string(std::to_string(i)));
+  EXPECT_EQ(b.wire_size(), 4u + 8u + 4u + 7u * 32u);
+}
+
+TEST(BftBlock, RoundTripAndViewBinding) {
+  lp::BftBlock b;
+  b.view = 3;
+  b.sn = 77;
+  b.links.push_back(lc::Digest::of_string("x"));
+  b.links.push_back(lc::Digest::of_string("y"));
+
+  lu::ByteWriter w;
+  b.encode(w);
+  lu::ByteReader r(w.bytes());
+  const auto back = lp::BftBlock::decode(r);
+  EXPECT_EQ(back.view, 3u);
+  EXPECT_EQ(back.sn, 77u);
+  EXPECT_EQ(back.links, b.links);
+  EXPECT_EQ(back.digest(), b.digest());
+
+  // The digest binds the view: a view-change redo of the same (sn, links)
+  // is a distinct agreement target.
+  auto redo = b;
+  redo.view = 4;
+  EXPECT_NE(redo.digest(), b.digest());
+}
+
+TEST(BftBlock, LinkOrderMatters) {
+  lp::BftBlock a;
+  a.view = 1;
+  a.sn = 1;
+  a.links = {lc::Digest::of_string("x"), lc::Digest::of_string("y")};
+  auto b = a;
+  std::reverse(b.links.begin(), b.links.end());
+  EXPECT_NE(a.digest(), b.digest());  // the equivocation test relies on this
+}
+
+TEST(Messages, VoteAndProofSizesMatchPaperParameters) {
+  lp::VoteMsg vote;
+  EXPECT_EQ(vote.wire_size(), 1u + 32u + 52u);  // round + β + (id+κ)
+  lp::ProofMsg proof;
+  EXPECT_EQ(proof.wire_size(), 1u + 32u + 48u);  // round + β + κ
+}
+
+TEST(Messages, ReadyAndQueryScaleWithHashCount) {
+  lp::ReadyMsg ready;
+  ready.datablock_hashes.resize(3);
+  EXPECT_EQ(ready.wire_size(), 4u + 3u * 32u);
+  lp::QueryMsg query;
+  query.missing.resize(2);
+  EXPECT_EQ(query.wire_size(), 4u + 2u * 32u);
+}
+
+TEST(Messages, ChunkResponseCountsClaimedChunkSize) {
+  lp::ChunkResponseMsg resp;
+  resp.chunk_size = 1000;
+  resp.chunk.resize(10);  // materialized bytes smaller than claimed (synthetic)
+  resp.proof.resize(5);
+  EXPECT_EQ(resp.wire_size(), 32u + 32u + 4u + 4u + 4u + 1000u + 4u + 5u * 32u);
+}
+
+TEST(Messages, CheckpointSizeDependsOnForm) {
+  lp::CheckpointMsg vote;
+  vote.share = leopard::crypto::SignatureShare{};
+  lp::CheckpointMsg proof;
+  proof.signature = leopard::crypto::ThresholdSignature{};
+  EXPECT_EQ(vote.wire_size(), 8u + 32u + 52u);
+  EXPECT_EQ(proof.wire_size(), 8u + 32u + 48u);
+}
+
+TEST(Messages, ViewChangeGrowsWithNotarizedSet) {
+  lp::ViewChangeMsg vc;
+  const auto base = vc.wire_size();
+  lp::NotarizedBlock nb;
+  nb.block.links.resize(4);
+  vc.notarized.push_back(nb);
+  EXPECT_EQ(vc.wire_size(), base + nb.block.wire_size() + 48u);
+}
+
+TEST(Messages, NewViewCarriesAllViewChanges) {
+  lp::NewViewMsg nv;
+  const auto base = nv.wire_size();
+  lp::ViewChangeMsg vc;
+  nv.view_changes.push_back(vc);
+  nv.view_changes.push_back(vc);
+  EXPECT_EQ(nv.wire_size(), base + 2 * vc.wire_size());
+}
+
+TEST(Messages, ClientBatchAndAckSizes) {
+  lp::ClientRequestMsg batch;
+  batch.requests.push_back(make_request(1, 1, 128, false));
+  batch.requests.push_back(make_request(1, 2, 128, false));
+  EXPECT_EQ(batch.wire_size(), 4u + 2u * 148u);
+
+  lp::AckMsg ack;
+  ack.seqs = {1, 2, 3};
+  EXPECT_EQ(ack.wire_size(), 8u + 4u + 24u);
+}
+
+TEST(Messages, BaselineBlockCarriesFullPayloads) {
+  lp::BaselineBlockMsg block;
+  for (int i = 0; i < 10; ++i) block.batch.push_back(make_request(1, i, 128, false));
+  // Header + QC + 10 payload-bearing requests: the Eq.(1) leader cost driver.
+  EXPECT_EQ(block.wire_size(), 4u + 8u + 32u + 32u + 48u + 4u + 10u * 148u);
+  EXPECT_EQ(block.component(), leopard::sim::Component::kDatablock);
+}
+
+TEST(Messages, EncodedSizeMatchesWireSizeForPayloadBearingTypes) {
+  // For fully materialized requests the encoded byte count must equal
+  // wire_size() plus the 4-byte materialization length prefix per request
+  // (kept off the wire-size arithmetic; see Request::encode).
+  const auto r = make_request(3, 4, 256, true);
+  lu::ByteWriter w;
+  r.encode(w);
+  EXPECT_EQ(w.size(), r.wire_size() + 4u);
+}

@@ -1,0 +1,172 @@
+// Unit tests for src/util: serialization, hex, RNG, contract checks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace lu = leopard::util;
+
+TEST(ByteWriter, RoundTripsPrimitives) {
+  lu::ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  w.i64(-42);
+  w.str("leopard");
+
+  lu::ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "leopard");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  lu::ByteWriter w;
+  w.u32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x44);
+  EXPECT_EQ(w.bytes()[3], 0x11);
+}
+
+TEST(ByteWriter, BlobPrefixesLength) {
+  lu::ByteWriter w;
+  const std::uint8_t payload[] = {1, 2, 3};
+  w.blob(payload);
+  EXPECT_EQ(w.size(), 4u + 3u);
+
+  lu::ByteReader r(w.bytes());
+  const auto view = r.blob();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[2], 3);
+}
+
+TEST(ByteReader, UnderflowThrows) {
+  lu::ByteWriter w;
+  w.u16(7);
+  lu::ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.u8(), lu::ContractViolation);
+}
+
+TEST(ByteReader, TruncatedBlobThrows) {
+  lu::ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  lu::ByteReader r(w.bytes());
+  EXPECT_THROW(r.blob(), lu::ContractViolation);
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x7f, 0x80, 0xff};
+  const auto hex = lu::to_hex(bytes);
+  EXPECT_EQ(hex, "007f80ff");
+  EXPECT_EQ(lu::from_hex(hex), bytes);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(lu::from_hex("abc"), lu::ContractViolation);   // odd length
+  EXPECT_THROW(lu::from_hex("zz"), lu::ContractViolation);    // bad digit
+}
+
+TEST(Hex, AcceptsUppercase) {
+  EXPECT_EQ(lu::from_hex("FF00"), (std::vector<std::uint8_t>{0xFF, 0x00}));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  lu::Rng a(12345);
+  lu::Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  lu::Rng a(1);
+  lu::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  lu::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  lu::Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  lu::Rng rng(3);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= (v == -2);
+    hi_seen |= (v == 2);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  lu::Rng rng(11);
+  double sum = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.uniform_real();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  lu::Rng rng(13);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.15);
+}
+
+TEST(Rng, FillCoversAllBytePositions) {
+  lu::Rng rng(21);
+  std::vector<std::uint8_t> buf(37, 0);
+  rng.fill(buf.data(), buf.size());
+  // Probability all 37 bytes are zero is negligible.
+  bool any_nonzero = false;
+  for (auto b : buf) any_nonzero |= (b != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Check, ExpectsThrowsWithMessage) {
+  try {
+    lu::expects(false, "custom message");
+    FAIL() << "expects should have thrown";
+  } catch (const lu::ContractViolation& e) {
+    EXPECT_STREQ(e.what(), "custom message");
+  }
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(lu::expects(true));
+  EXPECT_NO_THROW(lu::ensures(true));
+}
