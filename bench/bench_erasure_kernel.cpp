@@ -1,0 +1,172 @@
+// Erasure-coding kernel throughput: encode/decode MB/s for the dispatched
+// GF(256) kernel vs. the retained scalar log/exp reference, across
+// k ∈ {4,16,32,64} and shard sizes 1KiB–1MiB. Emits one JSON record so CI and
+// future PRs can track the trajectory, plus the ISSUE acceptance check
+// (>= 10x encode speedup at k=32, 64KiB shards).
+//
+// Usage: bench_erasure_kernel [--smoke]
+//   --smoke   tiny sizes / short timings, for CI smoke runs.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "erasure/gf256.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "util/rng.hpp"
+
+namespace le = leopard::erasure;
+namespace lu = leopard::util;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Timing {
+  double encode_mbps = 0;
+  double decode_mbps = 0;
+};
+
+/// Times encode_into/decode_into for one (k, n, shard size) point under the
+/// currently forced kernel. Throughput is message bytes per second.
+Timing run_point(std::uint32_t k, std::uint32_t n, std::size_t shard_bytes, double min_time,
+                 int max_iters) {
+  const le::ReedSolomon rs(k, n);
+  // Message sized so each shard is exactly shard_bytes (4-byte header included).
+  const std::size_t msg_bytes = shard_bytes * k - 4;
+  lu::Bytes msg(msg_bytes);
+  lu::Rng rng(k * 1000003 + shard_bytes);
+  rng.fill(msg.data(), msg.size());
+
+  le::RsScratch scratch;
+  Timing t;
+
+  // Encode.
+  (void)rs.encode_into(msg, scratch);  // warm-up: tables, arena, page faults
+  {
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    do {
+      (void)rs.encode_into(msg, scratch);
+      ++iters;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time && iters < max_iters);
+    t.encode_mbps = static_cast<double>(msg_bytes) * iters / elapsed / 1e6;
+  }
+
+  // Decode from parity shards only (forces the full matrix path; systematic
+  // survivors would short-circuit through identity rows).
+  const auto enc = rs.encode_into(msg, scratch);
+  std::vector<lu::Bytes> parity;
+  parity.reserve(k);
+  std::vector<le::ShardView> survivors;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto view = enc.shard(n - k + i);
+    parity.emplace_back(view.begin(), view.end());
+    survivors.push_back(le::ShardView{n - k + i, parity.back()});
+  }
+  le::RsScratch dec_scratch;
+  lu::Bytes out;
+  {
+    if (!rs.decode_into(survivors, dec_scratch, out) || out != msg) {
+      std::fprintf(stderr, "FATAL: decode mismatch at k=%u shard=%zu\n", k, shard_bytes);
+      std::exit(1);
+    }
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    do {
+      (void)rs.decode_into(survivors, dec_scratch, out);
+      ++iters;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time && iters < max_iters);
+    t.decode_mbps = static_cast<double>(msg_bytes) * iters / elapsed / 1e6;
+  }
+  return t;
+}
+
+std::string fmt1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\nusage: %s [--smoke]\n", argv[i], argv[0]);
+      return 2;
+    }
+  }
+
+  const auto fast = le::Gf256::active_kernel();
+  const double min_time = smoke ? 0.01 : 0.2;
+  const int max_iters = smoke ? 20 : 100000;
+  // The reference kernel is ~2 orders of magnitude slower; give it a shorter
+  // window and skip it at sizes where a single pass already takes seconds.
+  const double ref_min_time = smoke ? 0.01 : 0.05;
+  const std::size_t ref_max_work = smoke ? (1u << 22) : (1u << 27);  // k*shard cap
+
+  const std::vector<std::uint32_t> ks = {4, 16, 32, 64};
+  const std::vector<std::size_t> shard_sizes =
+      smoke ? std::vector<std::size_t>{1024, 4096}
+            : std::vector<std::size_t>{1024, 16384, 65536, 1 << 20};
+
+  std::printf("{\"bench\":\"erasure_kernel\",\"kernel\":\"%s\",\"smoke\":%s,\"records\":[",
+              le::Gf256::kernel_name(fast), smoke ? "true" : "false");
+
+  double accept_fast = 0, accept_ref = 0;
+  bool first = true;
+  for (const auto k : ks) {
+    const std::uint32_t n = 3 * k;  // Leopard regime: n = 3f+1, k = f+1
+    for (const auto shard : shard_sizes) {
+      le::Gf256::force_kernel(fast);
+      const Timing t = run_point(k, n, shard, min_time, max_iters);
+
+      double ref_encode = 0;
+      if (static_cast<std::size_t>(k) * shard <= ref_max_work) {
+        le::Gf256::force_kernel(le::Gf256::Kernel::kScalarRef);
+        const Timing ref = run_point(k, n, shard, ref_min_time, max_iters);
+        le::Gf256::force_kernel(fast);
+        ref_encode = ref.encode_mbps;
+      }
+
+      if (k == 32 && shard == 65536) {
+        accept_fast = t.encode_mbps;
+        accept_ref = ref_encode;
+      }
+
+      std::printf("%s{\"k\":%u,\"n\":%u,\"shard_bytes\":%zu,\"encode_MBps\":%s,"
+                  "\"decode_MBps\":%s,\"ref_encode_MBps\":%s,\"encode_speedup\":%s}",
+                  first ? "" : ",", k, n, shard, fmt1(t.encode_mbps).c_str(),
+                  fmt1(t.decode_mbps).c_str(), fmt1(ref_encode).c_str(),
+                  ref_encode > 0 ? fmt1(t.encode_mbps / ref_encode).c_str() : "null");
+      first = false;
+      std::fflush(stdout);
+    }
+  }
+
+  const double speedup = accept_ref > 0 ? accept_fast / accept_ref : 0;
+  std::printf("],\"acceptance\":{\"k\":32,\"shard_bytes\":65536,\"encode_MBps\":%s,"
+              "\"ref_encode_MBps\":%s,\"speedup\":%s,\"target\":10.0,\"pass\":%s}}\n",
+              fmt1(accept_fast).c_str(), fmt1(accept_ref).c_str(), fmt1(speedup).c_str(),
+              (smoke || speedup >= 10.0) ? "true" : "false");
+
+  if (!smoke && speedup < 10.0) {
+    std::fprintf(stderr, "acceptance FAILED: %.1fx < 10x at k=32, 64KiB shards\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -816,24 +816,24 @@ void LeopardReplica::handle_query(ReplicaId from, const proto::QueryMsg& msg) {
     if (!responded_once_.insert({digest, from}).second) continue;  // once per querier
 
     // Erasure-code the datablock into n chunks; send ours with a Merkle proof.
+    // Shards are written into the reusable scratch arena and hashed in place —
+    // the only per-chunk copy is our own shard into the outgoing message.
     util::ByteWriter w(db_it->second->wire_size());
     db_it->second->datablock.encode(w);
     const auto encoded = w.bytes();
     charge(net_.costs().per_bytes(net_.costs().erasure_encode_per_byte_ns, encoded.size()));
-    const auto shards = rs_.encode(encoded);
+    const auto enc = rs_.encode_into(encoded, rs_scratch_);
 
-    std::vector<Digest> leaves;
-    leaves.reserve(shards.size());
-    for (const auto& s : shards) leaves.push_back(crypto::MerkleTree::hash_leaf(s.data));
     charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, encoded.size()));
-    const crypto::MerkleTree tree(leaves);
+    const crypto::MerkleTree tree(crypto::MerkleTree::hash_leaves(enc.bytes(), enc.width));
 
     auto resp = std::make_shared<proto::ChunkResponseMsg>();
     resp->datablock_hash = digest;
     resp->merkle_root = tree.root();
     resp->chunk_index = id_;
-    resp->leaf_count = static_cast<std::uint32_t>(shards.size());
-    resp->chunk = shards[id_].data;
+    resp->leaf_count = enc.count;
+    const auto own = enc.shard(id_);
+    resp->chunk.assign(own.begin(), own.end());
     // Wire size reflects the claimed (payload-bearing) datablock size even
     // when payloads are synthetic.
     resp->chunk_size = static_cast<std::uint32_t>(
@@ -863,18 +863,19 @@ void LeopardReplica::try_decode(const Digest& digest, Retrieval& ret) {
   for (auto& [root, chunks] : ret.chunks_by_root) {
     if (chunks.size() < rs_.data_shards()) continue;
 
-    std::vector<erasure::Shard> shards;
+    // Decode straight from the buffered chunk messages: ShardView borrows each
+    // chunk's bytes, so nothing is copied on the way into the kernel.
+    std::vector<erasure::ShardView> shards;
     shards.reserve(chunks.size());
     std::size_t total = 0;
     for (const auto& c : chunks) {
-      shards.push_back(erasure::Shard{c->chunk_index, c->chunk});
+      shards.push_back(erasure::ShardView{c->chunk_index, c->chunk});
       total += c->chunk.size();
     }
     charge(net_.costs().per_bytes(net_.costs().erasure_decode_per_byte_ns, total));
-    const auto decoded = rs_.decode(shards);
-    if (!decoded) continue;
+    if (!rs_.decode_into(shards, rs_scratch_, decode_buf_)) continue;
 
-    util::ByteReader r(*decoded);
+    util::ByteReader r(decode_buf_);
     auto db = proto::Datablock::decode(r);
     auto msg = std::make_shared<proto::DatablockMsg>(std::move(db));
     if (msg->cached_digest != digest) continue;  // forged chunk set

@@ -182,6 +182,9 @@ class LeopardReplica final : public sim::Node {
   ByzantineSpec byz_;
   std::vector<sim::NodeId> replica_ids_;  // 0..n-1
   erasure::ReedSolomon rs_;               // (f+1, n) code for retrieval
+  erasure::RsScratch rs_scratch_;         // reusable arena for the zero-copy
+                                          // encode/decode hot path
+  util::Bytes decode_buf_;                // reconstructed datablock bytes
 
   // Protocol state.
   proto::View view_ = 1;

@@ -12,6 +12,18 @@ Digest MerkleTree::hash_leaf(std::span<const std::uint8_t> data) {
   return Digest(ctx.finalize());
 }
 
+std::vector<Digest> MerkleTree::hash_leaves(std::span<const std::uint8_t> buf,
+                                            std::size_t leaf_size) {
+  util::expects(leaf_size > 0, "hash_leaves requires a non-zero leaf size");
+  util::expects(buf.size() % leaf_size == 0, "buffer is not a whole number of leaves");
+  std::vector<Digest> leaves;
+  leaves.reserve(buf.size() / leaf_size);
+  for (std::size_t off = 0; off < buf.size(); off += leaf_size) {
+    leaves.push_back(hash_leaf(buf.subspan(off, leaf_size)));
+  }
+  return leaves;
+}
+
 Digest MerkleTree::hash_interior(const Digest& left, const Digest& right) {
   Sha256 ctx;
   const std::uint8_t tag = 0x01;

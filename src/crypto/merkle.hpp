@@ -23,6 +23,13 @@ class MerkleTree {
   /// Hashes raw chunk data into a leaf digest (0x00-prefixed).
   static Digest hash_leaf(std::span<const std::uint8_t> data);
 
+  /// Hashes `buf` as consecutive `leaf_size`-byte chunks, in place — the
+  /// zero-copy companion to erasure::EncodedShards, whose arena lays shards
+  /// out back to back. `buf.size()` must be a non-zero multiple of
+  /// `leaf_size`.
+  static std::vector<Digest> hash_leaves(std::span<const std::uint8_t> buf,
+                                         std::size_t leaf_size);
+
   [[nodiscard]] const Digest& root() const { return levels_.back().front(); }
   [[nodiscard]] std::size_t leaf_count() const { return levels_.front().size(); }
 

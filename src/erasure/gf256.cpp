@@ -1,6 +1,17 @@
 #include "erasure/gf256.hpp"
 
+#include <atomic>
+#include <cstring>
+
 #include "util/check.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define LEOPARD_GF256_HAS_SSSE3 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define LEOPARD_GF256_HAS_NEON 1
+#endif
 
 namespace leopard::erasure {
 
@@ -50,11 +61,336 @@ Gf Gf256::exp(int power) {
 }
 
 Gf Gf256::pow(Gf a, unsigned e) {
-  if (e == 0) return 1;
-  if (a == 0) return 0;
+  if (a == 0) return e == 0 ? 1 : 0;
   const auto& t = tables();
   const auto l = static_cast<unsigned>(t.log[a]);
-  return t.exp[(l * e) % 255];
+  // Reduce the exponent first: l*e overflows 32 bits for e > ~16.8M, and the
+  // group order 255 makes a^e == a^(e mod 255).
+  return t.exp[(l * (e % 255)) % 255];
+}
+
+// ---------------------------------------------------------------------------
+// Bulk tables
+// ---------------------------------------------------------------------------
+
+Gf256::BulkTables::BulkTables() {
+  for (int c = 0; c < 256; ++c) {
+    const auto coef = static_cast<Gf>(c);
+    for (int x = 0; x < 256; ++x) {
+      mul[static_cast<std::size_t>(c) * 256 + static_cast<std::size_t>(x)] =
+          Gf256::mul(coef, static_cast<Gf>(x));
+    }
+    for (int i = 0; i < 16; ++i) {
+      nib[static_cast<std::size_t>(c) * 32 + static_cast<std::size_t>(i)] =
+          Gf256::mul(coef, static_cast<Gf>(i));
+      nib[static_cast<std::size_t>(c) * 32 + 16 + static_cast<std::size_t>(i)] =
+          Gf256::mul(coef, static_cast<Gf>(i << 4));
+    }
+  }
+}
+
+const Gf256::BulkTables& Gf256::bulk_tables() {
+  static const BulkTables t;
+  return t;
+}
+
+const std::uint8_t* Gf256::mul_row_table(Gf c) {
+  return bulk_tables().mul.data() + static_cast<std::size_t>(c) * 256;
+}
+
+const std::uint8_t* Gf256::nibble_table(Gf c) {
+  return bulk_tables().nib.data() + static_cast<std::size_t>(c) * 32;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// dst ^= src over n bytes, 8 at a time (the coef == 1 fast path).
+void xor_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d, s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+// Per-coefficient product table, 8 bytes per iteration: one 64-bit load feeds
+// eight table lookups whose results are packed and XOR-stored as one word.
+void mul_add_row_scalar64(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          const std::uint8_t* table) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t s;
+    std::memcpy(&s, src + i, 8);
+    std::uint64_t r = table[s & 0xFF];
+    r |= static_cast<std::uint64_t>(table[(s >> 8) & 0xFF]) << 8;
+    r |= static_cast<std::uint64_t>(table[(s >> 16) & 0xFF]) << 16;
+    r |= static_cast<std::uint64_t>(table[(s >> 24) & 0xFF]) << 24;
+    r |= static_cast<std::uint64_t>(table[(s >> 32) & 0xFF]) << 32;
+    r |= static_cast<std::uint64_t>(table[(s >> 40) & 0xFF]) << 40;
+    r |= static_cast<std::uint64_t>(table[(s >> 48) & 0xFF]) << 48;
+    r |= static_cast<std::uint64_t>(table[(s >> 56) & 0xFF]) << 56;
+    std::uint64_t d;
+    std::memcpy(&d, dst + i, 8);
+    d ^= r;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= table[src[i]];
+}
+
+void mul_row_scalar64(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                      const std::uint8_t* table) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t s;
+    std::memcpy(&s, src + i, 8);
+    std::uint64_t r = table[s & 0xFF];
+    r |= static_cast<std::uint64_t>(table[(s >> 8) & 0xFF]) << 8;
+    r |= static_cast<std::uint64_t>(table[(s >> 16) & 0xFF]) << 16;
+    r |= static_cast<std::uint64_t>(table[(s >> 24) & 0xFF]) << 24;
+    r |= static_cast<std::uint64_t>(table[(s >> 32) & 0xFF]) << 32;
+    r |= static_cast<std::uint64_t>(table[(s >> 40) & 0xFF]) << 40;
+    r |= static_cast<std::uint64_t>(table[(s >> 48) & 0xFF]) << 48;
+    r |= static_cast<std::uint64_t>(table[(s >> 56) & 0xFF]) << 56;
+    std::memcpy(dst + i, &r, 8);
+  }
+  for (; i < n; ++i) dst[i] = table[src[i]];
+}
+
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+
+// Split-nibble pshufb kernel: c*x = lo_tab[x & 0xF] ^ hi_tab[x >> 4], so one
+// pshufb pair multiplies 16 bytes. Two pairs per iteration -> 32 bytes.
+__attribute__((target("ssse3"))) void mul_add_row_ssse3(std::uint8_t* dst,
+                                                        const std::uint8_t* src, std::size_t n,
+                                                        const std::uint8_t* nib,
+                                                        const std::uint8_t* table) {
+  const __m128i lo_tab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i hi_tab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i s1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    const __m128i p0 = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, _mm_and_si128(s0, mask)),
+                                     _mm_shuffle_epi8(hi_tab, _mm_and_si128(
+                                                                  _mm_srli_epi64(s0, 4), mask)));
+    const __m128i p1 = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, _mm_and_si128(s1, mask)),
+                                     _mm_shuffle_epi8(hi_tab, _mm_and_si128(
+                                                                  _mm_srli_epi64(s1, 4), mask)));
+    __m128i d0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i d1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d0, p0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), _mm_xor_si128(d1, p1));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, _mm_and_si128(s, mask)),
+                                    _mm_shuffle_epi8(hi_tab, _mm_and_si128(
+                                                                 _mm_srli_epi64(s, 4), mask)));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  for (; i < n; ++i) dst[i] ^= table[src[i]];
+}
+
+__attribute__((target("ssse3"))) void mul_row_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                                                    std::size_t n, const std::uint8_t* nib,
+                                                    const std::uint8_t* table) {
+  const __m128i lo_tab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i hi_tab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, _mm_and_si128(s, mask)),
+                                    _mm_shuffle_epi8(hi_tab, _mm_and_si128(
+                                                                 _mm_srli_epi64(s, 4), mask)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p);
+  }
+  for (; i < n; ++i) dst[i] = table[src[i]];
+}
+
+bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
+
+#endif  // LEOPARD_GF256_HAS_SSSE3
+
+#if defined(LEOPARD_GF256_HAS_NEON)
+
+void mul_add_row_neon(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                      const std::uint8_t* nib, const std::uint8_t* table) {
+  const uint8x16_t lo_tab = vld1q_u8(nib);
+  const uint8x16_t hi_tab = vld1q_u8(nib + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const uint8x16_t s0 = vld1q_u8(src + i);
+    const uint8x16_t s1 = vld1q_u8(src + i + 16);
+    const uint8x16_t p0 = veorq_u8(vqtbl1q_u8(lo_tab, vandq_u8(s0, mask)),
+                                   vqtbl1q_u8(hi_tab, vshrq_n_u8(s0, 4)));
+    const uint8x16_t p1 = veorq_u8(vqtbl1q_u8(lo_tab, vandq_u8(s1, mask)),
+                                   vqtbl1q_u8(hi_tab, vshrq_n_u8(s1, 4)));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), p0));
+    vst1q_u8(dst + i + 16, veorq_u8(vld1q_u8(dst + i + 16), p1));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t p = veorq_u8(vqtbl1q_u8(lo_tab, vandq_u8(s, mask)),
+                                  vqtbl1q_u8(hi_tab, vshrq_n_u8(s, 4)));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), p));
+  }
+  for (; i < n; ++i) dst[i] ^= table[src[i]];
+}
+
+void mul_row_neon(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                  const std::uint8_t* nib, const std::uint8_t* table) {
+  const uint8x16_t lo_tab = vld1q_u8(nib);
+  const uint8x16_t hi_tab = vld1q_u8(nib + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    vst1q_u8(dst + i, veorq_u8(vqtbl1q_u8(lo_tab, vandq_u8(s, mask)),
+                               vqtbl1q_u8(hi_tab, vshrq_n_u8(s, 4))));
+  }
+  for (; i < n; ++i) dst[i] = table[src[i]];
+}
+
+#endif  // LEOPARD_GF256_HAS_NEON
+
+Gf256::Kernel detect_kernel() {
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+  if (cpu_has_ssse3()) return Gf256::Kernel::kSsse3;
+#elif defined(LEOPARD_GF256_HAS_NEON)
+  return Gf256::Kernel::kNeon;
+#endif
+  return Gf256::Kernel::kScalar64;
+}
+
+std::atomic<Gf256::Kernel>& kernel_slot() {
+  static std::atomic<Gf256::Kernel> k{detect_kernel()};
+  return k;
+}
+
+}  // namespace
+
+bool Gf256::kernel_available(Kernel k) {
+  switch (k) {
+    case Kernel::kScalarRef:
+    case Kernel::kScalar64:
+      return true;
+    case Kernel::kSsse3:
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+      return cpu_has_ssse3();
+#else
+      return false;
+#endif
+    case Kernel::kNeon:
+#if defined(LEOPARD_GF256_HAS_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Gf256::Kernel Gf256::active_kernel() { return kernel_slot().load(std::memory_order_relaxed); }
+
+Gf256::Kernel Gf256::force_kernel(Kernel k) {
+  if (!kernel_available(k)) k = detect_kernel();
+  kernel_slot().store(k, std::memory_order_relaxed);
+  return k;
+}
+
+const char* Gf256::kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalarRef:
+      return "scalar_ref";
+    case Kernel::kScalar64:
+      return "scalar64";
+    case Kernel::kSsse3:
+      return "ssse3";
+    case Kernel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+void Gf256::mul_add_row_ref(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                            Gf coef) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = add(dst[i], mul(coef, src[i]));
+}
+
+void Gf256::mul_row_ref(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, Gf coef) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = mul(coef, src[i]);
+}
+
+void Gf256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, Gf coef) {
+  if (coef == 0 || n == 0) return;
+  if (coef == 1) {
+    if (active_kernel() == Kernel::kScalarRef) {
+      mul_add_row_ref(dst, src, n, coef);
+    } else {
+      xor_row(dst, src, n);
+    }
+    return;
+  }
+  switch (active_kernel()) {
+    case Kernel::kScalarRef:
+      mul_add_row_ref(dst, src, n, coef);
+      return;
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+    case Kernel::kSsse3:
+      mul_add_row_ssse3(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
+#endif
+#if defined(LEOPARD_GF256_HAS_NEON)
+    case Kernel::kNeon:
+      mul_add_row_neon(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
+#endif
+    default:
+      mul_add_row_scalar64(dst, src, n, mul_row_table(coef));
+      return;
+  }
+}
+
+void Gf256::mul_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, Gf coef) {
+  if (n == 0) return;
+  if (coef == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (coef == 1 && active_kernel() != Kernel::kScalarRef) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  switch (active_kernel()) {
+    case Kernel::kScalarRef:
+      mul_row_ref(dst, src, n, coef);
+      return;
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+    case Kernel::kSsse3:
+      mul_row_ssse3(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
+#endif
+#if defined(LEOPARD_GF256_HAS_NEON)
+    case Kernel::kNeon:
+      mul_row_neon(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
+#endif
+    default:
+      mul_row_scalar64(dst, src, n, mul_row_table(coef));
+      return;
+  }
 }
 
 }  // namespace leopard::erasure

@@ -1,9 +1,25 @@
 // Arithmetic over GF(2^8) with the AES/RS-standard reduction polynomial
 // x^8 + x^4 + x^3 + x^2 + 1 (0x11D). Backs the Reed-Solomon erasure codes
 // used by Leopard's datablock retrieval (§IV, Algorithm 3).
+//
+// Besides the scalar field ops, this header exposes the bulk row kernels the
+// Reed-Solomon hot path is built on: dst ^= coef * src over whole shards.
+// Three implementations sit behind a runtime dispatch:
+//
+//   kScalarRef — the original branchy log/exp loop, retained as the
+//                byte-exact reference for property tests and bench baselines;
+//   kScalar64  — per-coefficient 256-entry product table, 8 bytes per
+//                iteration via 64-bit loads/XOR-stores;
+//   kSsse3     — the ISA-L/klauspost split-nibble technique: two 16-entry
+//                tables per coefficient, 32 bytes per iteration via pshufb
+//                (NEON tbl on aarch64 builds).
+//
+// All kernels produce byte-identical output; tests sweep every available
+// kernel against kScalarRef.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace leopard::erasure {
@@ -22,6 +38,45 @@ class Gf256 {
   static Gf exp(int power);   // generator^power (power taken mod 255)
   static Gf pow(Gf a, unsigned e);
 
+  // --- bulk row kernels (the erasure-coding hot path) ----------------------
+
+  /// Which bulk implementation mul_row/mul_add_row dispatch to.
+  enum class Kernel { kScalarRef, kScalar64, kSsse3, kNeon };
+
+  /// Kernel currently in effect (auto-detected at startup, see force_kernel).
+  static Kernel active_kernel();
+
+  /// Human-readable name of `k` ("scalar_ref", "scalar64", "ssse3", "neon").
+  static const char* kernel_name(Kernel k);
+
+  /// Overrides dispatch, clamped to what this CPU supports; returns the
+  /// kernel actually installed. Intended for tests and benches.
+  static Kernel force_kernel(Kernel k);
+
+  /// True if `k` can run on this CPU/build.
+  static bool kernel_available(Kernel k);
+
+  /// dst[i] ^= coef * src[i] for i in [0, n). The multiply-accumulate inner
+  /// step of every Reed-Solomon encode/decode. dst and src must not overlap
+  /// unless dst == src.
+  static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, Gf coef);
+
+  /// dst[i] = coef * src[i] for i in [0, n).
+  static void mul_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, Gf coef);
+
+  /// The original log/exp-per-byte loops, kept as the property-test oracle.
+  static void mul_add_row_ref(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                              Gf coef);
+  static void mul_row_ref(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, Gf coef);
+
+  /// 256-entry product row for coefficient `c`: mul_row_table(c)[x] == c*x.
+  static const std::uint8_t* mul_row_table(Gf c);
+
+  /// Split-nibble tables for `c`: 32 bytes, [0,16) low-nibble products
+  /// c*(x & 0xF), [16,32) high-nibble products c*(x << 4). c*x is the XOR of
+  /// one entry from each half.
+  static const std::uint8_t* nibble_table(Gf c);
+
  private:
   struct Tables {
     std::array<Gf, 512> exp{};
@@ -29,6 +84,16 @@ class Gf256 {
     Tables();
   };
   static const Tables& tables();
+
+  struct BulkTables {
+    // mul[c * 256 + x] = c * x — 64 KiB, one cache-resident row per coefficient.
+    std::array<std::uint8_t, 256 * 256> mul{};
+    // nib[c * 32 + i]      = c * i          (i < 16)
+    // nib[c * 32 + 16 + i] = c * (i << 4)   (i < 16)
+    std::array<std::uint8_t, 256 * 32> nib{};
+    BulkTables();
+  };
+  static const BulkTables& bulk_tables();
 };
 
 }  // namespace leopard::erasure

@@ -9,64 +9,83 @@ namespace leopard::erasure {
 
 namespace {
 
-/// Multiplies an r×k GF matrix by a k×w byte matrix (shards as rows).
-void matrix_apply(const std::vector<std::vector<Gf>>& rows,
-                  const std::vector<const std::uint8_t*>& inputs, std::size_t width,
-                  std::vector<util::Bytes>& outputs) {
-  outputs.resize(rows.size());
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    auto& out = outputs[r];
-    out.assign(width, 0);
-    for (std::size_t c = 0; c < rows[r].size(); ++c) {
-      const Gf coef = rows[r][c];
+/// rows (r×k, flat row-major) times k input rows of `width` bytes, into r
+/// contiguous output rows at `out`. The inner step is a whole-row
+/// multiply-accumulate through the dispatched Gf256 bulk kernel, so the per
+/// byte cost is one table-lookup/pshufb, not a log/exp chain.
+void matrix_apply_flat(const Gf* rows, std::size_t r_count, std::size_t k,
+                       const std::uint8_t* const* inputs, std::size_t width,
+                       std::uint8_t* out) {
+  for (std::size_t r = 0; r < r_count; ++r) {
+    std::uint8_t* dst = out + r * width;
+    const Gf* row = rows + r * k;
+    bool first = true;
+    for (std::size_t c = 0; c < k; ++c) {
+      const Gf coef = row[c];
       if (coef == 0) continue;
-      const std::uint8_t* in = inputs[c];
-      for (std::size_t b = 0; b < width; ++b) {
-        out[b] = Gf256::add(out[b], Gf256::mul(coef, in[b]));
+      if (first) {
+        Gf256::mul_row(dst, inputs[c], width, coef);
+        first = false;
+      } else {
+        Gf256::mul_add_row(dst, inputs[c], width, coef);
       }
     }
+    if (first) std::memset(dst, 0, width);  // all-zero row
   }
 }
 
 }  // namespace
+
+bool invert_matrix_flat(Gf* m, std::size_t k, std::vector<Gf>& aug) {
+  // Augment with identity: aug is k rows × 2k cols, flat.
+  aug.assign(k * 2 * k, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::memcpy(aug.data() + i * 2 * k, m + i * k, k);
+    aug[i * 2 * k + k + i] = 1;
+  }
+
+  for (std::size_t col = 0; col < k; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < k && aug[pivot * 2 * k + col] == 0) ++pivot;
+    if (pivot == k) return false;  // singular
+    if (pivot != col) {
+      std::swap_ranges(aug.begin() + static_cast<std::ptrdiff_t>(pivot * 2 * k),
+                       aug.begin() + static_cast<std::ptrdiff_t>((pivot + 1) * 2 * k),
+                       aug.begin() + static_cast<std::ptrdiff_t>(col * 2 * k));
+    }
+
+    // Scale pivot row to 1.
+    Gf* prow = aug.data() + col * 2 * k;
+    const Gf inv = Gf256::inv(prow[col]);
+    Gf256::mul_row(prow, prow, 2 * k, inv);
+
+    // Eliminate other rows — a row-wide multiply-accumulate per row.
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      Gf* rrow = aug.data() + r * 2 * k;
+      const Gf factor = rrow[col];
+      if (factor == 0) continue;
+      Gf256::mul_add_row(rrow, prow, 2 * k, factor);
+    }
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    std::memcpy(m + i * k, aug.data() + i * 2 * k + k, k);
+  }
+  return true;
+}
 
 bool invert_matrix(std::vector<std::vector<Gf>>& m) {
   const std::size_t k = m.size();
   for (auto& r : m) {
     if (r.size() != k) return false;
   }
-
-  // Augment with identity.
-  std::vector<std::vector<Gf>> aug(k, std::vector<Gf>(2 * k, 0));
-  for (std::size_t i = 0; i < k; ++i) {
-    std::copy(m[i].begin(), m[i].end(), aug[i].begin());
-    aug[i][k + i] = 1;
-  }
-
-  for (std::size_t col = 0; col < k; ++col) {
-    // Find pivot.
-    std::size_t pivot = col;
-    while (pivot < k && aug[pivot][col] == 0) ++pivot;
-    if (pivot == k) return false;  // singular
-    std::swap(aug[pivot], aug[col]);
-
-    // Scale pivot row to 1.
-    const Gf inv = Gf256::inv(aug[col][col]);
-    for (auto& v : aug[col]) v = Gf256::mul(v, inv);
-
-    // Eliminate other rows.
-    for (std::size_t r = 0; r < k; ++r) {
-      if (r == col || aug[r][col] == 0) continue;
-      const Gf factor = aug[r][col];
-      for (std::size_t c = 0; c < 2 * k; ++c) {
-        aug[r][c] = Gf256::add(aug[r][c], Gf256::mul(factor, aug[col][c]));
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < k; ++i) {
-    std::copy(aug[i].begin() + static_cast<std::ptrdiff_t>(k), aug[i].end(), m[i].begin());
-  }
+  std::vector<Gf> flat(k * k);
+  for (std::size_t i = 0; i < k; ++i) std::memcpy(flat.data() + i * k, m[i].data(), k);
+  std::vector<Gf> aug;
+  if (!invert_matrix_flat(flat.data(), k, aug)) return false;
+  for (std::size_t i = 0; i < k; ++i) std::memcpy(m[i].data(), flat.data() + i * k, k);
   return true;
 }
 
@@ -79,10 +98,10 @@ ReedSolomon::ReedSolomon(std::uint32_t data_shards, std::uint32_t total_shards)
   // Vandermonde rows: V[r][c] = (r+1)^c. (Row value r+1 avoids the all-zero
   // row for r = 0 power progression degeneracy; any distinct non-zero
   // evaluation points work.)
-  std::vector<std::vector<Gf>> vand(n_, std::vector<Gf>(k_, 0));
+  std::vector<Gf> vand(static_cast<std::size_t>(n_) * k_, 0);
   for (std::uint32_t r = 0; r < n_; ++r) {
     for (std::uint32_t c = 0; c < k_; ++c) {
-      vand[r][c] = Gf256::pow(static_cast<Gf>(r + 1), c);
+      vand[static_cast<std::size_t>(r) * k_ + c] = Gf256::pow(static_cast<Gf>(r + 1), c);
     }
   }
 
@@ -90,18 +109,20 @@ ReedSolomon::ReedSolomon(std::uint32_t data_shards, std::uint32_t total_shards)
   // multiply the whole matrix by inverse(top block). Any k rows of the result
   // remain invertible because it differs from Vandermonde by a nonsingular
   // right factor.
-  std::vector<std::vector<Gf>> top(vand.begin(), vand.begin() + k_);
-  const bool ok = invert_matrix(top);
+  std::vector<Gf> top(vand.begin(), vand.begin() + static_cast<std::ptrdiff_t>(k_) * k_);
+  std::vector<Gf> aug;
+  const bool ok = invert_matrix_flat(top.data(), k_, aug);
   util::ensures(ok, "Vandermonde top block must be invertible");
 
-  matrix_.assign(n_, std::vector<Gf>(k_, 0));
+  matrix_.assign(static_cast<std::size_t>(n_) * k_, 0);
   for (std::uint32_t r = 0; r < n_; ++r) {
     for (std::uint32_t c = 0; c < k_; ++c) {
       Gf acc = 0;
       for (std::uint32_t i = 0; i < k_; ++i) {
-        acc = Gf256::add(acc, Gf256::mul(vand[r][i], top[i][c]));
+        acc = Gf256::add(acc, Gf256::mul(vand[static_cast<std::size_t>(r) * k_ + i],
+                                         top[static_cast<std::size_t>(i) * k_ + c]));
       }
-      matrix_[r][c] = acc;
+      matrix_[static_cast<std::size_t>(r) * k_ + c] = acc;
     }
   }
 }
@@ -111,64 +132,101 @@ std::size_t ReedSolomon::shard_size(std::size_t message_size) const {
   return (with_header + k_ - 1) / k_;
 }
 
-std::vector<Shard> ReedSolomon::encode(std::span<const std::uint8_t> message) const {
+EncodedShards ReedSolomon::encode_into(std::span<const std::uint8_t> message,
+                                       RsScratch& scratch) const {
   const std::size_t width = shard_size(message.size());
 
   // Layout: u32 length || message || zero padding, split row-major into k rows.
-  util::Bytes padded(width * k_, 0);
+  scratch.padded.assign(width * k_, 0);
   const auto len = static_cast<std::uint32_t>(message.size());
-  for (int i = 0; i < 4; ++i) padded[i] = static_cast<std::uint8_t>(len >> (8 * i));
-  std::memcpy(padded.data() + 4, message.data(), message.size());
+  for (int i = 0; i < 4; ++i) scratch.padded[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  if (!message.empty()) {
+    // (guarded: memcpy from a null data() of an empty span is UB)
+    std::memcpy(scratch.padded.data() + 4, message.data(), message.size());
+  }
 
-  std::vector<const std::uint8_t*> inputs(k_);
-  for (std::uint32_t c = 0; c < k_; ++c) inputs[c] = padded.data() + c * width;
+  scratch.inputs.resize(k_);
+  for (std::uint32_t c = 0; c < k_; ++c) scratch.inputs[c] = scratch.padded.data() + c * width;
 
-  std::vector<util::Bytes> coded;
-  matrix_apply(matrix_, inputs, width, coded);
+  // The top k×k block is the identity, so the first k output rows equal the
+  // input rows: memcpy them and run the kernel only over the parity rows.
+  scratch.coded.resize(static_cast<std::size_t>(n_) * width);
+  std::memcpy(scratch.coded.data(), scratch.padded.data(), width * k_);
+  if (n_ > k_) {
+    matrix_apply_flat(row(k_), n_ - k_, k_, scratch.inputs.data(), width,
+                      scratch.coded.data() + static_cast<std::size_t>(k_) * width);
+  }
+  return EncodedShards{scratch.coded.data(), width, n_};
+}
 
+std::vector<Shard> ReedSolomon::encode(std::span<const std::uint8_t> message) const {
+  RsScratch scratch;
+  const EncodedShards enc = encode_into(message, scratch);
   std::vector<Shard> out(n_);
   for (std::uint32_t r = 0; r < n_; ++r) {
-    out[r] = Shard{r, std::move(coded[r])};
+    const auto view = enc.shard(r);
+    out[r] = Shard{r, util::Bytes(view.begin(), view.end())};
   }
   return out;
 }
 
-std::optional<util::Bytes> ReedSolomon::decode(std::span<const Shard> shards) const {
+bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scratch,
+                              util::Bytes& out) const {
   // Select the first k distinct, in-range shards of consistent size.
-  std::vector<const Shard*> chosen;
+  auto& chosen = scratch.chosen;
+  chosen.clear();
   for (const auto& s : shards) {
     if (s.index >= n_) continue;
     const bool dup = std::any_of(chosen.begin(), chosen.end(),
-                                 [&](const Shard* c) { return c->index == s.index; });
+                                 [&](const ShardView* c) { return c->index == s.index; });
     if (dup) continue;
     if (!chosen.empty() && s.data.size() != chosen.front()->data.size()) continue;
     chosen.push_back(&s);
     if (chosen.size() == k_) break;
   }
-  if (chosen.size() < k_) return std::nullopt;
+  if (chosen.size() < k_) return false;
   const std::size_t width = chosen.front()->data.size();
-  if (width == 0) return std::nullopt;
+  if (width == 0) return false;
 
   // Invert the k×k submatrix of the rows we actually hold.
-  std::vector<std::vector<Gf>> sub(k_, std::vector<Gf>(k_));
-  for (std::uint32_t i = 0; i < k_; ++i) sub[i] = matrix_[chosen[i]->index];
-  if (!invert_matrix(sub)) return std::nullopt;
+  scratch.sub.resize(static_cast<std::size_t>(k_) * k_);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    std::memcpy(scratch.sub.data() + static_cast<std::size_t>(i) * k_, row(chosen[i]->index),
+                k_);
+  }
+  if (!invert_matrix_flat(scratch.sub.data(), k_, scratch.aug)) return false;
 
-  std::vector<const std::uint8_t*> inputs(k_);
-  for (std::uint32_t i = 0; i < k_; ++i) inputs[i] = chosen[i]->data.data();
+  scratch.inputs.resize(k_);
+  for (std::uint32_t i = 0; i < k_; ++i) scratch.inputs[i] = chosen[i]->data.data();
 
-  std::vector<util::Bytes> data_rows;
-  matrix_apply(sub, inputs, width, data_rows);
+  // Reconstruct the k data rows directly into a contiguous padded buffer —
+  // row c lands at offset c*width, so no reassembly copy is needed.
+  scratch.padded.resize(width * k_);
+  matrix_apply_flat(scratch.sub.data(), k_, k_, scratch.inputs.data(), width,
+                    scratch.padded.data());
 
-  // Reassemble and strip the length header + padding.
-  util::Bytes padded;
-  padded.reserve(width * k_);
-  for (const auto& row : data_rows) padded.insert(padded.end(), row.begin(), row.end());
-
+  // Strip the length header + padding.
+  if (scratch.padded.size() < 4) return false;  // too small to hold the header
   std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(padded[i]) << (8 * i);
-  if (len + 4 > padded.size()) return std::nullopt;  // corrupt/mismatched shards
-  return util::Bytes(padded.begin() + 4, padded.begin() + 4 + len);
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(scratch.padded[i]) << (8 * i);
+  }
+  // Compare without the `len + 4` wrap-around (a corrupt shard can put len
+  // near UINT32_MAX).
+  if (len > scratch.padded.size() - 4) return false;  // corrupt/mismatched shards
+  out.assign(scratch.padded.begin() + 4, scratch.padded.begin() + 4 + len);
+  return true;
+}
+
+std::optional<util::Bytes> ReedSolomon::decode(std::span<const Shard> shards) const {
+  std::vector<ShardView> views(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    views[i] = ShardView{shards[i].index, shards[i].data};
+  }
+  RsScratch scratch;
+  util::Bytes out;
+  if (!decode_into(views, scratch, out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace leopard::erasure

@@ -7,6 +7,15 @@
 // Construction: an n×k Vandermonde matrix row-reduced so its top k×k block is
 // the identity (systematic form). Every k×k submatrix of a Vandermonde-derived
 // matrix is invertible, which yields the any-k-of-n decoding property.
+//
+// Two API tiers:
+//   encode()/decode()           — allocating, value-returning (legacy callers,
+//                                 tests, one-shot use);
+//   encode_into()/decode_into() — allocation-free hot path. All working
+//                                 storage lives in a caller-owned RsScratch
+//                                 arena that is reused across calls, and
+//                                 inputs/outputs are spans over existing
+//                                 buffers (no per-shard copies).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,46 @@ struct Shard {
   util::Bytes data;
 };
 
+/// Non-owning view of a shard; the zero-copy decode input.
+struct ShardView {
+  std::uint32_t index = 0;
+  std::span<const std::uint8_t> data;
+};
+
+/// Reusable working storage for encode_into/decode_into. One scratch may be
+/// shared by any number of sequential calls (it grows to the high-water mark
+/// and never shrinks); it is not thread-safe.
+class RsScratch {
+ public:
+  RsScratch() = default;
+
+ private:
+  friend class ReedSolomon;
+  util::Bytes padded;                        // header+message+padding (k rows)
+  util::Bytes coded;                         // encode output arena (n rows)
+  std::vector<Gf> sub;                       // decode k×k submatrix, flat
+  std::vector<Gf> aug;                       // k×2k inversion workspace
+  std::vector<const std::uint8_t*> inputs;   // row pointers
+  std::vector<const ShardView*> chosen;      // selected decode shards
+};
+
+/// Result of encode_into: `count` shards of `width` bytes laid out
+/// contiguously in the scratch arena (shard i at base + i*width). Views stay
+/// valid until the next encode_into/decode_into on the same scratch.
+struct EncodedShards {
+  const std::uint8_t* base = nullptr;
+  std::size_t width = 0;
+  std::uint32_t count = 0;
+
+  [[nodiscard]] std::span<const std::uint8_t> shard(std::uint32_t i) const {
+    return {base + static_cast<std::size_t>(i) * width, width};
+  }
+  /// The whole arena: count*width bytes, shards back to back.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {base, static_cast<std::size_t>(count) * width};
+  }
+};
+
 class ReedSolomon {
  public:
   /// `data_shards` = k (f+1 in Leopard), `total_shards` = n; requires
@@ -38,6 +87,10 @@ class ReedSolomon {
   /// prepended internally so decode() can strip padding.
   [[nodiscard]] std::vector<Shard> encode(std::span<const std::uint8_t> message) const;
 
+  /// Zero-copy encode: shards are written into `scratch` and returned as
+  /// views. No allocation once the scratch has warmed up.
+  EncodedShards encode_into(std::span<const std::uint8_t> message, RsScratch& scratch) const;
+
   /// Size in bytes of each shard produced for a message of `message_size`.
   [[nodiscard]] std::size_t shard_size(std::size_t message_size) const;
 
@@ -47,14 +100,24 @@ class ReedSolomon {
   /// message; callers authenticate shards via Merkle proofs, Algorithm 3.)
   [[nodiscard]] std::optional<util::Bytes> decode(std::span<const Shard> shards) const;
 
+  /// Zero-copy decode: reads shard views in place, reconstructs into `out`
+  /// (reusing its capacity). Returns false on the same conditions decode()
+  /// returns nullopt.
+  bool decode_into(std::span<const ShardView> shards, RsScratch& scratch,
+                   util::Bytes& out) const;
+
  private:
   /// Row `r` of the systematic encoding matrix (length k).
-  [[nodiscard]] const std::vector<Gf>& row(std::uint32_t r) const { return matrix_[r]; }
+  [[nodiscard]] const Gf* row(std::uint32_t r) const { return matrix_.data() + r * k_; }
 
   std::uint32_t k_;
   std::uint32_t n_;
-  std::vector<std::vector<Gf>> matrix_;  // n rows × k cols, top k×k = identity
+  std::vector<Gf> matrix_;  // flat n×k row-major, top k×k = identity
 };
+
+/// Inverts a k×k row-major GF(256) matrix in place using `aug` (resized to
+/// k×2k) as workspace; returns false if singular.
+bool invert_matrix_flat(Gf* m, std::size_t k, std::vector<Gf>& aug);
 
 /// Inverts a square GF(256) matrix in place; returns false if singular.
 /// Exposed for tests.

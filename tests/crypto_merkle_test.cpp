@@ -2,6 +2,7 @@
 // parameterized sweep over leaf counts that the retrieval path depends on.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "crypto/merkle.hpp"
@@ -128,3 +129,25 @@ TEST_P(MerkleSweep, AllProofsVerify) {
 INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16, 17,
                                            21, 31, 32, 33, 40));
+
+TEST(Merkle, HashLeavesMatchesPerChunkHashLeaf) {
+  // hash_leaves carves a contiguous shard arena in place; it must equal
+  // hashing each chunk individually.
+  const std::size_t leaf_size = 37;
+  const std::size_t count = 9;
+  lu::Bytes buf(leaf_size * count);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i * 31);
+
+  const auto leaves = lc::MerkleTree::hash_leaves(buf, leaf_size);
+  ASSERT_EQ(leaves.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::span<const std::uint8_t> chunk(buf.data() + i * leaf_size, leaf_size);
+    EXPECT_EQ(leaves[i], lc::MerkleTree::hash_leaf(chunk)) << "chunk " << i;
+  }
+}
+
+TEST(Merkle, HashLeavesRejectsMisalignedBuffer) {
+  lu::Bytes buf(10);
+  EXPECT_THROW(lc::MerkleTree::hash_leaves(buf, 0), lu::ContractViolation);
+  EXPECT_THROW(lc::MerkleTree::hash_leaves(buf, 3), lu::ContractViolation);
+}
