@@ -864,16 +864,18 @@ void LeopardReplica::try_decode(const Digest& digest, Retrieval& ret) {
     if (chunks.size() < rs_.data_shards()) continue;
 
     // Decode straight from the buffered chunk messages: ShardView borrows each
-    // chunk's bytes, so nothing is copied on the way into the kernel.
-    std::vector<erasure::ShardView> shards;
-    shards.reserve(chunks.size());
+    // chunk's bytes, so nothing is copied on the way into the kernel (and the
+    // view vector itself is a reused member — this runs once per arriving
+    // chunk during a retrieval storm).
+    decode_views_.clear();
+    decode_views_.reserve(chunks.size());
     std::size_t total = 0;
     for (const auto& c : chunks) {
-      shards.push_back(erasure::ShardView{c->chunk_index, c->chunk});
+      decode_views_.push_back(erasure::ShardView{c->chunk_index, c->chunk});
       total += c->chunk.size();
     }
     charge(net_.costs().per_bytes(net_.costs().erasure_decode_per_byte_ns, total));
-    if (!rs_.decode_into(shards, rs_scratch_, decode_buf_)) continue;
+    if (!rs_.decode_into(decode_views_, rs_scratch_, decode_buf_)) continue;
 
     util::ByteReader r(decode_buf_);
     auto db = proto::Datablock::decode(r);

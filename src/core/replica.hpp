@@ -185,6 +185,7 @@ class LeopardReplica final : public sim::Node {
   erasure::RsScratch rs_scratch_;         // reusable arena for the zero-copy
                                           // encode/decode hot path
   util::Bytes decode_buf_;                // reconstructed datablock bytes
+  std::vector<erasure::ShardView> decode_views_;  // reused per try_decode call
 
   // Protocol state.
   proto::View view_ = 1;

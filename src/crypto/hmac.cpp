@@ -5,34 +5,77 @@
 
 namespace leopard::crypto {
 
-Sha256::DigestBytes hmac_sha256(std::span<const std::uint8_t> key,
-                                std::span<const std::uint8_t> message) {
-  constexpr std::size_t kBlockSize = 64;
+void HmacContext::init(std::span<const std::uint8_t> key) {
+  constexpr std::size_t kBlockSize = Sha256::kBlockSize;
 
   std::array<std::uint8_t, kBlockSize> key_block{};
   if (key.size() > kBlockSize) {
     const auto hashed = Sha256::hash(key);
     std::memcpy(key_block.data(), hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(key_block.data(), key.data(), key.size());
   }
 
-  std::array<std::uint8_t, kBlockSize> ipad{};
-  std::array<std::uint8_t, kBlockSize> opad{};
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
   for (std::size_t i = 0; i < kBlockSize; ++i) {
     ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
   }
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  const auto inner_digest = inner.finalize();
+  inner_ = Sha256();
+  outer_ = Sha256();
+  inner_.update(ipad);
+  outer_.update(opad);
+}
 
-  Sha256 outer;
-  outer.update(opad);
-  outer.update(inner_digest);
-  return outer.finalize();
+Sha256::DigestBytes HmacContext::mac(std::span<const std::uint8_t> message) const {
+  Sha256 in = inner_;
+  in.update(message);
+  const auto inner_digest = in.finalize();
+
+  Sha256 out = outer_;
+  out.update(inner_digest);
+  return out.finalize();
+}
+
+void HmacContext::mac_pair(std::span<const std::uint8_t> m0, std::span<const std::uint8_t> m1,
+                           Sha256::DigestBytes& out0, Sha256::DigestBytes& out1) const {
+  Sha256 in0 = inner_;
+  Sha256 in1 = inner_;
+  Sha256::update_two(in0, m0, in1, m1);
+  Sha256::DigestBytes d0;
+  Sha256::DigestBytes d1;
+  Sha256::finalize_two(in0, in1, d0, d1);
+
+  Sha256 o0 = outer_;
+  Sha256 o1 = outer_;
+  Sha256::update_two(o0, d0, o1, d1);
+  Sha256::finalize_two(o0, o1, out0, out1);
+}
+
+void HmacContext::mac_tagged_pair(std::uint8_t tag0, std::uint8_t tag1,
+                                  std::span<const std::uint8_t> message,
+                                  Sha256::DigestBytes& out0,
+                                  Sha256::DigestBytes& out1) const {
+  Sha256 in0 = inner_;
+  Sha256 in1 = inner_;
+  in0.update({&tag0, 1});
+  in1.update({&tag1, 1});
+  Sha256::update_two(in0, message, in1, message);
+  Sha256::DigestBytes d0;
+  Sha256::DigestBytes d1;
+  Sha256::finalize_two(in0, in1, d0, d1);
+
+  Sha256 o0 = outer_;
+  Sha256 o1 = outer_;
+  Sha256::update_two(o0, d0, o1, d1);
+  Sha256::finalize_two(o0, o1, out0, out1);
+}
+
+Sha256::DigestBytes hmac_sha256(std::span<const std::uint8_t> key,
+                                std::span<const std::uint8_t> message) {
+  return HmacContext(key).mac(message);
 }
 
 }  // namespace leopard::crypto

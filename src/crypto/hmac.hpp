@@ -1,5 +1,11 @@
 // HMAC-SHA-256 (RFC 2104), from scratch. Backs the deterministic threshold
 // signature scheme (see threshold_sig.hpp for the substitution rationale).
+//
+// HmacContext is the keyed hot path: constructing it compresses the
+// key ^ ipad / key ^ opad blocks once, so each mac() afterwards costs only
+// the message blocks plus two finalization blocks — the per-message key
+// schedule the free function pays on every call is amortized away. One
+// context per authenticated link/signer key is the intended usage.
 #pragma once
 
 #include <cstdint>
@@ -9,7 +15,40 @@
 
 namespace leopard::crypto {
 
-/// Computes HMAC-SHA-256(key, message).
+/// Reusable keyed HMAC-SHA-256 state with precomputed ipad/opad midstates.
+class HmacContext {
+ public:
+  /// Empty context; mac() must not be called before init().
+  HmacContext() = default;
+
+  /// Precomputes the pad schedules for `key` (hashed first if > 64 bytes).
+  explicit HmacContext(std::span<const std::uint8_t> key) { init(key); }
+
+  /// (Re)keys the context.
+  void init(std::span<const std::uint8_t> key);
+
+  /// HMAC(key, message).
+  [[nodiscard]] Sha256::DigestBytes mac(std::span<const std::uint8_t> message) const;
+
+  /// HMAC(key, m0) and HMAC(key, m1) with the inner and outer hashes running
+  /// through the two-lane compression driver.
+  void mac_pair(std::span<const std::uint8_t> m0, std::span<const std::uint8_t> m1,
+                Sha256::DigestBytes& out0, Sha256::DigestBytes& out1) const;
+
+  /// HMAC(key, tag0 || m) and HMAC(key, tag1 || m) — the threshold-signature
+  /// evaluation shape (two domain-separated MACs over one message), without
+  /// materializing the concatenations.
+  void mac_tagged_pair(std::uint8_t tag0, std::uint8_t tag1,
+                       std::span<const std::uint8_t> message, Sha256::DigestBytes& out0,
+                       Sha256::DigestBytes& out1) const;
+
+ private:
+  Sha256 inner_;  // midstate after absorbing key ^ ipad
+  Sha256 outer_;  // midstate after absorbing key ^ opad
+};
+
+/// Computes HMAC-SHA-256(key, message). One-shot convenience; repeated calls
+/// under one key should hold an HmacContext instead.
 Sha256::DigestBytes hmac_sha256(std::span<const std::uint8_t> key,
                                 std::span<const std::uint8_t> message);
 

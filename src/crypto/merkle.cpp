@@ -4,10 +4,20 @@
 
 namespace leopard::crypto {
 
+namespace {
+
+// hash_many reads Digest rows as raw bytes: a Digest is exactly its 32-byte
+// array, and vector<Digest> lays them out back to back.
+static_assert(sizeof(Digest) == Digest::kSize);
+
+constexpr std::uint8_t kLeafTag = 0x00;
+constexpr std::uint8_t kInteriorTag = 0x01;
+
+}  // namespace
+
 Digest MerkleTree::hash_leaf(std::span<const std::uint8_t> data) {
   Sha256 ctx;
-  const std::uint8_t tag = 0x00;
-  ctx.update({&tag, 1});
+  ctx.update({&kLeafTag, 1});
   ctx.update(data);
   return Digest(ctx.finalize());
 }
@@ -16,18 +26,20 @@ std::vector<Digest> MerkleTree::hash_leaves(std::span<const std::uint8_t> buf,
                                             std::size_t leaf_size) {
   util::expects(leaf_size > 0, "hash_leaves requires a non-zero leaf size");
   util::expects(buf.size() % leaf_size == 0, "buffer is not a whole number of leaves");
-  std::vector<Digest> leaves;
-  leaves.reserve(buf.size() / leaf_size);
-  for (std::size_t off = 0; off < buf.size(); off += leaf_size) {
-    leaves.push_back(hash_leaf(buf.subspan(off, leaf_size)));
-  }
+  const std::size_t count = buf.size() / leaf_size;
+  // The shards sit back to back in the arena, so they are exactly the
+  // equal-size rows the multi-buffer interface wants: adjacent leaves hash in
+  // paired lanes instead of one at a time, written straight into the Digest
+  // storage (licensed by the sizeof static_assert above).
+  std::vector<Digest> leaves(count);
+  Sha256::hash_many({&kLeafTag, 1}, buf.data(), leaf_size, leaf_size, count,
+                    reinterpret_cast<Sha256::DigestBytes*>(leaves.data()));
   return leaves;
 }
 
 Digest MerkleTree::hash_interior(const Digest& left, const Digest& right) {
   Sha256 ctx;
-  const std::uint8_t tag = 0x01;
-  ctx.update({&tag, 1});
+  ctx.update({&kInteriorTag, 1});
   ctx.update(left.bytes());
   ctx.update(right.bytes());
   return Digest(ctx.finalize());
@@ -38,11 +50,16 @@ MerkleTree::MerkleTree(std::vector<Digest> leaves) {
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
     const auto& below = levels_.back();
-    std::vector<Digest> above;
-    above.reserve((below.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
-      above.push_back(hash_interior(below[i], below[i + 1]));
-    }
+    const std::size_t pairs = below.size() / 2;
+    // Each interior node hashes 0x01 || left || right, and sibling digests
+    // are adjacent 64-byte rows of the level below — the same multi-buffer
+    // shape as the leaves.
+    std::vector<Digest> above(pairs);
+    above.reserve(pairs + below.size() % 2);
+    Sha256::hash_many({&kInteriorTag, 1},
+                      reinterpret_cast<const std::uint8_t*>(below.data()),
+                      2 * Digest::kSize, 2 * Digest::kSize, pairs,
+                      reinterpret_cast<Sha256::DigestBytes*>(above.data()));
     if (below.size() % 2 == 1) above.push_back(below.back());  // promote odd node
     levels_.push_back(std::move(above));
   }

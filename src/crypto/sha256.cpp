@@ -1,14 +1,27 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "util/check.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <x86intrin.h>
+#define LEOPARD_SHA256_HAS_SHANI 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#define LEOPARD_SHA256_HAS_ARMCE 1
+#endif
 
 namespace leopard::crypto {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+alignas(16) constexpr std::array<std::uint32_t, 64> kRoundConstants = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -20,6 +33,14 @@ constexpr std::array<std::uint32_t, 64> kRoundConstants = {
     0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+// ---------------------------------------------------------------------------
+// Portable kernel (the reference oracle)
+// ---------------------------------------------------------------------------
 
 inline std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 inline std::uint32_t big_sigma0(std::uint32_t x) { return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22); }
@@ -33,123 +54,544 @@ inline std::uint32_t maj(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
   return (x & y) ^ (x & z) ^ (y & z);
 }
 
+void compress_portable(std::uint32_t* state, const std::uint8_t* data, std::size_t nblocks) {
+  while (nblocks-- > 0) {
+    const std::uint8_t* block = data;
+    data += Sha256::kBlockSize;
+
+    std::array<std::uint32_t, 64> w{};
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) + w[i - 16];
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t t1 = h + big_sigma1(e) + ch(e, f, g) + kRoundConstants[i] + w[i];
+      const std::uint32_t t2 = big_sigma0(a) + maj(a, b, c);
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// x86 SHA-NI kernel
+// ---------------------------------------------------------------------------
+
+#if defined(LEOPARD_SHA256_HAS_SHANI)
+
+bool cpu_has_sha_ni() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  if ((ebx & (1u << 29)) == 0) return false;  // CPUID.7.0:EBX.SHA
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  // The kernel also uses pshufb (SSSE3) and pblendw (SSE4.1).
+  return (ecx & (1u << 9)) != 0 && (ecx & (1u << 19)) != 0;
+}
+
+// One 64-byte block on the (ABEF, CDGH) register layout the sha256rnds2
+// instruction wants. Marked always_inline so compress_shani_x2 lays two
+// independent dependency chains into one instruction window — the hardware's
+// out-of-order engine then overlaps them, which is where the multi-buffer
+// speedup comes from (sha256rnds2 has multi-cycle latency but pipelines).
+__attribute__((target("sha,sse4.1,ssse3"), always_inline)) inline void shani_one_block(
+    __m128i& state0, __m128i& state1, const std::uint8_t* p) {
+  const __m128i bswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  __m128i m0 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 0)), bswap);
+  __m128i m1 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)), bswap);
+  __m128i m2 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)), bswap);
+  __m128i m3 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)), bswap);
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  __m128i msg;
+
+// Four rounds: add the round constants for group `g` to the current message
+// vector and run both sha256rnds2 halves.
+#define LEOPARD_SHANI_ROUNDS4(g, cur)                                               \
+  msg = _mm_add_epi32(                                                              \
+      (cur), _mm_load_si128(reinterpret_cast<const __m128i*>(&kRoundConstants[4 * (g)]))); \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);                              \
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E))
+
+// Message-schedule step: extend `dst` (the next w-quad) from the quad that
+// just finished (`cur`) and its predecessor (`prev`).
+#define LEOPARD_SHANI_SCHED(dst, cur, prev) \
+  (dst) = _mm_sha256msg2_epu32(_mm_add_epi32((dst), _mm_alignr_epi8((cur), (prev), 4)), (cur))
+
+  LEOPARD_SHANI_ROUNDS4(0, m0);
+  LEOPARD_SHANI_ROUNDS4(1, m1);
+  m0 = _mm_sha256msg1_epu32(m0, m1);
+  LEOPARD_SHANI_ROUNDS4(2, m2);
+  m1 = _mm_sha256msg1_epu32(m1, m2);
+  LEOPARD_SHANI_ROUNDS4(3, m3);
+  LEOPARD_SHANI_SCHED(m0, m3, m2);
+  m2 = _mm_sha256msg1_epu32(m2, m3);
+  LEOPARD_SHANI_ROUNDS4(4, m0);
+  LEOPARD_SHANI_SCHED(m1, m0, m3);
+  m3 = _mm_sha256msg1_epu32(m3, m0);
+  LEOPARD_SHANI_ROUNDS4(5, m1);
+  LEOPARD_SHANI_SCHED(m2, m1, m0);
+  m0 = _mm_sha256msg1_epu32(m0, m1);
+  LEOPARD_SHANI_ROUNDS4(6, m2);
+  LEOPARD_SHANI_SCHED(m3, m2, m1);
+  m1 = _mm_sha256msg1_epu32(m1, m2);
+  LEOPARD_SHANI_ROUNDS4(7, m3);
+  LEOPARD_SHANI_SCHED(m0, m3, m2);
+  m2 = _mm_sha256msg1_epu32(m2, m3);
+  LEOPARD_SHANI_ROUNDS4(8, m0);
+  LEOPARD_SHANI_SCHED(m1, m0, m3);
+  m3 = _mm_sha256msg1_epu32(m3, m0);
+  LEOPARD_SHANI_ROUNDS4(9, m1);
+  LEOPARD_SHANI_SCHED(m2, m1, m0);
+  m0 = _mm_sha256msg1_epu32(m0, m1);
+  LEOPARD_SHANI_ROUNDS4(10, m2);
+  LEOPARD_SHANI_SCHED(m3, m2, m1);
+  m1 = _mm_sha256msg1_epu32(m1, m2);
+  LEOPARD_SHANI_ROUNDS4(11, m3);
+  LEOPARD_SHANI_SCHED(m0, m3, m2);
+  m2 = _mm_sha256msg1_epu32(m2, m3);
+  LEOPARD_SHANI_ROUNDS4(12, m0);
+  LEOPARD_SHANI_SCHED(m1, m0, m3);
+  m3 = _mm_sha256msg1_epu32(m3, m0);
+  LEOPARD_SHANI_ROUNDS4(13, m1);
+  LEOPARD_SHANI_SCHED(m2, m1, m0);
+  LEOPARD_SHANI_ROUNDS4(14, m2);
+  LEOPARD_SHANI_SCHED(m3, m2, m1);
+  LEOPARD_SHANI_ROUNDS4(15, m3);
+
+#undef LEOPARD_SHANI_SCHED
+#undef LEOPARD_SHANI_ROUNDS4
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+}
+
+// Converts the flat {a..h} state into the (ABEF, CDGH) register pair.
+__attribute__((target("sha,sse4.1,ssse3"), always_inline)) inline void shani_load_state(
+    const std::uint32_t* state, __m128i& state0, __m128i& state1) {
+  __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));      // a b c d
+  __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));  // e f g h
+  lo = _mm_shuffle_epi32(lo, 0xB1);                                           // CDAB
+  hi = _mm_shuffle_epi32(hi, 0x1B);                                           // EFGH
+  state0 = _mm_alignr_epi8(lo, hi, 8);                                        // ABEF
+  state1 = _mm_blend_epi16(hi, lo, 0xF0);                                     // CDGH
+}
+
+__attribute__((target("sha,sse4.1,ssse3"), always_inline)) inline void shani_store_state(
+    std::uint32_t* state, __m128i state0, __m128i state1) {
+  state0 = _mm_shuffle_epi32(state0, 0x1B);                                     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);                                     // DCHG
+  const __m128i lo = _mm_blend_epi16(state0, state1, 0xF0);                     // DCBA
+  const __m128i hi = _mm_alignr_epi8(state1, state0, 8);                        // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), lo);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), hi);
+}
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(std::uint32_t* state,
+                                                               const std::uint8_t* data,
+                                                               std::size_t nblocks) {
+  __m128i s0, s1;
+  shani_load_state(state, s0, s1);
+  while (nblocks-- > 0) {
+    shani_one_block(s0, s1, data);
+    data += Sha256::kBlockSize;
+  }
+  shani_store_state(state, s0, s1);
+}
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani_x2(
+    std::uint32_t* state_a, const std::uint8_t* da, std::uint32_t* state_b,
+    const std::uint8_t* db, std::size_t nblocks) {
+  __m128i a0, a1, b0, b1;
+  shani_load_state(state_a, a0, a1);
+  shani_load_state(state_b, b0, b1);
+  while (nblocks-- > 0) {
+    shani_one_block(a0, a1, da);
+    shani_one_block(b0, b1, db);
+    da += Sha256::kBlockSize;
+    db += Sha256::kBlockSize;
+  }
+  shani_store_state(state_a, a0, a1);
+  shani_store_state(state_b, b0, b1);
+}
+
+#endif  // LEOPARD_SHA256_HAS_SHANI
+
+// ---------------------------------------------------------------------------
+// ARMv8 crypto-extension kernel
+// ---------------------------------------------------------------------------
+
+#if defined(LEOPARD_SHA256_HAS_ARMCE)
+
+#if defined(__clang__)
+#define LEOPARD_ARMCE_TARGET __attribute__((target("sha2")))
+#else
+#define LEOPARD_ARMCE_TARGET __attribute__((target("arch=armv8-a+crypto")))
+#endif
+
+bool cpu_has_arm_sha2() {
+#if defined(__ARM_FEATURE_SHA2)
+  return true;  // baked into the build target
+#elif defined(__linux__)
+#ifndef HWCAP_SHA2
+#define HWCAP_SHA2 (1 << 6)
+#endif
+  return (getauxval(AT_HWCAP) & HWCAP_SHA2) != 0;
+#elif defined(__APPLE__)
+  return true;  // all Apple Silicon has the SHA-2 extensions
+#else
+  return false;
+#endif
+}
+
+LEOPARD_ARMCE_TARGET __attribute__((always_inline)) inline void armce_one_block(
+    uint32x4_t& abcd, uint32x4_t& efgh, const std::uint8_t* p) {
+  const uint32x4_t abcd_save = abcd;
+  const uint32x4_t efgh_save = efgh;
+  uint32x4_t m0 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 0)));
+  uint32x4_t m1 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 16)));
+  uint32x4_t m2 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 32)));
+  uint32x4_t m3 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 48)));
+  uint32x4_t wk, prev_abcd;
+
+// Four rounds with the constants of group `g`; `cur` is the w-quad entering
+// these rounds.
+#define LEOPARD_ARMCE_ROUNDS4(g, cur)                        \
+  wk = vaddq_u32((cur), vld1q_u32(&kRoundConstants[4 * (g)])); \
+  prev_abcd = abcd;                                          \
+  abcd = vsha256hq_u32(abcd, efgh, wk);                      \
+  efgh = vsha256h2q_u32(efgh, prev_abcd, wk)
+
+// Message-schedule step: w-quad `w` extended from the following three quads.
+#define LEOPARD_ARMCE_SCHED(w, wa, wb, wc) \
+  (w) = vsha256su1q_u32(vsha256su0q_u32((w), (wa)), (wb), (wc))
+
+  LEOPARD_ARMCE_ROUNDS4(0, m0);
+  LEOPARD_ARMCE_SCHED(m0, m1, m2, m3);
+  LEOPARD_ARMCE_ROUNDS4(1, m1);
+  LEOPARD_ARMCE_SCHED(m1, m2, m3, m0);
+  LEOPARD_ARMCE_ROUNDS4(2, m2);
+  LEOPARD_ARMCE_SCHED(m2, m3, m0, m1);
+  LEOPARD_ARMCE_ROUNDS4(3, m3);
+  LEOPARD_ARMCE_SCHED(m3, m0, m1, m2);
+  LEOPARD_ARMCE_ROUNDS4(4, m0);
+  LEOPARD_ARMCE_SCHED(m0, m1, m2, m3);
+  LEOPARD_ARMCE_ROUNDS4(5, m1);
+  LEOPARD_ARMCE_SCHED(m1, m2, m3, m0);
+  LEOPARD_ARMCE_ROUNDS4(6, m2);
+  LEOPARD_ARMCE_SCHED(m2, m3, m0, m1);
+  LEOPARD_ARMCE_ROUNDS4(7, m3);
+  LEOPARD_ARMCE_SCHED(m3, m0, m1, m2);
+  LEOPARD_ARMCE_ROUNDS4(8, m0);
+  LEOPARD_ARMCE_SCHED(m0, m1, m2, m3);
+  LEOPARD_ARMCE_ROUNDS4(9, m1);
+  LEOPARD_ARMCE_SCHED(m1, m2, m3, m0);
+  LEOPARD_ARMCE_ROUNDS4(10, m2);
+  LEOPARD_ARMCE_SCHED(m2, m3, m0, m1);
+  LEOPARD_ARMCE_ROUNDS4(11, m3);
+  LEOPARD_ARMCE_SCHED(m3, m0, m1, m2);
+  LEOPARD_ARMCE_ROUNDS4(12, m0);
+  LEOPARD_ARMCE_ROUNDS4(13, m1);
+  LEOPARD_ARMCE_ROUNDS4(14, m2);
+  LEOPARD_ARMCE_ROUNDS4(15, m3);
+
+#undef LEOPARD_ARMCE_SCHED
+#undef LEOPARD_ARMCE_ROUNDS4
+
+  abcd = vaddq_u32(abcd, abcd_save);
+  efgh = vaddq_u32(efgh, efgh_save);
+}
+
+LEOPARD_ARMCE_TARGET void compress_armce(std::uint32_t* state, const std::uint8_t* data,
+                                         std::size_t nblocks) {
+  uint32x4_t abcd = vld1q_u32(state);
+  uint32x4_t efgh = vld1q_u32(state + 4);
+  while (nblocks-- > 0) {
+    armce_one_block(abcd, efgh, data);
+    data += Sha256::kBlockSize;
+  }
+  vst1q_u32(state, abcd);
+  vst1q_u32(state + 4, efgh);
+}
+
+LEOPARD_ARMCE_TARGET void compress_armce_x2(std::uint32_t* state_a, const std::uint8_t* da,
+                                            std::uint32_t* state_b, const std::uint8_t* db,
+                                            std::size_t nblocks) {
+  uint32x4_t a_abcd = vld1q_u32(state_a);
+  uint32x4_t a_efgh = vld1q_u32(state_a + 4);
+  uint32x4_t b_abcd = vld1q_u32(state_b);
+  uint32x4_t b_efgh = vld1q_u32(state_b + 4);
+  while (nblocks-- > 0) {
+    armce_one_block(a_abcd, a_efgh, da);
+    armce_one_block(b_abcd, b_efgh, db);
+    da += Sha256::kBlockSize;
+    db += Sha256::kBlockSize;
+  }
+  vst1q_u32(state_a, a_abcd);
+  vst1q_u32(state_a + 4, a_efgh);
+  vst1q_u32(state_b, b_abcd);
+  vst1q_u32(state_b + 4, b_efgh);
+}
+
+#endif  // LEOPARD_SHA256_HAS_ARMCE
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*, std::size_t);
+using CompressX2Fn = void (*)(std::uint32_t*, const std::uint8_t*, std::uint32_t*,
+                              const std::uint8_t*, std::size_t);
+
+struct KernelOps {
+  CompressFn compress = nullptr;
+  CompressX2Fn compress_x2 = nullptr;  // null: two compress() calls instead
+};
+
+KernelOps ops_for(Sha256::Kernel k) {
+  switch (k) {
+#if defined(LEOPARD_SHA256_HAS_SHANI)
+    case Sha256::Kernel::kShaNi:
+      return {&compress_shani, &compress_shani_x2};
+#endif
+#if defined(LEOPARD_SHA256_HAS_ARMCE)
+    case Sha256::Kernel::kArmCe:
+      return {&compress_armce, &compress_armce_x2};
+#endif
+    default:
+      return {&compress_portable, nullptr};
+  }
+}
+
+Sha256::Kernel detect_kernel() {
+#if defined(LEOPARD_SHA256_HAS_SHANI)
+  if (cpu_has_sha_ni()) return Sha256::Kernel::kShaNi;
+#elif defined(LEOPARD_SHA256_HAS_ARMCE)
+  if (cpu_has_arm_sha2()) return Sha256::Kernel::kArmCe;
+#endif
+  return Sha256::Kernel::kPortable;
+}
+
+std::atomic<Sha256::Kernel>& kernel_slot() {
+  static std::atomic<Sha256::Kernel> k{detect_kernel()};
+  return k;
+}
+
+KernelOps active_ops() { return ops_for(kernel_slot().load(std::memory_order_relaxed)); }
+
 }  // namespace
 
-Sha256::Sha256() {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+bool Sha256::kernel_available(Kernel k) {
+  switch (k) {
+    case Kernel::kPortable:
+      return true;
+    case Kernel::kShaNi:
+#if defined(LEOPARD_SHA256_HAS_SHANI)
+      return cpu_has_sha_ni();
+#else
+      return false;
+#endif
+    case Kernel::kArmCe:
+#if defined(LEOPARD_SHA256_HAS_ARMCE)
+      return cpu_has_arm_sha2();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Sha256::Kernel Sha256::active_kernel() { return kernel_slot().load(std::memory_order_relaxed); }
+
+Sha256::Kernel Sha256::force_kernel(Kernel k) {
+  if (!kernel_available(k)) k = detect_kernel();
+  kernel_slot().store(k, std::memory_order_relaxed);
+  return k;
+}
+
+const char* Sha256::kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kPortable:
+      return "portable";
+    case Kernel::kShaNi:
+      return "sha_ni";
+    case Kernel::kArmCe:
+      return "arm_ce";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Single-stream context
+// ---------------------------------------------------------------------------
+
+Sha256::Sha256() { state_ = kInitialState; }
+
+std::span<const std::uint8_t> Sha256::drain_buffer(std::span<const std::uint8_t> data) {
+  // (guarded: memcpy from a null data() of an empty span is UB)
+  if (buffered_ == 0 || data.empty()) return data;
+  const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+  std::memcpy(buffer_.data() + buffered_, data.data(), take);
+  buffered_ += take;
+  if (buffered_ == kBlockSize) {
+    active_ops().compress(state_.data(), buffer_.data(), 1);
+    buffered_ = 0;
+  }
+  return data.subspan(take);
+}
+
+void Sha256::stash_tail(std::span<const std::uint8_t> tail) {
+  if (tail.empty()) return;
+  std::memcpy(buffer_.data() + buffered_, tail.data(), tail.size());
+  buffered_ += tail.size();
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   util::expects(!finalized_, "Sha256 reused after finalize");
   total_bytes_ += data.size();
-  std::size_t offset = 0;
-
-  if (buffered_ > 0) {
-    const std::size_t need = 64 - buffered_;
-    const std::size_t take = std::min(need, data.size());
-    std::memcpy(buffer_.data() + buffered_, data.data(), take);
-    buffered_ += take;
-    offset += take;
-    if (buffered_ == 64) {
-      process_block(buffer_.data());
-      buffered_ = 0;
-    }
+  data = drain_buffer(data);
+  const std::size_t nblocks = data.size() / kBlockSize;
+  if (nblocks > 0) {
+    active_ops().compress(state_.data(), data.data(), nblocks);
+    data = data.subspan(nblocks * kBlockSize);
   }
-
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
-  }
-
-  if (offset < data.size()) {
-    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
-    buffered_ = data.size() - offset;
-  }
+  stash_tail(data);
 }
 
-Sha256::DigestBytes Sha256::finalize() {
-  util::expects(!finalized_, "Sha256 reused after finalize");
-  finalized_ = true;
-
+std::size_t Sha256::build_final_blocks(std::uint8_t* tail) const {
+  // buffered message bytes || 0x80 || zeros || 8-byte big-endian bit length.
+  std::size_t len = buffered_;
+  std::memcpy(tail, buffer_.data(), len);
+  tail[len++] = 0x80;
+  const std::size_t nblocks = (len + 8 > kBlockSize) ? 2 : 1;
+  const std::size_t padded = nblocks * kBlockSize;
+  std::memset(tail + len, 0, padded - len - 8);
   const std::uint64_t bit_len = total_bytes_ * 8;
-
-  // Padding: 0x80, zeros, 8-byte big-endian bit length.
-  const std::uint8_t pad = 0x80;
-  absorb_padding(&pad, 1);
-  const std::uint8_t zero = 0;
-  while (buffered_ != 56) absorb_padding(&zero, 1);
-
-  std::array<std::uint8_t, 8> len_bytes{};
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    tail[padded - 8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  absorb_padding(len_bytes.data(), len_bytes.size());
-  util::ensures(buffered_ == 0, "sha256 padding invariant");
+  return nblocks;
+}
 
-  DigestBytes out{};
+void Sha256::emit_digest(DigestBytes& out) const {
   for (int i = 0; i < 8; ++i) {
     out[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
     out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
     out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
     out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
   }
+}
+
+Sha256::DigestBytes Sha256::finalize() {
+  util::expects(!finalized_, "Sha256 reused after finalize");
+  finalized_ = true;
+  std::array<std::uint8_t, 2 * kBlockSize> tail;
+  const std::size_t nblocks = build_final_blocks(tail.data());
+  active_ops().compress(state_.data(), tail.data(), nblocks);
+  DigestBytes out;
+  emit_digest(out);
   return out;
-}
-
-// Raw buffered writes used only by finalize(): bypasses the finalized_ guard
-// and the running byte count (the message length was already captured).
-void Sha256::absorb_padding(const std::uint8_t* data, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    buffer_[buffered_++] = data[i];
-    if (buffered_ == 64) {
-      process_block(buffer_.data());
-      buffered_ = 0;
-    }
-  }
-}
-
-void Sha256::process_block(const std::uint8_t* block) {
-  std::array<std::uint32_t, 64> w{};
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) + w[i - 16];
-  }
-
-  auto [a, b, c, d, e, f, g, h] = state_;
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t t1 = h + big_sigma1(e) + ch(e, f, g) + kRoundConstants[i] + w[i];
-    const std::uint32_t t2 = big_sigma0(a) + maj(a, b, c);
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
 }
 
 Sha256::DigestBytes Sha256::hash(std::span<const std::uint8_t> data) {
   Sha256 ctx;
   ctx.update(data);
   return ctx.finalize();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-buffer drivers
+// ---------------------------------------------------------------------------
+
+void Sha256::update_two(Sha256& a, std::span<const std::uint8_t> da, Sha256& b,
+                        std::span<const std::uint8_t> db) {
+  util::expects(!a.finalized_ && !b.finalized_, "Sha256 reused after finalize");
+  const KernelOps ops = active_ops();
+  a.total_bytes_ += da.size();
+  b.total_bytes_ += db.size();
+  da = a.drain_buffer(da);
+  db = b.drain_buffer(db);
+
+  const std::size_t na = da.size() / kBlockSize;
+  const std::size_t nb = db.size() / kBlockSize;
+  const std::size_t paired = ops.compress_x2 != nullptr ? std::min(na, nb) : 0;
+  if (paired > 0) {
+    ops.compress_x2(a.state_.data(), da.data(), b.state_.data(), db.data(), paired);
+  }
+  if (na > paired) {
+    ops.compress(a.state_.data(), da.data() + paired * kBlockSize, na - paired);
+  }
+  if (nb > paired) {
+    ops.compress(b.state_.data(), db.data() + paired * kBlockSize, nb - paired);
+  }
+  a.stash_tail(da.subspan(na * kBlockSize));
+  b.stash_tail(db.subspan(nb * kBlockSize));
+}
+
+void Sha256::finalize_two(Sha256& a, Sha256& b, DigestBytes& out_a, DigestBytes& out_b) {
+  util::expects(!a.finalized_ && !b.finalized_, "Sha256 reused after finalize");
+  a.finalized_ = true;
+  b.finalized_ = true;
+  std::array<std::uint8_t, 2 * kBlockSize> tail_a;
+  std::array<std::uint8_t, 2 * kBlockSize> tail_b;
+  const std::size_t blocks_a = a.build_final_blocks(tail_a.data());
+  const std::size_t blocks_b = b.build_final_blocks(tail_b.data());
+  const KernelOps ops = active_ops();
+  if (ops.compress_x2 != nullptr && blocks_a == blocks_b) {
+    ops.compress_x2(a.state_.data(), tail_a.data(), b.state_.data(), tail_b.data(), blocks_a);
+  } else {
+    ops.compress(a.state_.data(), tail_a.data(), blocks_a);
+    ops.compress(b.state_.data(), tail_b.data(), blocks_b);
+  }
+  a.emit_digest(out_a);
+  b.emit_digest(out_b);
+}
+
+void Sha256::hash_many(std::span<const std::uint8_t> prefix, const std::uint8_t* base,
+                       std::size_t stride, std::size_t len, std::size_t count,
+                       DigestBytes* out) {
+  util::expects(count == 0 || base != nullptr, "hash_many: null rows");
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    Sha256 a;
+    Sha256 b;
+    if (!prefix.empty()) {
+      a.update(prefix);
+      b.update(prefix);
+    }
+    update_two(a, {base + i * stride, len}, b, {base + (i + 1) * stride, len});
+    finalize_two(a, b, out[i], out[i + 1]);
+  }
+  if (i < count) {
+    Sha256 c;
+    if (!prefix.empty()) c.update(prefix);
+    c.update({base + i * stride, len});
+    out[i] = c.finalize();
+  }
 }
 
 }  // namespace leopard::crypto

@@ -2,6 +2,21 @@
 //
 // This is the β = 32-byte collision-resistant hash H(·) used throughout the
 // Leopard protocol: datablock/BFTblock digests, Merkle trees, vote targets.
+//
+// The compression function sits behind a runtime kernel dispatch mirroring
+// erasure::Gf256 (see docs/PERF.md):
+//
+//   kPortable — the original from-scratch round loop, retained as the
+//               byte-exact reference oracle for property tests;
+//   kShaNi    — x86 SHA extensions (sha256rnds2/sha256msg1/sha256msg2),
+//               one block in ~64 instructions;
+//   kArmCe    — ARMv8 crypto extensions (sha256h/sha256h2/sha256su0/su1).
+//
+// On top of the single-stream context there is a multi-buffer interface:
+// hash_many() and the update_two()/finalize_two() drivers run two independent
+// message streams through the compression function back to back, so the two
+// hardware dependency chains overlap in the out-of-order window. Merkle leaf
+// hashing and the HMAC-based vote evaluation both have this two-lane shape.
 #pragma once
 
 #include <array>
@@ -14,7 +29,28 @@ namespace leopard::crypto {
 class Sha256 {
  public:
   static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
   using DigestBytes = std::array<std::uint8_t, kDigestSize>;
+
+  // --- kernel dispatch ------------------------------------------------------
+
+  /// Which compression-function implementation update/finalize dispatch to.
+  enum class Kernel { kPortable, kShaNi, kArmCe };
+
+  /// Kernel currently in effect (auto-detected at startup, see force_kernel).
+  static Kernel active_kernel();
+
+  /// Human-readable name of `k` ("portable", "sha_ni", "arm_ce").
+  static const char* kernel_name(Kernel k);
+
+  /// Overrides dispatch, clamped to what this CPU supports; returns the
+  /// kernel actually installed. Intended for tests and benches.
+  static Kernel force_kernel(Kernel k);
+
+  /// True if `k` can run on this CPU/build.
+  static bool kernel_available(Kernel k);
+
+  // --- single-stream API ----------------------------------------------------
 
   Sha256();
 
@@ -27,12 +63,45 @@ class Sha256 {
   /// One-shot convenience.
   static DigestBytes hash(std::span<const std::uint8_t> data);
 
+  // --- multi-buffer interface -----------------------------------------------
+
+  /// Hashes `count` equal-size rows laid out at base + i*stride (row i is
+  /// `len` bytes): out[i] = H(prefix || row_i). Rows are paired into the
+  /// two-lane drivers below; this is the Merkle hash_leaves shape, where the
+  /// rows are erasure-coded shards back to back in an arena and `prefix` is
+  /// the 1-byte domain-separation tag.
+  static void hash_many(std::span<const std::uint8_t> prefix, const std::uint8_t* base,
+                        std::size_t stride, std::size_t len, std::size_t count,
+                        DigestBytes* out);
+
+  /// Absorbs `da` into `a` and `db` into `b`, pairing full blocks of the two
+  /// streams through the kernel's two-block driver. Equivalent to
+  /// a.update(da); b.update(db).
+  static void update_two(Sha256& a, std::span<const std::uint8_t> da, Sha256& b,
+                         std::span<const std::uint8_t> db);
+
+  /// Finalizes both contexts, pairing their padding blocks when the streams
+  /// are shaped alike. Equivalent to out_a = a.finalize(); out_b = b.finalize().
+  static void finalize_two(Sha256& a, Sha256& b, DigestBytes& out_a, DigestBytes& out_b);
+
  private:
-  void process_block(const std::uint8_t* block);
-  void absorb_padding(const std::uint8_t* data, std::size_t len);
+  /// Tops the carry buffer up from `data` and compresses it once full;
+  /// returns the unconsumed remainder. Post: buffered_ == 0 unless `data`
+  /// ran out before filling a whole block.
+  std::span<const std::uint8_t> drain_buffer(std::span<const std::uint8_t> data);
+
+  /// Stores a sub-block tail into the carry buffer (tail.size() < 64).
+  void stash_tail(std::span<const std::uint8_t> tail);
+
+  /// Builds the final padded tail (1 or 2 blocks) into `tail`; returns the
+  /// block count. Does not touch state_.
+  std::size_t build_final_blocks(std::uint8_t* tail) const;
+
+  /// Writes state_ out big-endian.
+  void emit_digest(DigestBytes& out) const;
 
   std::array<std::uint32_t, 8> state_{};
-  std::array<std::uint8_t, 64> buffer_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
   std::size_t buffered_ = 0;
   std::uint64_t total_bytes_ = 0;
   bool finalized_ = false;

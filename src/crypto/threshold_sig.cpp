@@ -15,34 +15,33 @@ ThresholdScheme::ThresholdScheme(std::uint32_t n, std::uint32_t threshold, std::
   util::expects(threshold >= 1 && threshold <= n, "threshold must be in [1, n]");
 
   // Trusted key generation: master key plus per-signer keys derived from it.
+  // Each key's HMAC pad schedule is compressed once here; every subsequent
+  // sign/verify reuses the midstates.
   util::Rng rng(seed ^ 0x7e0bafd5u);
-  master_key_.resize(32);
-  rng.fill(master_key_.data(), master_key_.size());
+  util::Bytes master_key(32);
+  rng.fill(master_key.data(), master_key.size());
+  master_ctx_.init(master_key);
 
-  signer_keys_.reserve(n);
+  signer_ctxs_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    util::ByteWriter w;
+    util::ByteWriter w(32);
     w.str("leopard.tsig.signer");
     w.u32(i);
-    const auto derived = hmac_sha256(master_key_, w.bytes());
-    signer_keys_.emplace_back(derived.begin(), derived.end());
+    const auto derived = master_ctx_.mac(w.bytes());
+    signer_ctxs_.emplace_back(derived);
   }
 }
 
-SignatureBytes ThresholdScheme::evaluate(std::span<const std::uint8_t> key,
+SignatureBytes ThresholdScheme::evaluate(const HmacContext& ctx,
                                          std::span<const std::uint8_t> message) const {
   // 48-byte output: HMAC(key, 0x00 || m) || first 16 bytes of HMAC(key, 0x01 || m).
+  // The two domain-separated MACs share one message, so their inner and outer
+  // hashes run as a two-lane pair.
+  Sha256::DigestBytes h0;
+  Sha256::DigestBytes h1;
+  ctx.mac_tagged_pair(0x00, 0x01, message, h0, h1);
   SignatureBytes out{};
-  util::ByteWriter w0;
-  w0.u8(0x00);
-  w0.raw(message);
-  const auto h0 = hmac_sha256(key, w0.bytes());
   std::memcpy(out.data(), h0.data(), 32);
-
-  util::ByteWriter w1;
-  w1.u8(0x01);
-  w1.raw(message);
-  const auto h1 = hmac_sha256(key, w1.bytes());
   std::memcpy(out.data() + 32, h1.data(), 16);
   return out;
 }
@@ -50,13 +49,13 @@ SignatureBytes ThresholdScheme::evaluate(std::span<const std::uint8_t> key,
 SignatureShare ThresholdScheme::sign_share(SignerIndex i,
                                            std::span<const std::uint8_t> message) const {
   util::expects(i < n_, "signer index out of range");
-  return SignatureShare{i, evaluate(signer_keys_[i], message)};
+  return SignatureShare{i, evaluate(signer_ctxs_[i], message)};
 }
 
 bool ThresholdScheme::verify_share(std::span<const std::uint8_t> message,
                                    const SignatureShare& share) const {
   if (share.signer >= n_) return false;
-  return evaluate(signer_keys_[share.signer], message) == share.bytes;
+  return evaluate(signer_ctxs_[share.signer], message) == share.bytes;
 }
 
 std::optional<ThresholdSignature> ThresholdScheme::combine(
@@ -71,12 +70,12 @@ std::optional<ThresholdSignature> ThresholdScheme::combine(
   }
   if (seen.size() < threshold_) return std::nullopt;
   // Unique-signature property: the combined value depends only on the message.
-  return ThresholdSignature{evaluate(master_key_, message)};
+  return ThresholdSignature{evaluate(master_ctx_, message)};
 }
 
 bool ThresholdScheme::verify(std::span<const std::uint8_t> message,
                              const ThresholdSignature& sig) const {
-  return evaluate(master_key_, message) == sig.bytes;
+  return evaluate(master_ctx_, message) == sig.bytes;
 }
 
 }  // namespace leopard::crypto

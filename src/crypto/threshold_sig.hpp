@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "crypto/digest.hpp"
+#include "crypto/hmac.hpp"
 #include "util/bytes.hpp"
 
 namespace leopard::crypto {
@@ -102,13 +103,15 @@ class ThresholdScheme {
   }
 
  private:
-  [[nodiscard]] SignatureBytes evaluate(std::span<const std::uint8_t> key,
+  [[nodiscard]] SignatureBytes evaluate(const HmacContext& ctx,
                                         std::span<const std::uint8_t> message) const;
 
   std::uint32_t n_;
   std::uint32_t threshold_;
-  util::Bytes master_key_;
-  std::vector<util::Bytes> signer_keys_;
+  // Keyed HMAC midstates, precomputed once per key at setup: signing/verifying
+  // a vote costs only the message blocks, not a fresh key schedule per call.
+  HmacContext master_ctx_;
+  std::vector<HmacContext> signer_ctxs_;
 };
 
 }  // namespace leopard::crypto

@@ -219,6 +219,65 @@ __attribute__((target("ssse3"))) void mul_row_ssse3(std::uint8_t* dst, const std
 }
 
 bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+// AVX2 widening of the split-nibble kernel: the two 16-entry tables are
+// broadcast into both halves of a ymm register (vpshufb shuffles within each
+// 128-bit lane, so both halves need the same table) and each iteration
+// multiplies 64 bytes.
+__attribute__((target("avx2"))) void mul_add_row_avx2(std::uint8_t* dst,
+                                                      const std::uint8_t* src, std::size_t n,
+                                                      const std::uint8_t* nib,
+                                                      const std::uint8_t* table) {
+  const __m256i lo_tab = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi_tab = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i p0 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s0, mask)),
+        _mm256_shuffle_epi8(hi_tab, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask)));
+    const __m256i p1 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s1, mask)),
+        _mm256_shuffle_epi8(hi_tab, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask)));
+    const __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d0, p0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), _mm256_xor_si256(d1, p1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i p = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(hi_tab, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, p));
+  }
+  for (; i < n; ++i) dst[i] ^= table[src[i]];
+}
+
+__attribute__((target("avx2"))) void mul_row_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                  std::size_t n, const std::uint8_t* nib,
+                                                  const std::uint8_t* table) {
+  const __m256i lo_tab = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi_tab = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i p = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(hi_tab, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), p);
+  }
+  for (; i < n; ++i) dst[i] = table[src[i]];
+}
 
 #endif  // LEOPARD_GF256_HAS_SSSE3
 
@@ -267,6 +326,7 @@ void mul_row_neon(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
 
 Gf256::Kernel detect_kernel() {
 #if defined(LEOPARD_GF256_HAS_SSSE3)
+  if (cpu_has_avx2()) return Gf256::Kernel::kAvx2;
   if (cpu_has_ssse3()) return Gf256::Kernel::kSsse3;
 #elif defined(LEOPARD_GF256_HAS_NEON)
   return Gf256::Kernel::kNeon;
@@ -289,6 +349,12 @@ bool Gf256::kernel_available(Kernel k) {
     case Kernel::kSsse3:
 #if defined(LEOPARD_GF256_HAS_SSSE3)
       return cpu_has_ssse3();
+#else
+      return false;
+#endif
+    case Kernel::kAvx2:
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+      return cpu_has_avx2();
 #else
       return false;
 #endif
@@ -320,6 +386,8 @@ const char* Gf256::kernel_name(Kernel k) {
       return "ssse3";
     case Kernel::kNeon:
       return "neon";
+    case Kernel::kAvx2:
+      return "avx2";
   }
   return "unknown";
 }
@@ -351,6 +419,9 @@ void Gf256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t 
     case Kernel::kSsse3:
       mul_add_row_ssse3(dst, src, n, nibble_table(coef), mul_row_table(coef));
       return;
+    case Kernel::kAvx2:
+      mul_add_row_avx2(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
 #endif
 #if defined(LEOPARD_GF256_HAS_NEON)
     case Kernel::kNeon:
@@ -380,6 +451,9 @@ void Gf256::mul_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, G
 #if defined(LEOPARD_GF256_HAS_SSSE3)
     case Kernel::kSsse3:
       mul_row_ssse3(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
+    case Kernel::kAvx2:
+      mul_row_avx2(dst, src, n, nibble_table(coef), mul_row_table(coef));
       return;
 #endif
 #if defined(LEOPARD_GF256_HAS_NEON)

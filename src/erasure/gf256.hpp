@@ -12,7 +12,11 @@
 //                iteration via 64-bit loads/XOR-stores;
 //   kSsse3     — the ISA-L/klauspost split-nibble technique: two 16-entry
 //                tables per coefficient, 32 bytes per iteration via pshufb
-//                (NEON tbl on aarch64 builds).
+//                (NEON tbl on aarch64 builds);
+//   kAvx2      — the same split-nibble technique widened to 32-byte lanes:
+//                the nibble tables are broadcast into both 128-bit halves of
+//                a ymm register and vpshufb shuffles within each half, 64
+//                bytes per iteration.
 //
 // All kernels produce byte-identical output; tests sweep every available
 // kernel against kScalarRef.
@@ -41,12 +45,13 @@ class Gf256 {
   // --- bulk row kernels (the erasure-coding hot path) ----------------------
 
   /// Which bulk implementation mul_row/mul_add_row dispatch to.
-  enum class Kernel { kScalarRef, kScalar64, kSsse3, kNeon };
+  enum class Kernel { kScalarRef, kScalar64, kSsse3, kNeon, kAvx2 };
 
   /// Kernel currently in effect (auto-detected at startup, see force_kernel).
   static Kernel active_kernel();
 
-  /// Human-readable name of `k` ("scalar_ref", "scalar64", "ssse3", "neon").
+  /// Human-readable name of `k` ("scalar_ref", "scalar64", "ssse3", "neon",
+  /// "avx2").
   static const char* kernel_name(Kernel k);
 
   /// Overrides dispatch, clamped to what this CPU supports; returns the

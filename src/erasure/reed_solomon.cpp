@@ -34,6 +34,21 @@ void matrix_apply_flat(const Gf* rows, std::size_t r_count, std::size_t k,
   }
 }
 
+/// Strips the u32 length header + zero padding off a reconstructed padded
+/// buffer into `out`. Returns false on a corrupt/inconsistent header.
+bool unpack_padded(const util::Bytes& padded, util::Bytes& out) {
+  if (padded.size() < 4) return false;  // too small to hold the header
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(padded[i]) << (8 * i);
+  }
+  // Compare without the `len + 4` wrap-around (a corrupt shard can put len
+  // near UINT32_MAX).
+  if (len > padded.size() - 4) return false;  // corrupt/mismatched shards
+  out.assign(padded.begin() + 4, padded.begin() + 4 + len);
+  return true;
+}
+
 }  // namespace
 
 bool invert_matrix_flat(Gf* m, std::size_t k, std::vector<Gf>& aug) {
@@ -188,6 +203,20 @@ bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scra
   const std::size_t width = chosen.front()->data.size();
   if (width == 0) return false;
 
+  // Systematic fast path: k distinct in-range indices all below k means we
+  // hold every data row, so reassembly is pure memcpy — no submatrix
+  // inversion and no kernel work (ROADMAP: decode fast path).
+  bool all_systematic = true;
+  for (const auto* c : chosen) all_systematic = all_systematic && c->index < k_;
+  if (all_systematic) {
+    scratch.padded.resize(width * k_);
+    for (const auto* c : chosen) {
+      std::memcpy(scratch.padded.data() + static_cast<std::size_t>(c->index) * width,
+                  c->data.data(), width);
+    }
+    return unpack_padded(scratch.padded, out);
+  }
+
   // Invert the k×k submatrix of the rows we actually hold.
   scratch.sub.resize(static_cast<std::size_t>(k_) * k_);
   for (std::uint32_t i = 0; i < k_; ++i) {
@@ -204,18 +233,7 @@ bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scra
   scratch.padded.resize(width * k_);
   matrix_apply_flat(scratch.sub.data(), k_, k_, scratch.inputs.data(), width,
                     scratch.padded.data());
-
-  // Strip the length header + padding.
-  if (scratch.padded.size() < 4) return false;  // too small to hold the header
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(scratch.padded[i]) << (8 * i);
-  }
-  // Compare without the `len + 4` wrap-around (a corrupt shard can put len
-  // near UINT32_MAX).
-  if (len > scratch.padded.size() - 4) return false;  // corrupt/mismatched shards
-  out.assign(scratch.padded.begin() + 4, scratch.padded.begin() + 4 + len);
-  return true;
+  return unpack_padded(scratch.padded, out);
 }
 
 std::optional<util::Bytes> ReedSolomon::decode(std::span<const Shard> shards) const {

@@ -1,38 +1,157 @@
 #include "sim/event_queue.hpp"
 
+#include "util/check.hpp"
+
 namespace leopard::sim {
 
-EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn) {
-  auto flag = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++,
-                   std::make_shared<std::function<void()>>(std::move(fn)), flag});
-  return EventHandle(std::move(flag));
+// ---------------------------------------------------------------------------
+// Slab
+// ---------------------------------------------------------------------------
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    slots_[idx].next_free = kNilSlot;
+    return idx;
+  }
+  util::expects(slots_.size() < kSlotMask, "event slab exhausted (2^24 concurrent events)");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn.reset();
+  s.live = false;  // invalidates outstanding handles and heap entries
+  s.next_free = free_head_;
+  free_head_ = idx;
 }
 
-std::optional<SimTime> EventQueue::next_time() {
-  drop_cancelled();
-  if (heap_.empty()) return std::nullopt;
-  return heap_.top().at;
+// ---------------------------------------------------------------------------
+// 4-ary heap (logical indices; see phys() for the cache-aligned layout)
+// ---------------------------------------------------------------------------
+
+void EventQueue::sift_up(std::size_t logical) const {
+  const HeapEntry e = at_logical(logical);
+  while (logical > 0) {
+    const std::size_t parent = (logical - 1) / 4;
+    if (!earlier(e, at_logical(parent))) break;
+    at_logical(logical) = at_logical(parent);
+    logical = parent;
+  }
+  at_logical(logical) = e;
+}
+
+void EventQueue::sift_down(std::size_t logical) const {
+  const std::size_t n = heap_count_;
+  const HeapEntry e = at_logical(logical);
+  for (;;) {
+    const std::size_t first = 4 * logical + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    // Pull the likely next sibling group toward the cache while this level's
+    // comparisons run; on deep heaps the walk is miss-bound.
+    const std::size_t pf = phys(4 * first + 1);
+    if (pf < heap_.size()) __builtin_prefetch(heap_.data() + pf);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(at_logical(c), at_logical(best))) best = c;
+    }
+    if (!earlier(at_logical(best), e)) break;
+    at_logical(logical) = at_logical(best);
+    logical = best;
+  }
+  at_logical(logical) = e;
+}
+
+void EventQueue::pop_root() const {
+  --heap_count_;
+  if (heap_count_ > 0) {
+    heap_[0] = at_logical(heap_count_);
+    sift_down(0);
+  }
+}
+
+void EventQueue::prune_dead_top() const {
+  while (heap_count_ > 0 && !entry_live(heap_[0])) {
+    pop_root();
+    --dead_count_;
+  }
+}
+
+void EventQueue::maybe_compact() {
+  // Deterministic reclamation: once cancelled entries outnumber live ones
+  // (and there are enough to matter), filter and rebuild in O(n). Without
+  // this, a workload that schedules and cancels long-dated timers (client
+  // resubmission, retrieval, view-change escalation) grows the heap without
+  // bound — the seed design's exact failure mode.
+  if (dead_count_ < 64 || dead_count_ * 2 < heap_count_) return;
+  std::size_t kept = 0;
+  for (std::size_t l = 0; l < heap_count_; ++l) {
+    if (entry_live(at_logical(l))) {
+      at_logical(kept) = at_logical(l);
+      ++kept;
+    }
+  }
+  heap_count_ = kept;
+  dead_count_ = 0;
+  if (kept > 1) {
+    for (std::size_t l = (kept - 2) / 4 + 1; l-- > 0;) sift_down(l);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+EventHandle EventQueue::commit_slot(SimTime at, std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  const std::uint64_t seq = next_seq_++;
+  util::expects(seq < (std::uint64_t{1} << 40), "event sequence space exhausted");
+  s.seq = seq;
+  s.live = true;
+  const std::size_t logical = heap_count_++;
+  const std::size_t p = phys(logical);
+  if (p >= heap_.size()) heap_.resize(p + 1);
+  heap_[p] = HeapEntry{at, (seq << kSlotBits) | idx};
+  sift_up(logical);
+  ++live_count_;
+  return EventHandle(this, seq, idx);
+}
+
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint64_t seq) {
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.seq != seq) return;  // already fired/cancelled, or recycled
+  release_slot(slot);
+  --live_count_;
+  ++dead_count_;
+  maybe_compact();
+}
+
+std::optional<SimTime> EventQueue::next_time() const {
+  prune_dead_top();
+  if (heap_count_ == 0) return std::nullopt;
+  return heap_[0].at;
 }
 
 std::optional<EventQueue::Popped> EventQueue::pop_next(SimTime limit) {
-  drop_cancelled();
-  if (heap_.empty() || heap_.top().at > limit) return std::nullopt;
-  // Copy the (cheap, shared) entry out before running so the callback can
-  // schedule new events freely.
-  Entry e = heap_.top();
-  heap_.pop();
-  return Popped{e.at, std::move(e.fn)};
+  prune_dead_top();
+  if (heap_count_ == 0 || heap_[0].at > limit) return std::nullopt;
+  const HeapEntry top = heap_[0];
+  pop_root();
+  const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+  EventCallback fn = std::move(slots_[slot].fn);
+  release_slot(slot);
+  --live_count_;
+  return Popped{top.at, std::move(fn)};
 }
 
 std::optional<SimTime> EventQueue::run_next(SimTime limit) {
   auto popped = pop_next(limit);
   if (!popped) return std::nullopt;
-  (*popped->second)();
+  popped->second();
   return popped->first;
 }
 

@@ -68,8 +68,11 @@ void Network::send(NodeId from, NodeId to, PayloadPtr msg) {
   }
 
   const SimTime arrival = depart + cfg_.propagation_delay + extra_delay(from, to);
-  sim_.schedule_at(arrival,
-                   [this, from, to, msg = std::move(msg), size] { arrive(from, to, msg, size); });
+  auto deliver = [this, from, to, msg = std::move(msg), size] { arrive(from, to, msg, size); };
+  // The hop must stay allocation-free: the delivery closure has to fit the
+  // event queue's inline callback storage.
+  static_assert(sizeof(deliver) <= EventCallback::kInlineCapacity);
+  sim_.schedule_at(arrival, std::move(deliver));
 }
 
 void Network::arrive(NodeId from, NodeId to, const PayloadPtr& msg, std::size_t size) {
@@ -115,11 +118,13 @@ void Network::process_inbox_front(NodeId to) {
   const SimTime start = std::max(sim_.now(), r.cpu_busy_until);
   r.cpu_busy_until = start + cpu_cost;
 
-  sim_.schedule_at(r.cpu_busy_until, [this, to, from = d.from, msg = std::move(d.msg)] {
+  auto dispatch = [this, to, from = d.from, msg = std::move(d.msg)] {
     nodes_[to]->on_message(from, msg);
     states_[to].dispatch_busy = false;
     maybe_dispatch(to);
-  });
+  };
+  static_assert(sizeof(dispatch) <= EventCallback::kInlineCapacity);
+  sim_.schedule_at(r.cpu_busy_until, std::move(dispatch));
 }
 
 void Network::multicast(NodeId from, std::span<const NodeId> targets, const PayloadPtr& msg) {

@@ -1,17 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
 #include <limits>
 
 namespace leopard::sim {
-
-EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
-  return schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
-  return queue_.schedule(std::max(at, now_), std::move(fn));
-}
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t executed = 0;
@@ -19,7 +10,7 @@ std::size_t Simulator::run_until(SimTime deadline) {
   // fire time.
   while (auto e = queue_.pop_next(deadline)) {
     now_ = e->first;
-    (*e->second)();
+    e->second();
     ++executed;
   }
   now_ = std::max(now_, deadline);
@@ -30,7 +21,7 @@ std::size_t Simulator::run_to_completion() {
   std::size_t executed = 0;
   while (auto e = queue_.pop_next(std::numeric_limits<SimTime>::max())) {
     now_ = e->first;
-    (*e->second)();
+    e->second();
     ++executed;
   }
   return executed;

@@ -1,7 +1,7 @@
 // Simulation clock and scheduler: the single driver of all activity in a run.
 #pragma once
 
-#include <functional>
+#include <algorithm>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -13,10 +13,18 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+  /// Accepts any void() callable; small captures are stored allocation-free
+  /// (see EventCallback).
+  template <typename F>
+  EventHandle schedule_after(SimTime delay, F&& fn) {
+    return schedule_at(now_ + std::max<SimTime>(delay, 0), std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  template <typename F>
+  EventHandle schedule_at(SimTime at, F&& fn) {
+    return queue_.schedule(std::max(at, now_), std::forward<F>(fn));
+  }
 
   /// Runs events until the queue is exhausted or `deadline` is passed;
   /// advances the clock to min(deadline, last event). Returns the number of
@@ -26,6 +34,9 @@ class Simulator {
   /// Runs until no events remain (use with care: open-loop workloads never
   /// drain). Returns the number of events executed.
   std::size_t run_to_completion();
+
+  /// Number of live scheduled events (diagnostics / capacity planning).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
  private:
   EventQueue queue_;

@@ -1,22 +1,54 @@
 // SHA-256 / HMAC-SHA-256 correctness against published test vectors
-// (FIPS 180-4 examples and RFC 4231).
+// (FIPS 180-4 examples and RFC 4231), plus kernel-parity property sweeps:
+// every available hardware kernel must be byte-identical to the portable
+// reference across sizes, chunkings, and the multi-buffer drivers.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "crypto/digest.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "util/bytes.hpp"
 #include "util/hex.hpp"
+#include "util/rng.hpp"
 
 namespace lc = leopard::crypto;
 namespace lu = leopard::util;
 
 namespace {
+
 std::string hash_hex(std::string_view msg) {
   return lu::to_hex(lc::Sha256::hash(lu::as_bytes(msg)));
 }
+
+/// Restores the auto-detected kernel when a test that forces one exits.
+class Sha256KernelGuard {
+ public:
+  Sha256KernelGuard() : prev_(lc::Sha256::active_kernel()) {}
+  ~Sha256KernelGuard() { lc::Sha256::force_kernel(prev_); }
+
+ private:
+  lc::Sha256::Kernel prev_;
+};
+
+std::vector<lc::Sha256::Kernel> all_available_kernels() {
+  std::vector<lc::Sha256::Kernel> out;
+  for (const auto k : {lc::Sha256::Kernel::kPortable, lc::Sha256::Kernel::kShaNi,
+                       lc::Sha256::Kernel::kArmCe}) {
+    if (lc::Sha256::kernel_available(k)) out.push_back(k);
+  }
+  return out;
+}
+
+lu::Bytes random_bytes(std::size_t size, std::uint64_t seed) {
+  lu::Bytes out(size);
+  lu::Rng rng(seed);
+  rng.fill(out.data(), out.size());
+  return out;
+}
+
 }  // namespace
 
 TEST(Sha256, EmptyMessage) {
@@ -129,4 +161,168 @@ TEST(HmacSha256, Rfc4231Case6_LongKey) {
       key, lu::as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
   EXPECT_EQ(lu::to_hex(result),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacContext, ReusedContextMatchesOneShot) {
+  const auto key = lu::from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const lc::HmacContext ctx(key);
+  // A context is reusable: repeated MACs under one key must all match the
+  // one-shot function (which redoes the pad schedule every call).
+  for (const std::string_view msg : {"Hi There", "", "another message entirely"}) {
+    EXPECT_EQ(lu::to_hex(ctx.mac(lu::as_bytes(msg))),
+              lu::to_hex(lc::hmac_sha256(key, lu::as_bytes(msg))))
+        << "msg=" << msg;
+  }
+}
+
+TEST(HmacContext, PairApisMatchSequentialMacs) {
+  const auto key = random_bytes(32, 901);
+  const lc::HmacContext ctx(key);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{40}, std::size_t{64},
+                                std::size_t{1000}}) {
+    const auto m0 = random_bytes(len, 902 + len);
+    const auto m1 = random_bytes(len + 17, 903 + len);  // asymmetric lengths
+    lc::Sha256::DigestBytes p0, p1;
+    ctx.mac_pair(m0, m1, p0, p1);
+    EXPECT_EQ(p0, ctx.mac(m0)) << "len=" << len;
+    EXPECT_EQ(p1, ctx.mac(m1)) << "len=" << len;
+
+    // Tagged pair: HMAC(key, tag || m) without materializing the concat.
+    lc::Sha256::DigestBytes t0, t1;
+    ctx.mac_tagged_pair(0x00, 0x01, m0, t0, t1);
+    lu::Bytes cat0, cat1;
+    cat0.push_back(0x00);
+    cat0.insert(cat0.end(), m0.begin(), m0.end());
+    cat1.push_back(0x01);
+    cat1.insert(cat1.end(), m0.begin(), m0.end());
+    EXPECT_EQ(t0, ctx.mac(cat0)) << "len=" << len;
+    EXPECT_EQ(t1, ctx.mac(cat1)) << "len=" << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch and parity
+// ---------------------------------------------------------------------------
+
+TEST(Sha256Kernel, PortableAlwaysAvailable) {
+  EXPECT_TRUE(lc::Sha256::kernel_available(lc::Sha256::Kernel::kPortable));
+  // force_kernel clamps unsupported requests to the detected kernel.
+  Sha256KernelGuard guard;
+  const auto installed = lc::Sha256::force_kernel(lc::Sha256::Kernel::kPortable);
+  EXPECT_EQ(installed, lc::Sha256::Kernel::kPortable);
+  EXPECT_EQ(lc::Sha256::active_kernel(), lc::Sha256::Kernel::kPortable);
+}
+
+TEST(Sha256Kernel, FipsVectorsPassUnderEveryKernel) {
+  Sha256KernelGuard guard;
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    SCOPED_TRACE(lc::Sha256::kernel_name(kernel));
+    // FIPS 180-4 examples plus the NIST 896-bit two-block message.
+    EXPECT_EQ(hash_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(hash_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    EXPECT_EQ(hash_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+                       "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+              "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+    lc::Sha256 ctx;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) ctx.update(lu::as_bytes(chunk));
+    EXPECT_EQ(lu::to_hex(ctx.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+  }
+}
+
+TEST(Sha256Kernel, ParitySweepAgainstPortableReference) {
+  Sha256KernelGuard guard;
+  // Sizes straddling every padding/buffering boundary up to 1 MiB.
+  const std::size_t sizes[] = {0,   1,   3,    55,   56,    63,    64,       65,
+                               127, 128, 129,  192,  1000,  4096,  65535,    65536,
+                               1u << 20};
+  for (const std::size_t size : sizes) {
+    const auto msg = random_bytes(size, size * 2654435761u + 17);
+    lc::Sha256::force_kernel(lc::Sha256::Kernel::kPortable);
+    const auto expected = lc::Sha256::hash(msg);
+    for (const auto kernel : all_available_kernels()) {
+      lc::Sha256::force_kernel(kernel);
+      EXPECT_EQ(lc::Sha256::hash(msg), expected)
+          << "size=" << size << " kernel=" << lc::Sha256::kernel_name(kernel);
+    }
+  }
+}
+
+TEST(Sha256Kernel, ChunkedIncrementalUpdatesMatchOneShot) {
+  Sha256KernelGuard guard;
+  const auto msg = random_bytes(10000, 404);
+  lc::Sha256::force_kernel(lc::Sha256::Kernel::kPortable);
+  const auto expected = lc::Sha256::hash(msg);
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    // Deterministically varied chunk sizes exercise the carry-buffer paths:
+    // sub-block dribbles, exact blocks, and multi-block spans.
+    lu::Rng rng(505);
+    lc::Sha256 ctx;
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      const std::size_t take = std::min<std::size_t>(rng.uniform(300) + 1, msg.size() - off);
+      ctx.update({msg.data() + off, take});
+      off += take;
+    }
+    EXPECT_EQ(ctx.finalize(), expected) << lc::Sha256::kernel_name(kernel);
+  }
+}
+
+TEST(Sha256Kernel, UpdateTwoMatchesSequentialForAsymmetricStreams) {
+  Sha256KernelGuard guard;
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    // Asymmetric lengths force the paired driver through its unpaired tails.
+    for (const auto [la, lb] : {std::pair<std::size_t, std::size_t>{0, 0},
+                                {1, 200},
+                                {64, 64},
+                                {63, 65},
+                                {1000, 5000},
+                                {4096, 4096}}) {
+      const auto da = random_bytes(la, la * 31 + 1);
+      const auto db = random_bytes(lb, lb * 37 + 2);
+      lc::Sha256 a, b;
+      lc::Sha256::update_two(a, da, b, db);
+      lc::Sha256::DigestBytes out_a, out_b;
+      lc::Sha256::finalize_two(a, b, out_a, out_b);
+      EXPECT_EQ(out_a, lc::Sha256::hash(da))
+          << "la=" << la << " kernel=" << lc::Sha256::kernel_name(kernel);
+      EXPECT_EQ(out_b, lc::Sha256::hash(db))
+          << "lb=" << lb << " kernel=" << lc::Sha256::kernel_name(kernel);
+    }
+  }
+}
+
+TEST(Sha256Kernel, HashManyMatchesIndividualHashes) {
+  Sha256KernelGuard guard;
+  const std::uint8_t tag = 0x00;
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    // Odd and even counts (odd leaves a single-lane remainder), strides equal
+    // to and larger than the row length.
+    for (const std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                                    std::size_t{16}}) {
+      for (const std::size_t len : {std::size_t{1}, std::size_t{64}, std::size_t{1024}}) {
+        const std::size_t stride = len + (count % 2 == 0 ? 0 : 8);
+        const auto arena = random_bytes(stride * count, count * 1009 + len);
+        std::vector<lc::Sha256::DigestBytes> got(count);
+        lc::Sha256::hash_many({&tag, 1}, arena.data(), stride, len, count, got.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          lc::Sha256 ref;
+          ref.update({&tag, 1});
+          ref.update({arena.data() + i * stride, len});
+          EXPECT_EQ(got[i], ref.finalize())
+              << "i=" << i << " count=" << count << " len=" << len << " kernel="
+              << lc::Sha256::kernel_name(kernel);
+        }
+      }
+    }
+  }
 }

@@ -1,0 +1,211 @@
+// EventQueue stress and property tests for the slab/generation-handle
+// design: interleaved schedule/cancel/pop against a reference model,
+// deterministic tie-breaking, slot-recycling (ABA) safety, and a 1M-event
+// soak. Complements the behavioural tests in sim_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace ls = leopard::sim;
+namespace lu = leopard::util;
+
+TEST(EventQueueStress, MillionEventsPopInTimeThenInsertionOrder) {
+  ls::EventQueue q;
+  constexpr std::size_t kEvents = 1'000'000;
+  // Many ties (time buckets) so both orderings are exercised at scale.
+  lu::Rng rng(42);
+  std::vector<ls::SimTime> times(kEvents);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    times[i] = static_cast<ls::SimTime>(rng.uniform(10000));
+    q.schedule(times[i], [&fired] { ++fired; });
+  }
+  EXPECT_EQ(q.size(), kEvents);
+
+  ls::SimTime prev_at = -1;
+  std::uint64_t pops = 0;
+  while (auto e = q.pop_next(20000)) {
+    EXPECT_GE(e->first, prev_at);
+    prev_at = e->first;
+    e->second();
+    ++pops;
+  }
+  EXPECT_EQ(pops, kEvents);
+  EXPECT_EQ(fired, kEvents);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, TieBreakingIsInsertionOrderAcrossSlotReuse) {
+  // Slots recycle between rounds; the global sequence counter must still
+  // order same-time events by schedule() call order.
+  ls::EventQueue q;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    order.clear();
+    for (int i = 0; i < 100; ++i) {
+      q.schedule(7, [&order, i] { order.push_back(i); });
+    }
+    while (q.run_next(100)) {
+    }
+    std::vector<int> expected(100);
+    for (int i = 0; i < 100; ++i) expected[i] = i;
+    EXPECT_EQ(order, expected) << "round " << round;
+  }
+}
+
+TEST(EventQueueStress, InterleavedScheduleCancelPopMatchesModel) {
+  // Reference model: multimap keyed by (time, seq) mirroring the queue's
+  // contract. Random interleaving of schedule/cancel/pop must agree exactly.
+  ls::EventQueue q;
+  struct ModelEvent {
+    std::uint64_t id;
+    bool cancelled = false;
+  };
+  std::map<std::pair<ls::SimTime, std::uint64_t>, ModelEvent> model;
+  std::vector<ls::EventHandle> handles;
+  std::vector<std::pair<ls::SimTime, std::uint64_t>> handle_keys;
+
+  lu::Rng rng(99);
+  std::uint64_t next_id = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> fired;
+  std::vector<std::uint64_t> expected_fired;
+
+  for (int step = 0; step < 200000; ++step) {
+    const auto action = rng.uniform(100);
+    if (action < 55) {
+      // Schedule.
+      const auto at = static_cast<ls::SimTime>(rng.uniform(1000));
+      const std::uint64_t id = next_id++;
+      handles.push_back(q.schedule(at, [&fired, id] { fired.push_back(id); }));
+      handle_keys.emplace_back(at, seq);
+      model.emplace(std::make_pair(at, seq++), ModelEvent{id});
+    } else if (action < 75 && !handles.empty()) {
+      // Cancel a random outstanding handle (possibly already fired/cancelled).
+      const std::size_t pick = rng.uniform(handles.size());
+      handles[pick].cancel();
+      const auto it = model.find(handle_keys[pick]);
+      if (it != model.end()) it->second.cancelled = true;
+    } else {
+      // Pop the earliest live event with no limit.
+      auto popped = q.pop_next(2000);
+      // Advance the model to its earliest uncancelled entry.
+      while (!model.empty() && model.begin()->second.cancelled) model.erase(model.begin());
+      if (model.empty()) {
+        EXPECT_FALSE(popped.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(popped.has_value()) << "step " << step;
+        EXPECT_EQ(popped->first, model.begin()->first.first) << "step " << step;
+        expected_fired.push_back(model.begin()->second.id);
+        model.erase(model.begin());
+        auto cb = std::move(popped->second);
+        cb();
+      }
+    }
+  }
+  EXPECT_EQ(fired, expected_fired);
+  EXPECT_EQ(q.size(), [&] {
+    std::size_t live = 0;
+    for (const auto& [key, ev] : model) live += ev.cancelled ? 0 : 1;
+    return live;
+  }());
+}
+
+TEST(EventQueueStress, StaleHandleCannotCancelRecycledSlot) {
+  // ABA safety: a handle kept past its event's cancellation must not affect a
+  // newer event that recycled the same slab slot.
+  ls::EventQueue q;
+  bool first_ran = false;
+  auto stale = q.schedule(10, [&first_ran] { first_ran = true; });
+  stale.cancel();
+  EXPECT_TRUE(q.empty());
+
+  bool second_ran = false;
+  auto fresh = q.schedule(20, [&second_ran] { second_ran = true; });
+  stale.cancel();  // stale generation: must be a no-op
+  EXPECT_FALSE(q.empty());
+  while (q.run_next(100)) {
+  }
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+
+  fresh.cancel();  // after firing: also a no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, ConstEmptyAndNextTimeSeeThroughCancellations) {
+  ls::EventQueue q;
+  std::vector<ls::EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(q.schedule(100 + i, [] {}));
+  }
+  // Cancel the earliest few; const readers must report the first live event.
+  for (int i = 0; i < 5; ++i) handles[i].cancel();
+  const ls::EventQueue& cq = q;
+  EXPECT_FALSE(cq.empty());
+  ASSERT_TRUE(cq.next_time().has_value());
+  EXPECT_EQ(*cq.next_time(), 105);
+
+  for (int i = 5; i < 10; ++i) handles[i].cancel();
+  EXPECT_TRUE(cq.empty());
+  EXPECT_FALSE(cq.next_time().has_value());
+}
+
+TEST(EventQueueStress, MassCancellationReclaimsHeapDeterministically) {
+  // Schedule far-future timers and cancel nearly all of them, repeatedly —
+  // the pattern of view-change/retrieval timers. The queue must keep working
+  // and still fire the survivors in order (compaction must not lose or
+  // reorder anything).
+  ls::EventQueue q;
+  std::vector<int> fired;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<ls::EventHandle> handles;
+    for (int i = 0; i < 1000; ++i) {
+      const int id = round * 1000 + i;
+      handles.push_back(q.schedule(1'000'000 + id, [&fired, id] { fired.push_back(id); }));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (i % 100 != 0) handles[i].cancel();  // keep every 100th
+    }
+  }
+  EXPECT_EQ(q.size(), 50u * 10u);
+  std::vector<int> expected;
+  while (auto e = q.run_next(10'000'000)) {
+  }
+  ASSERT_EQ(fired.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(EventQueueStress, LargeCallbacksFallBackToHeapStorage) {
+  // Captures bigger than the inline buffer must still work (heap fallback).
+  ls::EventQueue q;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineCapacity
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 3 + 1;
+  std::uint64_t sum = 0;
+  q.schedule(1, [big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  while (q.run_next(10)) {
+  }
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) expected += i * 3 + 1;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(EventQueueStress, CallbacksOwningResourcesAreDestroyedOnCancel) {
+  // Cancelling must release the callback's resources immediately (the slab
+  // reclaims the slot); shared_ptr use-count makes that observable.
+  ls::EventQueue q;
+  auto token = std::make_shared<int>(7);
+  auto h = q.schedule(50, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(token.use_count(), 1);
+}

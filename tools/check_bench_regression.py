@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a bench_hotpath JSON record against the committed baseline.
+
+Only machine-portable *ratio* metrics are compared (speedups of one kernel
+over another on the same machine in the same run); absolute MB/s, events/s,
+and wall-clock numbers vary across runner hardware and are recorded purely
+as trajectory data.
+
+Policy: a metric fails when it regresses more than TOLERANCE below the
+committed baseline AND also falls below its hard acceptance floor (the
+floors bench_hotpath itself enforces). The floor override keeps noisy shared
+runners from flagging a run that still meets the PR's acceptance criteria.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+Exit status: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.30
+
+# (json path, hard acceptance floor or None)
+METRICS = [
+    ("sha256.speedup_one_shot", 4.0),
+    ("sha256.speedup_hash_many", None),
+    ("hmac.speedup", None),
+    ("event_queue.speedup", 5.0),
+    ("gf256.avx2_vs_ssse3", 1.5),
+]
+
+
+def lookup(record, dotted):
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            baseline = json.load(f)
+        with open(argv[2]) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'metric':<28} {'baseline':>10} {'current':>10} {'min ok':>10}  verdict")
+    for path, floor in METRICS:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        if base is None or cur is None:
+            # Kernel not available on one of the machines (e.g. no AVX2):
+            # nothing portable to compare.
+            print(f"{path:<28} {'-':>10} {'-':>10} {'-':>10}  skipped")
+            continue
+        min_ok = base * (1.0 - TOLERANCE)
+        ok = cur >= min_ok or (floor is not None and cur >= floor)
+        verdict = "ok" if ok else "REGRESSION"
+        if not ok:
+            failures.append(path)
+        print(f"{path:<28} {base:>10.2f} {cur:>10.2f} {min_ok:>10.2f}  {verdict}")
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} metric(s) regressed >{TOLERANCE:.0%} "
+              f"below the committed trajectory: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
