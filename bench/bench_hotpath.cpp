@@ -28,6 +28,7 @@
 
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/threshold_sig.hpp"
 #include "erasure/gf256.hpp"
 #include "erasure/reed_solomon.hpp"
 #include "harness/experiment.hpp"
@@ -198,6 +199,58 @@ HmacTiming run_hmac(double min_time) {
       elapsed = seconds_since(start);
     } while (elapsed < min_time);
     t.fresh_ops_s = iters / elapsed;
+  }
+  return t;
+}
+
+struct VoteCombineTiming {
+  double batched_shares_s = 0;
+  double scalar_shares_s = 0;
+};
+
+/// Leader vote aggregation at the fig09 n=100 point: combine() over a
+/// 2f+1 = 67-share quorum. Batched = the production combine() (cross-keyed
+/// two-lane share pairs); scalar = the pre-batching shape, one full
+/// verify_share() per share plus the master evaluation.
+VoteCombineTiming run_vote_combine(double min_time) {
+  constexpr std::uint32_t kN = 100;
+  constexpr std::uint32_t kQuorum = 67;
+  const lc::ThresholdScheme ts(kN, kQuorum, 99);
+  lu::Bytes msg(32);
+  lu::Rng rng(555);
+  rng.fill(msg.data(), msg.size());
+
+  std::vector<lc::SignatureShare> shares;
+  shares.reserve(kQuorum);
+  for (std::uint32_t i = 0; i < kQuorum; ++i) shares.push_back(ts.sign_share(i, msg));
+  const auto combined = ts.combine(msg, shares);
+
+  VoteCombineTiming t;
+  {
+    volatile bool sink = false;
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    do {
+      sink = sink ^ ts.combine(msg, shares).has_value();
+      ++iters;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    t.batched_shares_s = static_cast<double>(kQuorum) * iters / elapsed;
+  }
+  {
+    volatile bool sink = false;
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    do {
+      bool ok = true;
+      for (const auto& s : shares) ok = ok && ts.verify_share(msg, s);
+      sink = sink ^ (ok && ts.verify(msg, *combined));
+      ++iters;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    t.scalar_shares_s = static_cast<double>(kQuorum) * iters / elapsed;
   }
   return t;
 }
@@ -420,6 +473,15 @@ int main(int argc, char** argv) {
   std::printf(",\"hmac\":{\"context_ops_s\":%s,\"fresh_ops_s\":%s,\"speedup\":%s}",
               fmt1(hmac.context_ops_s).c_str(), fmt1(hmac.fresh_ops_s).c_str(),
               fmt2(hmac_speedup).c_str());
+
+  // --- Vote combine (batched share verification) ----------------------------
+  const auto vc = run_vote_combine(min_time);
+  const double vc_speedup =
+      vc.scalar_shares_s > 0 ? vc.batched_shares_s / vc.scalar_shares_s : 0;
+  std::printf(",\"vote_combine\":{\"quorum\":67,\"batched_shares_s\":%s,"
+              "\"scalar_shares_s\":%s,\"speedup\":%s}",
+              fmt1(vc.batched_shares_s).c_str(), fmt1(vc.scalar_shares_s).c_str(),
+              fmt2(vc_speedup).c_str());
 
   // --- EventQueue -----------------------------------------------------------
   const auto eq = run_event_queue(eq_depth, eq_ops, eq_timeouts);

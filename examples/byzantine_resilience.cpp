@@ -19,6 +19,7 @@
 #include "core/client.hpp"
 #include "core/replica.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocol/factory.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,19 +40,21 @@ int main() {
   cfg.bftblock_links = 2;
   cfg.view_timeout = 2 * sim::kSecond;
 
-  std::vector<std::unique_ptr<core::LeopardReplica>> replicas;
+  std::vector<protocol::SimReplica> handles;
+  std::vector<core::LeopardReplica*> replicas;
   for (std::uint32_t id = 0; id < kReplicas; ++id) {
-    core::ByzantineSpec byz;
+    protocol::ProtocolSpec spec;
+    spec.config = cfg;
     if (id == 5) {
-      byz.selective_recipients = 4;  // s = 2f: blocks link, f replicas must retrieve
-      byz.ignore_queries = true;     // ...and it refuses to help retrieval
+      // s = 2f: blocks link, f replicas must retrieve...
+      spec.byzantine.selective_recipients = 4;
+      spec.byzantine.ignore_queries = true;  // ...and it refuses to help retrieval
     }
     if (id == 1) {
-      byz.crash_at = 4 * sim::kSecond;  // phase 2: view-1 leader goes silent
+      spec.byzantine.crash_at = 4 * sim::kSecond;  // phase 2: view-1 leader goes silent
     }
-    replicas.push_back(
-        std::make_unique<core::LeopardReplica>(network, cfg, scheme, metrics, id, byz));
-    network.add_node(replicas.back().get());
+    handles.push_back(protocol::make_sim_replica(network, metrics, spec, scheme, id));
+    replicas.push_back(&handles.back().as<core::LeopardReplica>());
   }
 
   std::vector<std::unique_ptr<core::LeopardClient>> clients;

@@ -16,6 +16,7 @@
 #include "core/client.hpp"
 #include "core/replica.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocol/factory.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
@@ -126,15 +127,15 @@ int main() {
 
   // One KV state machine per replica, applied via the execution handler.
   std::vector<KvStore> stores(kReplicas);
-  std::vector<std::unique_ptr<core::LeopardReplica>> replicas;
+  std::vector<protocol::SimReplica> replicas;
   for (std::uint32_t id = 0; id < kReplicas; ++id) {
-    core::ByzantineSpec byz;
-    if (id == 6) byz.selective_recipients = 4;  // s = 2f: linked, yet f replicas must retrieve
-    replicas.push_back(
-        std::make_unique<core::LeopardReplica>(network, cfg, scheme, metrics, id, byz));
-    replicas.back()->set_execution_handler(
+    protocol::ProtocolSpec spec;
+    spec.config = cfg;
+    // s = 2f: linked, yet f replicas must retrieve
+    if (id == 6) spec.byzantine.selective_recipients = 4;
+    replicas.push_back(protocol::make_sim_replica(network, metrics, spec, scheme, id));
+    replicas.back().as<core::LeopardReplica>().set_execution_handler(
         [&stores, id](const proto::Request& r) { stores[id].apply(r); });
-    network.add_node(replicas.back().get());
   }
 
   std::vector<std::unique_ptr<KvClient>> clients;

@@ -11,6 +11,7 @@
 #include "core/client.hpp"
 #include "core/replica.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocol/factory.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,17 +31,18 @@ int main() {
   // 3. Metrics sink shared by all parties.
   core::ProtocolMetrics metrics;
 
-  // 4. Four Leopard replicas. Replica ids must equal network node ids, so
-  //    replicas register first.
+  // 4. Four Leopard replicas: sans-I/O protocol cores hosted by SimEnv
+  //    adapters. make_sim_replica registers each with the network (replica
+  //    ids must equal network node ids, so replicas register first).
   core::LeopardConfig cfg;
   cfg.n = kReplicas;
   cfg.datablock_requests = 100;  // small batches: this is a demo, not a bench
   cfg.bftblock_links = 2;
-  std::vector<std::unique_ptr<core::LeopardReplica>> replicas;
+  protocol::ProtocolSpec spec;
+  spec.config = cfg;
+  std::vector<protocol::SimReplica> replicas;
   for (std::uint32_t id = 0; id < kReplicas; ++id) {
-    replicas.push_back(
-        std::make_unique<core::LeopardReplica>(network, cfg, scheme, metrics, id));
-    network.add_node(replicas.back().get());
+    replicas.push_back(protocol::make_sim_replica(network, metrics, spec, scheme, id));
   }
 
   // 5. Clients submit to non-leader replicas (view 1's leader is replica 1).
@@ -71,18 +73,19 @@ int main() {
   std::printf("  mean latency          : %.1f ms\n", metrics.mean_latency_sec() * 1e3);
 
   std::printf("\nPer-replica view of the log:\n");
-  for (const auto& replica : replicas) {
+  for (const auto& handle : replicas) {
+    const auto& replica = handle.as<core::LeopardReplica>();
     std::printf("  replica %u: executed through sn=%llu, state digest %s\n",
-                replica->id(),
-                static_cast<unsigned long long>(replica->executed_through()),
-                replica->state_digest().short_hex().c_str());
+                replica.id(),
+                static_cast<unsigned long long>(replica.executed_through()),
+                replica.state_digest().short_hex().c_str());
   }
 
   // Safety check: every pair of replicas agrees on every confirmed position.
-  const auto reference = replicas[0]->confirmed_log();
+  const auto& reference = replicas[0].as<core::LeopardReplica>().confirmed_log();
   bool consistent = true;
-  for (const auto& replica : replicas) {
-    for (const auto& [sn, digest] : replica->confirmed_log()) {
+  for (const auto& handle : replicas) {
+    for (const auto& [sn, digest] : handle.as<core::LeopardReplica>().confirmed_log()) {
       const auto it = reference.find(sn);
       if (it != reference.end() && it->second != digest) consistent = false;
     }

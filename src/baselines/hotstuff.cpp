@@ -9,24 +9,32 @@ namespace leopard::baselines {
 using crypto::Digest;
 using proto::ReplicaId;
 using proto::SeqNum;
+using protocol::Metric;
 
-HotStuffReplica::HotStuffReplica(sim::Network& net, HotStuffConfig cfg,
-                                 const crypto::ThresholdScheme& ts,
-                                 core::ProtocolMetrics& metrics, ReplicaId id)
-    : net_(net), cfg_(cfg), ts_(ts), metrics_(metrics), id_(id) {
+namespace {
+constexpr protocol::TimerToken kProposalFlushToken = 1;
+}  // namespace
+
+HotStuffReplica::HotStuffReplica(HotStuffConfig cfg, const crypto::ThresholdScheme& ts,
+                                 ReplicaId id)
+    : cfg_(cfg), ts_(ts), id_(id) {
   util::expects(cfg_.n >= 4, "HotStuff baseline requires n >= 4");
-  replica_ids_.resize(cfg_.n);
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) replica_ids_[i] = i;
 }
 
-void HotStuffReplica::start() {
+void HotStuffReplica::do_start() {
   if (is_leader()) proposal_flush_tick();
 }
 
-void HotStuffReplica::on_message(sim::NodeId from, const sim::PayloadPtr& msg) {
-  if (auto m = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(msg)) {
-    handle_client_request(*m);
-  } else if (auto b = std::dynamic_pointer_cast<const proto::BaselineBlockMsg>(msg)) {
+void HotStuffReplica::do_timer(protocol::TimerToken token) {
+  if (token == kProposalFlushToken) proposal_flush_tick();
+}
+
+void HotStuffReplica::do_client_request(protocol::NodeId, const proto::ClientRequestMsg& msg) {
+  handle_client_request(msg);
+}
+
+void HotStuffReplica::do_message(protocol::NodeId from, const sim::PayloadPtr& msg) {
+  if (auto b = std::dynamic_pointer_cast<const proto::BaselineBlockMsg>(msg)) {
     handle_block(static_cast<ReplicaId>(from), b);
   } else if (auto v = std::dynamic_pointer_cast<const proto::BaselineVoteMsg>(msg)) {
     handle_vote(static_cast<ReplicaId>(from), *v);
@@ -38,11 +46,11 @@ void HotStuffReplica::handle_client_request(const proto::ClientRequestMsg& msg) 
   sim::SimTime cost = 0;
   for (const auto& req : msg.requests) {
     if (mempool_.size() >= cfg_.mempool_capacity) {
-      cost += net_.costs().client_request_shed;  // overload: reject cheaply
+      cost += costs().client_request_shed;  // overload: reject cheaply
       continue;
     }
-    cost += net_.costs().client_request_ingress;
-    if (mempool_.empty()) oldest_pending_at_ = net_.sim().now();
+    cost += costs().client_request_ingress;
+    if (mempool_.empty()) oldest_pending_at_ = now();
     mempool_.push_back(req);
   }
   charge(cost);
@@ -56,11 +64,11 @@ void HotStuffReplica::maybe_propose() {
 
 void HotStuffReplica::proposal_flush_tick() {
   if (!proposal_outstanding_ && !mempool_.empty() &&
-      net_.sim().now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
+      now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
     propose();
   }
-  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond),
-                            [this] { proposal_flush_tick(); });
+  env().set_timer(kProposalFlushToken,
+                  std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond));
 }
 
 void HotStuffReplica::propose() {
@@ -78,14 +86,14 @@ void HotStuffReplica::propose() {
     block->batch.push_back(std::move(mempool_.front()));
     mempool_.pop_front();
   }
-  oldest_pending_at_ = net_.sim().now();
+  oldest_pending_at_ = now();
 
   // Digest over identity + batch (digest-of-digests, like Leopard datablocks).
   util::ByteWriter w(16 + 32 * block->batch.size());
   w.u64(block->height);
   for (const auto& r : block->batch) w.raw(r.digest().bytes());
   block->cached_digest = Digest::of(w.bytes());
-  charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, block->wire_size()));
+  charge(costs().per_bytes(costs().hash_per_byte_ns, block->wire_size()));
 
   // Leader's own vote opens the collection for this height.
   proposal_outstanding_ = true;
@@ -93,12 +101,12 @@ void HotStuffReplica::propose() {
   voting_height_ = block->height;
   votes_.clear();
   voters_.clear();
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   votes_.push_back(ts_.sign_share(id_, voting_digest_));
   voters_.insert(id_);
 
   chain_.emplace(block->height, block);
-  net_.multicast(id_, replica_ids_, block);
+  env().broadcast(block);
 
   // The justify QC notarizes the parent: leader advances its commit state too.
   if (block->height > 1) advance_commit(block->height - 1);
@@ -109,21 +117,21 @@ void HotStuffReplica::handle_block(ReplicaId from,
   if (from != 0 || is_leader()) return;  // stable leader protocol
 
   // Verify the justify QC and charge per-request batch handling.
-  charge(net_.costs().combined_verify +
-         net_.costs().block_per_request * static_cast<sim::SimTime>(msg->batch.size()));
+  charge(costs().combined_verify +
+         costs().block_per_request * static_cast<sim::SimTime>(msg->batch.size()));
   if (msg->height > 1 && !ts_.verify(msg->justify_target, msg->justify_sig)) return;
 
   const auto height = msg->height;
   chain_.emplace(height, std::move(msg));
 
   // Vote for the block (threshold share to the leader).
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   auto vote = std::make_shared<proto::BaselineVoteMsg>();
   vote->view = 1;
   vote->height = height;
   vote->block_digest = chain_[height]->cached_digest;
   vote->share = ts_.sign_share(id_, vote->block_digest);
-  net_.send(id_, 0, std::move(vote));
+  env().send(0, std::move(vote));
 
   // The justify QC notarizes the parent height.
   if (height > 1) advance_commit(height - 1);
@@ -131,15 +139,15 @@ void HotStuffReplica::handle_block(ReplicaId from,
 
 void HotStuffReplica::handle_vote(ReplicaId from, const proto::BaselineVoteMsg& msg) {
   if (!is_leader() || msg.height != voting_height_ || !proposal_outstanding_) return;
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   if (msg.block_digest != voting_digest_) return;
   if (!ts_.verify_share(voting_digest_, msg.share) || msg.share.signer != from) return;
   if (!voters_.insert(from).second) return;
   votes_.push_back(msg.share);
 
   if (votes_.size() >= cfg_.quorum()) {
-    charge(net_.costs().combine_base +
-           net_.costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
+    charge(costs().combine_base +
+           costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
     const auto qc = ts_.combine(voting_digest_, votes_);
     util::ensures(qc.has_value(), "HotStuff QC combine must succeed");
     high_qc_digest_ = voting_digest_;
@@ -170,19 +178,20 @@ void HotStuffReplica::execute_through(SeqNum height) {
     if (it == chain_.end()) return;
     const auto& block = it->second;
     const auto reqs = block->batch.size();
-    charge(net_.costs().execute_per_request * static_cast<sim::SimTime>(reqs));
+    charge(costs().execute_per_request * static_cast<sim::SimTime>(reqs));
     executed_requests_ += reqs;
+    env().execute(block, reqs);
 
     if (is_leader()) {
       // The leader is the observer and the clients' contact point.
-      metrics_.executed_requests += reqs;
+      env().metric(Metric::kExecutedRequests, static_cast<double>(reqs));
       std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> acks;
       for (const auto& r : block->batch) acks[r.client_id].push_back(r.seq);
       for (auto& [client, seqs] : acks) {
         auto ack = std::make_shared<proto::AckMsg>();
         ack->client_id = client;
         ack->seqs = std::move(seqs);
-        net_.send(id_, static_cast<sim::NodeId>(client), std::move(ack));
+        env().send(static_cast<protocol::NodeId>(client), std::move(ack));
       }
     }
     ++executed_;

@@ -1,5 +1,5 @@
-// Chained, pipelined HotStuff baseline (Yin et al. 2019) on the simulation
-// substrate: the leader batches client requests into blocks carrying FULL
+// Chained, pipelined HotStuff baseline (Yin et al. 2019) as a sans-I/O
+// protocol core: the leader batches client requests into blocks carrying FULL
 // request payloads and disseminates them to all replicas — the O(n) leader
 // cost of Eq. (1) that Leopard removes. Votes are threshold signature shares
 // aggregated by the leader into QCs; a block commits under the 3-chain rule.
@@ -16,10 +16,9 @@
 #include <set>
 #include <vector>
 
-#include "core/metrics.hpp"
 #include "crypto/threshold_sig.hpp"
 #include "proto/messages.hpp"
-#include "sim/network.hpp"
+#include "protocol/protocol.hpp"
 
 namespace leopard::baselines {
 
@@ -37,13 +36,12 @@ struct HotStuffConfig {
 };
 
 /// The leader is replica 0 (also the throughput observer).
-class HotStuffReplica final : public sim::Node {
+class HotStuffReplica final : public protocol::ProtocolBase {
  public:
-  HotStuffReplica(sim::Network& net, HotStuffConfig cfg, const crypto::ThresholdScheme& ts,
-                  core::ProtocolMetrics& metrics, proto::ReplicaId id);
+  HotStuffReplica(HotStuffConfig cfg, const crypto::ThresholdScheme& ts, proto::ReplicaId id);
 
-  void start() override;
-  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+  // -- protocol::Protocol ----------------------------------------------------
+  [[nodiscard]] proto::ReplicaId id() const override { return id_; }
 
   [[nodiscard]] bool is_leader() const { return id_ == 0; }
   [[nodiscard]] proto::SeqNum committed_height() const { return committed_; }
@@ -51,6 +49,13 @@ class HotStuffReplica final : public sim::Node {
   [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
   /// Digest of the committed block at `height` (safety checks in tests).
   [[nodiscard]] std::optional<crypto::Digest> committed_digest(proto::SeqNum height) const;
+
+ protected:
+  // -- protocol::ProtocolBase hooks ------------------------------------------
+  void do_start() override;
+  void do_message(protocol::NodeId from, const sim::PayloadPtr& payload) override;
+  void do_timer(protocol::TimerToken token) override;
+  void do_client_request(protocol::NodeId from, const proto::ClientRequestMsg& msg) override;
 
  private:
   void handle_client_request(const proto::ClientRequestMsg& msg);
@@ -63,14 +68,9 @@ class HotStuffReplica final : public sim::Node {
   void advance_commit(proto::SeqNum notarized_height);
   void execute_through(proto::SeqNum height);
 
-  void charge(sim::SimTime cost) { net_.charge_cpu(id_, cost); }
-
-  sim::Network& net_;
   HotStuffConfig cfg_;
   const crypto::ThresholdScheme& ts_;
-  core::ProtocolMetrics& metrics_;
   proto::ReplicaId id_;
-  std::vector<sim::NodeId> replica_ids_;
 
   // Leader state.
   std::deque<proto::Request> mempool_;

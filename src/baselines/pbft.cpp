@@ -9,23 +9,31 @@ namespace leopard::baselines {
 using crypto::Digest;
 using proto::ReplicaId;
 using proto::SeqNum;
+using protocol::Metric;
 
-PbftReplica::PbftReplica(sim::Network& net, PbftConfig cfg, const crypto::ThresholdScheme& ts,
-                         core::ProtocolMetrics& metrics, ReplicaId id)
-    : net_(net), cfg_(cfg), ts_(ts), metrics_(metrics), id_(id) {
+namespace {
+constexpr protocol::TimerToken kProposalFlushToken = 1;
+}  // namespace
+
+PbftReplica::PbftReplica(PbftConfig cfg, const crypto::ThresholdScheme& ts, ReplicaId id)
+    : cfg_(cfg), ts_(ts), id_(id) {
   util::expects(cfg_.n >= 4, "PBFT baseline requires n >= 4");
-  replica_ids_.resize(cfg_.n);
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) replica_ids_[i] = i;
 }
 
-void PbftReplica::start() {
+void PbftReplica::do_start() {
   if (is_leader()) proposal_flush_tick();
 }
 
-void PbftReplica::on_message(sim::NodeId from, const sim::PayloadPtr& msg) {
-  if (auto m = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(msg)) {
-    handle_client_request(*m);
-  } else if (auto b = std::dynamic_pointer_cast<const proto::BaselineBlockMsg>(msg)) {
+void PbftReplica::do_timer(protocol::TimerToken token) {
+  if (token == kProposalFlushToken) proposal_flush_tick();
+}
+
+void PbftReplica::do_client_request(protocol::NodeId, const proto::ClientRequestMsg& msg) {
+  handle_client_request(msg);
+}
+
+void PbftReplica::do_message(protocol::NodeId from, const sim::PayloadPtr& msg) {
+  if (auto b = std::dynamic_pointer_cast<const proto::BaselineBlockMsg>(msg)) {
     handle_preprepare(static_cast<ReplicaId>(from), b);
   } else if (auto v = std::dynamic_pointer_cast<const proto::BaselineVoteMsg>(msg)) {
     handle_vote(static_cast<ReplicaId>(from), *v);
@@ -37,11 +45,11 @@ void PbftReplica::handle_client_request(const proto::ClientRequestMsg& msg) {
   sim::SimTime cost = 0;
   for (const auto& req : msg.requests) {
     if (mempool_.size() >= cfg_.mempool_capacity) {
-      cost += net_.costs().client_request_shed;
+      cost += costs().client_request_shed;
       continue;
     }
-    cost += net_.costs().client_request_ingress;
-    if (mempool_.empty()) oldest_pending_at_ = net_.sim().now();
+    cost += costs().client_request_ingress;
+    if (mempool_.empty()) oldest_pending_at_ = now();
     mempool_.push_back(req);
   }
   charge(cost);
@@ -57,11 +65,11 @@ void PbftReplica::maybe_propose() {
 
 void PbftReplica::proposal_flush_tick() {
   if (!mempool_.empty() && next_sn_ <= executed_ + cfg_.max_parallel_instances &&
-      net_.sim().now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
+      now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
     propose();
   }
-  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond),
-                            [this] { proposal_flush_tick(); });
+  env().set_timer(kProposalFlushToken,
+                  std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond));
 }
 
 void PbftReplica::propose() {
@@ -76,26 +84,26 @@ void PbftReplica::propose() {
     block->batch.push_back(std::move(mempool_.front()));
     mempool_.pop_front();
   }
-  oldest_pending_at_ = net_.sim().now();
+  oldest_pending_at_ = now();
 
   util::ByteWriter w(16 + 32 * block->batch.size());
   w.u64(block->height);
   for (const auto& r : block->batch) w.raw(r.digest().bytes());
   block->cached_digest = Digest::of(w.bytes());
-  charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, block->wire_size()));
+  charge(costs().per_bytes(costs().hash_per_byte_ns, block->wire_size()));
 
   auto& inst = instances_[block->height];
   inst.block = block;
   inst.prepares.insert(id_);
 
-  net_.multicast(id_, replica_ids_, block);
+  env().broadcast(block);
   broadcast_vote(1, block->height, block->cached_digest);
 }
 
 void PbftReplica::handle_preprepare(ReplicaId from,
                                     std::shared_ptr<const proto::BaselineBlockMsg> msg) {
   if (from != 0 || is_leader()) return;
-  charge(net_.costs().block_per_request * static_cast<sim::SimTime>(msg->batch.size()));
+  charge(costs().block_per_request * static_cast<sim::SimTime>(msg->batch.size()));
 
   const auto sn = msg->height;
   auto& inst = instances_[sn];
@@ -115,7 +123,7 @@ void PbftReplica::broadcast_vote(std::uint8_t phase, SeqNum sn, const Digest& di
   vote->height = sn;
   vote->block_digest = digest;
   vote->share = ts_.sign_share(id_, digest);
-  net_.multicast(id_, replica_ids_, std::move(vote));
+  env().broadcast(std::move(vote));
 }
 
 void PbftReplica::handle_vote(ReplicaId from, const proto::BaselineVoteMsg& msg) {
@@ -151,19 +159,20 @@ void PbftReplica::execute_ready() {
     if (it == instances_.end() || !it->second.committed || it->second.executed) return;
     auto& inst = it->second;
     const auto reqs = inst.block->batch.size();
-    charge(net_.costs().execute_per_request * static_cast<sim::SimTime>(reqs));
+    charge(costs().execute_per_request * static_cast<sim::SimTime>(reqs));
     executed_requests_ += reqs;
     inst.executed = true;
+    env().execute(inst.block, reqs);
 
     if (is_leader()) {
-      metrics_.executed_requests += reqs;
+      env().metric(Metric::kExecutedRequests, static_cast<double>(reqs));
       std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> acks;
       for (const auto& r : inst.block->batch) acks[r.client_id].push_back(r.seq);
       for (auto& [client, seqs] : acks) {
         auto ack = std::make_shared<proto::AckMsg>();
         ack->client_id = client;
         ack->seqs = std::move(seqs);
-        net_.send(id_, static_cast<sim::NodeId>(client), std::move(ack));
+        env().send(static_cast<protocol::NodeId>(client), std::move(ack));
       }
     }
     ++executed_;

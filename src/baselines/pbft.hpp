@@ -1,9 +1,9 @@
-// PBFT baseline (BFT-SMaRt stand-in for Fig. 1): leader disseminates
-// full-payload blocks; voting is ALL-TO-ALL with flat (non-aggregated)
-// authenticators — the O(n²) vote pattern that threshold signatures remove.
-// BFT-SMaRt authenticates with MAC vectors, so vote verification is cheap;
-// the dominant large-n cost is the quadratic vote traffic plus the leader's
-// O(n) dissemination.
+// PBFT baseline (BFT-SMaRt stand-in for Fig. 1) as a sans-I/O protocol core:
+// leader disseminates full-payload blocks; voting is ALL-TO-ALL with flat
+// (non-aggregated) authenticators — the O(n²) vote pattern that threshold
+// signatures remove. BFT-SMaRt authenticates with MAC vectors, so vote
+// verification is cheap; the dominant large-n cost is the quadratic vote
+// traffic plus the leader's O(n) dissemination.
 //
 // Normal case only (honest stable leader, after GST), matching its role in
 // the paper's evaluation.
@@ -15,10 +15,9 @@
 #include <set>
 #include <vector>
 
-#include "core/metrics.hpp"
 #include "crypto/threshold_sig.hpp"
 #include "proto/messages.hpp"
-#include "sim/network.hpp"
+#include "protocol/protocol.hpp"
 
 namespace leopard::baselines {
 
@@ -39,17 +38,23 @@ struct PbftConfig {
 };
 
 /// The leader is replica 0 (also the throughput observer).
-class PbftReplica final : public sim::Node {
+class PbftReplica final : public protocol::ProtocolBase {
  public:
-  PbftReplica(sim::Network& net, PbftConfig cfg, const crypto::ThresholdScheme& ts,
-              core::ProtocolMetrics& metrics, proto::ReplicaId id);
+  PbftReplica(PbftConfig cfg, const crypto::ThresholdScheme& ts, proto::ReplicaId id);
 
-  void start() override;
-  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+  // -- protocol::Protocol ----------------------------------------------------
+  [[nodiscard]] proto::ReplicaId id() const override { return id_; }
 
   [[nodiscard]] bool is_leader() const { return id_ == 0; }
   [[nodiscard]] proto::SeqNum executed_through() const { return executed_; }
   [[nodiscard]] std::uint64_t executed_request_count() const { return executed_requests_; }
+
+ protected:
+  // -- protocol::ProtocolBase hooks ------------------------------------------
+  void do_start() override;
+  void do_message(protocol::NodeId from, const sim::PayloadPtr& payload) override;
+  void do_timer(protocol::TimerToken token) override;
+  void do_client_request(protocol::NodeId from, const proto::ClientRequestMsg& msg) override;
 
  private:
   struct Instance {
@@ -73,14 +78,9 @@ class PbftReplica final : public sim::Node {
   void try_advance(proto::SeqNum sn);
   void execute_ready();
 
-  void charge(sim::SimTime cost) { net_.charge_cpu(id_, cost); }
-
-  sim::Network& net_;
   PbftConfig cfg_;
   const crypto::ThresholdScheme& ts_;
-  core::ProtocolMetrics& metrics_;
   proto::ReplicaId id_;
-  std::vector<sim::NodeId> replica_ids_;
 
   std::deque<proto::Request> mempool_;
   sim::SimTime oldest_pending_at_ = 0;

@@ -13,6 +13,7 @@ using crypto::Digest;
 using proto::ReplicaId;
 using proto::SeqNum;
 using proto::View;
+using protocol::Metric;
 
 namespace {
 /// Watermark slack: proposals are accepted up to lw + kSlack·k so that a
@@ -21,13 +22,10 @@ namespace {
 constexpr std::uint64_t kWatermarkSlack = 2;
 }  // namespace
 
-LeopardReplica::LeopardReplica(sim::Network& net, LeopardConfig cfg,
-                               const crypto::ThresholdScheme& ts, ProtocolMetrics& metrics,
+LeopardReplica::LeopardReplica(LeopardConfig cfg, const crypto::ThresholdScheme& ts,
                                ReplicaId id, ByzantineSpec byz)
-    : net_(net),
-      cfg_(cfg),
+    : cfg_(cfg),
       ts_(ts),
-      metrics_(metrics),
       id_(id),
       byz_(byz),
       // GF(2^8) Reed-Solomon caps at 255 shards (the paper's Go library has
@@ -36,22 +34,20 @@ LeopardReplica::LeopardReplica(sim::Network& net, LeopardConfig cfg,
       rs_(cfg.f() + 1, std::min<std::uint32_t>(cfg.n, 255)) {
   util::expects(cfg_.n >= 4, "Leopard requires n >= 4 (f >= 1)");
   util::expects(id_ < cfg_.n, "replica id out of range");
-  replica_ids_.resize(cfg_.n);
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) replica_ids_[i] = i;
 }
 
 bool LeopardReplica::crashed() const {
-  return byz_.crash_at.has_value() && net_.sim().now() >= *byz_.crash_at;
+  return byz_.crash_at.has_value() && now() >= *byz_.crash_at;
 }
 
-void LeopardReplica::send_to(sim::NodeId to, sim::PayloadPtr msg) {
+void LeopardReplica::send_to(protocol::NodeId to, sim::PayloadPtr msg) {
   if (crashed()) return;
-  net_.send(id_, to, std::move(msg));
+  env().send(to, std::move(msg));
 }
 
-void LeopardReplica::multicast_to_replicas(const sim::PayloadPtr& msg) {
+void LeopardReplica::multicast_to_replicas(sim::PayloadPtr msg) {
   if (crashed()) return;
-  net_.multicast(id_, replica_ids_, msg);
+  env().broadcast(std::move(msg));
 }
 
 Digest LeopardReplica::timeout_digest(View v) const {
@@ -74,31 +70,57 @@ std::optional<Digest> LeopardReplica::confirmed_digest(SeqNum sn) const {
   return it->second.digest;
 }
 
-std::map<SeqNum, Digest> LeopardReplica::confirmed_log() const {
-  std::map<SeqNum, Digest> out;
-  for (const auto& [sn, inst] : instances_) {
-    if (inst.confirmed) out.emplace(sn, inst.digest);
-  }
-  return out;
+void LeopardReplica::mark_confirmed(SeqNum sn, const Digest& digest) {
+  confirmed_log_[sn] = digest;
 }
 
+void LeopardReplica::unmark_confirmed(SeqNum sn) { confirmed_log_.erase(sn); }
+
 // ---------------------------------------------------------------------------
-// Lifecycle
+// Event entry points (protocol::Protocol)
 // ---------------------------------------------------------------------------
 
-void LeopardReplica::start() {
-  last_progress_at_ = net_.sim().now();
+void LeopardReplica::do_start() {
+  last_progress_at_ = now();
   datablock_flush_tick();
   proposal_flush_tick();
   progress_tick();
 }
 
-void LeopardReplica::on_message(sim::NodeId from, const sim::PayloadPtr& msg) {
+void LeopardReplica::do_client_request(protocol::NodeId, const proto::ClientRequestMsg& msg) {
+  if (crashed()) return;
+  handle_client_request(msg);
+}
+
+void LeopardReplica::do_timer(protocol::TimerToken token) {
+  switch (static_cast<TimerKind>(token & 7)) {
+    case TimerKind::kDatablockFlush:
+      datablock_flush_tick();
+      break;
+    case TimerKind::kProposalFlush:
+      proposal_flush_tick();
+      break;
+    case TimerKind::kProgress:
+      progress_tick();
+      break;
+    case TimerKind::kRetrieval: {
+      const auto it = retrieval_timers_.find(token);
+      if (it == retrieval_timers_.end()) break;  // cancelled or GC'd
+      const Digest digest = it->second;
+      retrieval_timers_.erase(it);
+      send_queries(digest);
+      break;
+    }
+    case TimerKind::kVcEscalation:
+      if (token == vc_escalation_token_) vc_escalation_fire();
+      break;
+  }
+}
+
+void LeopardReplica::do_message(protocol::NodeId from, const sim::PayloadPtr& msg) {
   if (crashed()) return;
 
-  if (auto m = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(msg)) {
-    handle_client_request(from, *m);
-  } else if (auto db = std::dynamic_pointer_cast<const proto::DatablockMsg>(msg)) {
+  if (auto db = std::dynamic_pointer_cast<const proto::DatablockMsg>(msg)) {
     handle_datablock(static_cast<ReplicaId>(from), db);
   } else if (auto rd = std::dynamic_pointer_cast<const proto::ReadyMsg>(msg)) {
     handle_ready(static_cast<ReplicaId>(from), *rd);
@@ -127,18 +149,18 @@ void LeopardReplica::on_message(sim::NodeId from, const sim::PayloadPtr& msg) {
 // Datablock preparation (Algorithm 1)
 // ---------------------------------------------------------------------------
 
-void LeopardReplica::handle_client_request(sim::NodeId, const proto::ClientRequestMsg& msg) {
+void LeopardReplica::handle_client_request(const proto::ClientRequestMsg& msg) {
   sim::SimTime cost = 0;
   for (const auto& req : msg.requests) {
     if (mempool_.size() >= cfg_.mempool_capacity) {
       ++shed_requests_;  // open-loop overload: shed cheaply, client will retry
-      cost += net_.costs().client_request_shed;
+      cost += costs().client_request_shed;
       continue;
     }
-    cost += net_.costs().client_request_ingress;
+    cost += costs().client_request_ingress;
     if (request_validator_ && !request_validator_(req)) continue;  // verify(·)
     mempool_.push_back(req);
-    mempool_enqueued_.push_back(net_.sim().now());
+    mempool_enqueued_.push_back(now());
   }
   charge(cost);
   maybe_generate_datablocks();
@@ -165,9 +187,9 @@ void LeopardReplica::generate_datablock(std::size_t request_count) {
   }
 
   auto msg = std::make_shared<proto::DatablockMsg>(std::move(db));
-  msg->created_at = net_.sim().now();
+  msg->created_at = now();
   // Hashing the datablock (digest-of-digests over the batch).
-  charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, msg->wire_size()));
+  charge(costs().per_bytes(costs().hash_per_byte_ns, msg->wire_size()));
 
   if (byz_.selective_recipients) {
     // Selective attack: only the leader and the first s-1 other replicas see
@@ -189,9 +211,9 @@ void LeopardReplica::generate_datablock(std::size_t request_count) {
 
 void LeopardReplica::handle_datablock(ReplicaId, std::shared_ptr<const proto::DatablockMsg> msg) {
   if (byz_.drop_foreign_datablocks) return;  // pretend not received
-  charge(net_.costs().datablock_per_request *
+  charge(costs().datablock_per_request *
              static_cast<sim::SimTime>(msg->datablock.requests.size()) +
-         net_.costs().per_bytes(net_.costs().hash_per_byte_ns, msg->wire_size()));
+         costs().per_bytes(costs().hash_per_byte_ns, msg->wire_size()));
   accept_datablock(msg, /*recovered=*/false);
 }
 
@@ -222,11 +244,14 @@ void LeopardReplica::accept_datablock(const std::shared_ptr<const proto::Datablo
 
   // Cancel any in-flight retrieval for this datablock.
   if (auto it = retrievals_.find(digest); it != retrievals_.end()) {
-    it->second.timer.cancel();
+    if (it->second.timer_token != 0) {
+      env().cancel_timer(it->second.timer_token);
+      retrieval_timers_.erase(it->second.timer_token);
+    }
     if (recovered && it->second.query_sent) {
-      ++metrics_.datablocks_recovered;
-      metrics_.recovery_time_sum_sec +=
-          sim::to_seconds(net_.sim().now() - it->second.query_sent_at);
+      env().metric(Metric::kDatablocksRecovered, 1);
+      env().metric(Metric::kRecoveryTimeSumSec,
+                   sim::to_seconds(now() - it->second.query_sent_at));
     }
     retrievals_.erase(it);
   }
@@ -259,11 +284,11 @@ void LeopardReplica::accept_datablock(const std::shared_ptr<const proto::Datablo
 
 void LeopardReplica::datablock_flush_tick() {
   if (!crashed() && !mempool_.empty() &&
-      net_.sim().now() - mempool_enqueued_.front() >= cfg_.datablock_max_wait) {
+      now() - mempool_enqueued_.front() >= cfg_.datablock_max_wait) {
     generate_datablock(std::min<std::size_t>(mempool_.size(), cfg_.datablock_requests));
   }
-  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.datablock_max_wait / 4, sim::kMillisecond),
-                            [this] { datablock_flush_tick(); });
+  env().set_timer(token_of(TimerKind::kDatablockFlush),
+                  std::max<sim::SimTime>(cfg_.datablock_max_wait / 4, sim::kMillisecond));
 }
 
 // ---------------------------------------------------------------------------
@@ -289,7 +314,7 @@ void LeopardReplica::leader_promote_if_ready(const Digest& digest) {
   if (it == ready_votes_.end() || it->second.size() < needed) return;
   if (!pool_.contains(digest)) return;  // readyblockPool requires the leader holds m
 
-  if (ready_queue_.empty()) oldest_ready_at_ = net_.sim().now();
+  if (ready_queue_.empty()) oldest_ready_at_ = now();
   ready_queue_.push_back(digest);
   queued_or_linked_.insert(digest);
   ready_votes_.erase(it);
@@ -303,7 +328,7 @@ void LeopardReplica::maybe_propose() {
          ready_queue_.size() >= cfg_.bftblock_links) {
     std::vector<Digest> links(ready_queue_.begin(), ready_queue_.begin() + batch);
     ready_queue_.erase(ready_queue_.begin(), ready_queue_.begin() + batch);
-    oldest_ready_at_ = net_.sim().now();
+    oldest_ready_at_ = now();
     propose(std::move(links));
   }
 }
@@ -311,17 +336,17 @@ void LeopardReplica::maybe_propose() {
 void LeopardReplica::proposal_flush_tick() {
   if (!crashed() && leader_of(view_) == id_ && !in_view_change_ && !ready_queue_.empty() &&
       next_sn_ <= lw_ + cfg_.max_parallel_instances &&
-      net_.sim().now() - oldest_ready_at_ >= cfg_.proposal_max_wait) {
+      now() - oldest_ready_at_ >= cfg_.proposal_max_wait) {
     const auto take = std::min<std::size_t>(ready_queue_.size(), cfg_.bftblock_links);
     std::vector<Digest> links(ready_queue_.begin(),
                               ready_queue_.begin() + static_cast<std::ptrdiff_t>(take));
     ready_queue_.erase(ready_queue_.begin(),
                        ready_queue_.begin() + static_cast<std::ptrdiff_t>(take));
-    oldest_ready_at_ = net_.sim().now();
+    oldest_ready_at_ = now();
     propose(std::move(links));
   }
-  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond),
-                            [this] { proposal_flush_tick(); });
+  env().set_timer(token_of(TimerKind::kProposalFlush),
+                  std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond));
 }
 
 void LeopardReplica::propose(std::vector<Digest> links) {
@@ -335,7 +360,7 @@ void LeopardReplica::propose_block(SeqNum sn, std::vector<Digest> links) {
   block.links = std::move(links);
 
   const auto digest = block.digest();
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   const auto share = ts_.sign_share(id_, digest);
   auto msg = std::make_shared<proto::BftBlockMsg>(block, share);
 
@@ -364,12 +389,13 @@ void LeopardReplica::leader_install_proposal(const proto::BftBlockMsg& msg) {
   inst.block = msg.block;
   inst.digest = msg.cached_digest;
   inst.proposed_view = view_;
-  inst.received_at = net_.sim().now();
+  inst.received_at = now();
   inst.have_block = true;
   inst.voted1 = true;  // the leader's attached share is its round-1 vote
   inst.voted2 = false;
   inst.notarized = false;
   inst.confirmed = false;
+  unmark_confirmed(msg.block.sn);
   inst.sigma1.reset();
   inst.sigma2.reset();
   inst.missing.clear();
@@ -389,7 +415,7 @@ void LeopardReplica::leader_install_proposal(const proto::BftBlockMsg& msg) {
 bool LeopardReplica::verify_bftblock(const proto::BftBlockMsg& msg) {
   // VRFBFTBLOCK (Algorithm 2 line 37): leader signature, current view,
   // watermark window, and no conflicting same-sn vote in this view.
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   if (msg.block.view != view_ || in_view_change_) return false;
   if (msg.leader_share.signer != leader_of(view_)) return false;
   if (!ts_.verify_share(msg.cached_digest, msg.leader_share)) return false;
@@ -416,7 +442,7 @@ void LeopardReplica::handle_bftblock(ReplicaId from, const proto::BftBlockMsg& m
     // Redo after a view-change: same sn re-proposed under the new view. The
     // content must match what was (if anything) confirmed locally (Lemma 2).
     if (inst.confirmed && inst.block.links != msg.block.links) {
-      metrics_.safety_violation = true;
+      env().metric(Metric::kSafetyViolation, 1);
       return;
     }
     sn_by_digest_.erase(inst.digest);
@@ -424,6 +450,7 @@ void LeopardReplica::handle_bftblock(ReplicaId from, const proto::BftBlockMsg& m
     inst.voted2 = false;
     inst.notarized = false;
     inst.confirmed = false;
+    unmark_confirmed(msg.block.sn);
     inst.sigma1.reset();
     inst.sigma2.reset();
     inst.votes1.clear();
@@ -436,7 +463,7 @@ void LeopardReplica::handle_bftblock(ReplicaId from, const proto::BftBlockMsg& m
   inst.block = msg.block;
   inst.digest = msg.cached_digest;
   inst.proposed_view = msg.block.view;
-  inst.received_at = net_.sim().now();
+  inst.received_at = now();
   inst.have_block = true;
   sn_by_digest_[inst.digest] = msg.block.sn;
 
@@ -467,7 +494,7 @@ void LeopardReplica::try_vote_round1(SeqNum sn) {
 }
 
 void LeopardReplica::send_vote(std::uint8_t round, const Instance& inst) {
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   auto vote = std::make_shared<proto::VoteMsg>();
   vote->round = round;
   vote->block_digest = inst.digest;
@@ -480,15 +507,15 @@ void LeopardReplica::handle_vote(ReplicaId from, const proto::VoteMsg& msg) {
   auto* inst = instance_by_digest(msg.block_digest);
   if (inst == nullptr || inst->proposed_view != view_) return;
 
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   if (msg.round == 1) {
     if (inst->notarized || inst->voters1.contains(from)) return;
     if (!ts_.verify_share(inst->digest, msg.share) || msg.share.signer != from) return;
     inst->voters1.insert(from);
     inst->votes1.push_back(msg.share);
     if (inst->votes1.size() >= cfg_.quorum()) {
-      charge(net_.costs().combine_base +
-             net_.costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
+      charge(costs().combine_base +
+             costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
       const auto sigma1 = ts_.combine(inst->digest, inst->votes1);
       util::ensures(sigma1.has_value(), "combine must succeed with a verified quorum");
       inst->sigma1 = *sigma1;
@@ -497,7 +524,7 @@ void LeopardReplica::handle_vote(ReplicaId from, const proto::VoteMsg& msg) {
       proof->round = 1;
       proof->block_digest = inst->digest;
       proof->signature = *sigma1;
-      multicast_to_replicas(proof);
+      multicast_to_replicas(std::move(proof));
       on_notarized(inst->block.sn);
     }
   } else {
@@ -506,8 +533,8 @@ void LeopardReplica::handle_vote(ReplicaId from, const proto::VoteMsg& msg) {
     inst->voters2.insert(from);
     inst->votes2.push_back(msg.share);
     if (inst->votes2.size() >= cfg_.quorum()) {
-      charge(net_.costs().combine_base +
-             net_.costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
+      charge(costs().combine_base +
+             costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
       const auto sigma2 = ts_.combine(inst->sigma1_digest, inst->votes2);
       util::ensures(sigma2.has_value(), "combine must succeed with a verified quorum");
       inst->sigma2 = *sigma2;
@@ -516,7 +543,7 @@ void LeopardReplica::handle_vote(ReplicaId from, const proto::VoteMsg& msg) {
       proof->round = 2;
       proof->block_digest = inst->digest;
       proof->signature = *sigma2;
-      multicast_to_replicas(proof);
+      multicast_to_replicas(std::move(proof));
       on_confirmed(inst->block.sn);
     }
   }
@@ -527,7 +554,7 @@ void LeopardReplica::handle_proof(ReplicaId from, const proto::ProofMsg& msg) {
   auto* inst = instance_by_digest(msg.block_digest);
   if (inst == nullptr) return;
 
-  charge(net_.costs().combined_verify);
+  charge(costs().combined_verify);
   if (msg.round == 1) {
     if (inst->notarized) return;
     if (!ts_.verify(inst->digest, msg.signature)) return;
@@ -551,7 +578,7 @@ void LeopardReplica::on_notarized(SeqNum sn) {
     // The leader's own round-2 share.
     if (!inst.voted2) {
       inst.voted2 = true;
-      charge(net_.costs().share_sign);
+      charge(costs().share_sign);
       inst.voters2.insert(id_);
       inst.votes2.push_back(ts_.sign_share(id_, inst.sigma1_digest));
     }
@@ -566,7 +593,8 @@ void LeopardReplica::on_notarized(SeqNum sn) {
 void LeopardReplica::on_confirmed(SeqNum sn) {
   auto& inst = instances_.at(sn);
   inst.confirmed = true;
-  last_progress_at_ = net_.sim().now();
+  mark_confirmed(sn, inst.digest);
+  last_progress_at_ = now();
   execute_ready_blocks();
 }
 
@@ -600,31 +628,35 @@ void LeopardReplica::execute_ready_blocks() {
 }
 
 void LeopardReplica::execute_block(Instance& inst) {
-  const auto now = net_.sim().now();
+  const auto at = now();
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> acks_by_client;
 
   for (const auto& link : inst.block.links) {
     const auto& db = pool_.at(link);
     const auto reqs = db->datablock.requests.size();
-    charge(net_.costs().execute_per_request * static_cast<sim::SimTime>(reqs));
+    charge(costs().execute_per_request * static_cast<sim::SimTime>(reqs));
     executed_request_count_ += reqs;
+    env().execute(db, reqs);
     if (execution_handler_) {
       for (const auto& r : db->datablock.requests) execution_handler_(r);
     }
 
     // Throughput is counted once, by replica 0 (the designated observer).
     if (id_ == 0) {
-      metrics_.executed_requests += reqs;
-      metrics_.breakdown_count += reqs;
+      env().metric(Metric::kExecutedRequests, static_cast<double>(reqs));
+      env().metric(Metric::kBreakdownCount, static_cast<double>(reqs));
+      double generation = 0;
       for (const auto& r : db->datablock.requests) {
-        metrics_.sum_generation_sec += sim::to_seconds(db->created_at - r.submitted_at);
+        generation += sim::to_seconds(db->created_at - r.submitted_at);
       }
+      env().metric(Metric::kSumGenerationSec, generation);
       // Dissemination ends when the leader links the datablock; the nearest
       // local observation is this replica's receipt of the linking BFTblock.
-      metrics_.sum_dissemination_sec +=
-          static_cast<double>(reqs) * sim::to_seconds(inst.received_at - db->created_at);
-      metrics_.sum_agreement_sec +=
-          static_cast<double>(reqs) * sim::to_seconds(now - inst.received_at);
+      env().metric(Metric::kSumDisseminationSec,
+                   static_cast<double>(reqs) *
+                       sim::to_seconds(inst.received_at - db->created_at));
+      env().metric(Metric::kSumAgreementSec,
+                   static_cast<double>(reqs) * sim::to_seconds(at - inst.received_at));
     }
 
     // Acknowledge own requests to their clients (the maker is the client's
@@ -640,7 +672,7 @@ void LeopardReplica::execute_block(Instance& inst) {
     auto ack = std::make_shared<proto::AckMsg>();
     ack->client_id = client;
     ack->seqs = std::move(seqs);
-    send_to(static_cast<sim::NodeId>(client), std::move(ack));
+    send_to(static_cast<protocol::NodeId>(client), std::move(ack));
   }
 
   // Fold the block into the running state digest.
@@ -662,7 +694,7 @@ void LeopardReplica::maybe_checkpoint() {
   w.raw(state_digest_.bytes());
   const auto cp_digest = Digest::of(w.bytes());
 
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   auto msg = std::make_shared<proto::CheckpointMsg>();
   msg->sn = exec_sn_;
   msg->state = state_digest_;
@@ -685,7 +717,7 @@ void LeopardReplica::handle_checkpoint(ReplicaId from, const proto::CheckpointMs
 
   if (msg.signature.has_value()) {
     // Combined checkpoint proof from the leader.
-    charge(net_.costs().combined_verify);
+    charge(costs().combined_verify);
     if (!ts_.verify(cp_digest, *msg.signature)) return;
     adopt_checkpoint(msg.sn, msg.state, *msg.signature);
     return;
@@ -694,7 +726,7 @@ void LeopardReplica::handle_checkpoint(ReplicaId from, const proto::CheckpointMs
   // Checkpoint vote: only the leader aggregates.
   if (leader_of(view_) != id_ || !msg.share.has_value()) return;
   if (msg.sn <= lw_) return;
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   if (!ts_.verify_share(cp_digest, *msg.share) || msg.share->signer != from) return;
 
   auto& voters = checkpoint_voters_[msg.sn];
@@ -703,8 +735,8 @@ void LeopardReplica::handle_checkpoint(ReplicaId from, const proto::CheckpointMs
   checkpoint_states_[msg.sn] = msg.state;
 
   if (voters.size() >= cfg_.quorum()) {
-    charge(net_.costs().combine_base +
-           net_.costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
+    charge(costs().combine_base +
+           costs().combine_per_share * static_cast<sim::SimTime>(cfg_.quorum()));
     const auto sigma = ts_.combine(cp_digest, checkpoint_votes_[msg.sn]);
     util::ensures(sigma.has_value(), "checkpoint combine must succeed");
 
@@ -712,7 +744,7 @@ void LeopardReplica::handle_checkpoint(ReplicaId from, const proto::CheckpointMs
     proof->sn = msg.sn;
     proof->state = msg.state;
     proof->signature = *sigma;
-    multicast_to_replicas(proof);
+    multicast_to_replicas(std::move(proof));
 
     checkpoint_votes_.erase(msg.sn);
     checkpoint_voters_.erase(msg.sn);
@@ -748,6 +780,7 @@ void LeopardReplica::adopt_checkpoint(SeqNum sn, const Digest& state,
         waiting_on_datablock_.erase(link);
       }
       sn_by_digest_.erase(it->second.digest);
+      unmark_confirmed(it->first);
       it = instances_.erase(it);
     }
     execute_ready_blocks();  // confirmed instances beyond sn may now unblock
@@ -778,6 +811,7 @@ void LeopardReplica::garbage_collect(SeqNum through_sn) {
                             responded_once_.upper_bound({link, cfg_.n}));
     }
     sn_by_digest_.erase(inst.digest);
+    unmark_confirmed(sn);
     it = instances_.erase(it);
   }
 }
@@ -790,8 +824,9 @@ void LeopardReplica::note_missing(SeqNum sn, const Digest& digest) {
   waiting_on_datablock_[digest].push_back(sn);
   if (retrievals_.contains(digest)) return;
   auto& ret = retrievals_[digest];
-  ret.timer = net_.sim().schedule_after(cfg_.retrieval_timeout,
-                                        [this, digest] { send_queries(digest); });
+  ret.timer_token = token_of(TimerKind::kRetrieval, ++timer_seq_);
+  retrieval_timers_.emplace(ret.timer_token, digest);
+  env().set_timer(ret.timer_token, cfg_.retrieval_timeout);
 }
 
 void LeopardReplica::send_queries(const Digest& digest) {
@@ -799,12 +834,12 @@ void LeopardReplica::send_queries(const Digest& digest) {
   const auto it = retrievals_.find(digest);
   if (it == retrievals_.end() || it->second.query_sent) return;
   it->second.query_sent = true;
-  it->second.query_sent_at = net_.sim().now();
-  ++metrics_.queries_sent;
+  it->second.query_sent_at = now();
+  env().metric(Metric::kQueriesSent, 1);
 
   auto query = std::make_shared<proto::QueryMsg>();
   query->missing.push_back(digest);
-  multicast_to_replicas(query);
+  multicast_to_replicas(std::move(query));
 }
 
 void LeopardReplica::handle_query(ReplicaId from, const proto::QueryMsg& msg) {
@@ -821,10 +856,10 @@ void LeopardReplica::handle_query(ReplicaId from, const proto::QueryMsg& msg) {
     util::ByteWriter w(db_it->second->wire_size());
     db_it->second->datablock.encode(w);
     const auto encoded = w.bytes();
-    charge(net_.costs().per_bytes(net_.costs().erasure_encode_per_byte_ns, encoded.size()));
+    charge(costs().per_bytes(costs().erasure_encode_per_byte_ns, encoded.size()));
     const auto enc = rs_.encode_into(encoded, rs_scratch_);
 
-    charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, encoded.size()));
+    charge(costs().per_bytes(costs().hash_per_byte_ns, encoded.size()));
     const crypto::MerkleTree tree(crypto::MerkleTree::hash_leaves(enc.bytes(), enc.width));
 
     auto resp = std::make_shared<proto::ChunkResponseMsg>();
@@ -839,7 +874,7 @@ void LeopardReplica::handle_query(ReplicaId from, const proto::QueryMsg& msg) {
     resp->chunk_size = static_cast<std::uint32_t>(
         rs_.shard_size(db_it->second->wire_size()));
     resp->proof = tree.proof(id_);
-    ++metrics_.chunks_sent;
+    env().metric(Metric::kChunksSent, 1);
     send_to(from, std::move(resp));
   }
 }
@@ -849,7 +884,7 @@ void LeopardReplica::handle_chunk(ReplicaId,
   const auto it = retrievals_.find(msg->datablock_hash);
   if (it == retrievals_.end()) return;  // already recovered or GC'd
 
-  charge(net_.costs().per_bytes(net_.costs().hash_per_byte_ns, msg->chunk.size()));
+  charge(costs().per_bytes(costs().hash_per_byte_ns, msg->chunk.size()));
   const auto leaf = crypto::MerkleTree::hash_leaf(msg->chunk);
   if (!crypto::MerkleTree::verify(msg->merkle_root, leaf, msg->chunk_index,
                                   msg->leaf_count, msg->proof)) {
@@ -874,14 +909,14 @@ void LeopardReplica::try_decode(const Digest& digest, Retrieval& ret) {
       decode_views_.push_back(erasure::ShardView{c->chunk_index, c->chunk});
       total += c->chunk.size();
     }
-    charge(net_.costs().per_bytes(net_.costs().erasure_decode_per_byte_ns, total));
+    charge(costs().per_bytes(costs().erasure_decode_per_byte_ns, total));
     if (!rs_.decode_into(decode_views_, rs_scratch_, decode_buf_)) continue;
 
     util::ByteReader r(decode_buf_);
     auto db = proto::Datablock::decode(r);
     auto msg = std::make_shared<proto::DatablockMsg>(std::move(db));
     if (msg->cached_digest != digest) continue;  // forged chunk set
-    msg->created_at = net_.sim().now();
+    msg->created_at = now();
     accept_datablock(msg, /*recovered=*/true);
     return;
   }
@@ -895,17 +930,17 @@ void LeopardReplica::progress_tick() {
   if (!crashed() && !in_view_change_) {
     if (exec_sn_ > last_progress_sn_) {
       last_progress_sn_ = exec_sn_;
-      last_progress_at_ = net_.sim().now();
+      last_progress_at_ = now();
     } else {
       const bool pending_work =
           !mempool_.empty() || (!instances_.empty() && instances_.rbegin()->first > exec_sn_);
-      if (pending_work && net_.sim().now() - last_progress_at_ >= cfg_.view_timeout) {
+      if (pending_work && now() - last_progress_at_ >= cfg_.view_timeout) {
         broadcast_timeout();
       }
     }
   }
-  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.view_timeout / 4, sim::kMillisecond),
-                            [this] { progress_tick(); });
+  env().set_timer(token_of(TimerKind::kProgress),
+                  std::max<sim::SimTime>(cfg_.view_timeout / 4, sim::kMillisecond));
 }
 
 void LeopardReplica::broadcast_timeout() {
@@ -914,24 +949,24 @@ void LeopardReplica::broadcast_timeout() {
   // mis-tuning symptom, so make them observable without a debugger.
   if (std::getenv("LEOPARD_DEBUG_VC") != nullptr) {
     std::fprintf(stderr, "[%.2fs] r%u timeout in view %u (exec=%llu mempool=%zu insts=%zu)\n",
-                 sim::to_seconds(net_.sim().now()), id_, view_,
+                 sim::to_seconds(now()), id_, view_,
                  static_cast<unsigned long long>(exec_sn_), mempool_.size(),
                  instances_.size());
   }
   timeout_sent_ = true;
 
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   auto msg = std::make_shared<proto::TimeoutMsg>();
   msg->view = view_;
   msg->share = ts_.sign_share(id_, timeout_digest(view_));
-  multicast_to_replicas(msg);
+  multicast_to_replicas(std::move(msg));
   timeout_votes_[view_].insert(id_);
   enter_view_change();
 }
 
 void LeopardReplica::handle_timeout(ReplicaId from, const proto::TimeoutMsg& msg) {
   if (msg.view != view_) return;
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   if (!ts_.verify_share(timeout_digest(msg.view), msg.share) || msg.share.signer != from) {
     return;
   }
@@ -945,7 +980,7 @@ void LeopardReplica::handle_timeout(ReplicaId from, const proto::TimeoutMsg& msg
 void LeopardReplica::enter_view_change() {
   if (in_view_change_ || crashed()) return;
   in_view_change_ = true;
-  if (metrics_.vc_triggered_at < 0) metrics_.vc_triggered_at = net_.sim().now();
+  env().metric(Metric::kVcTriggeredAt, static_cast<double>(now()));
 
   vc_target_ = view_ + 1;
   vc_escalation_delay_ = 2 * cfg_.view_timeout;
@@ -965,7 +1000,7 @@ void LeopardReplica::send_view_change(View target) {
       msg->notarized.push_back(proto::NotarizedBlock{inst.block, *inst.sigma1});
     }
   }
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   util::ByteWriter w;
   w.str("leopard.viewchange");
   w.u32(target);
@@ -981,16 +1016,19 @@ void LeopardReplica::send_view_change(View target) {
 }
 
 void LeopardReplica::schedule_vc_escalation() {
-  vc_escalation_timer_ = net_.sim().schedule_after(vc_escalation_delay_, [this] {
-    if (!in_view_change_ || crashed()) return;
-    // The prospective leader did not produce a new-view in time: it may be
-    // faulty as well. Target the next leader, with exponential backoff so
-    // honest replicas converge on the same view despite clock skew.
-    ++vc_target_;
-    vc_escalation_delay_ *= 2;
-    send_view_change(vc_target_);
-    schedule_vc_escalation();
-  });
+  vc_escalation_token_ = token_of(TimerKind::kVcEscalation, ++timer_seq_);
+  env().set_timer(vc_escalation_token_, vc_escalation_delay_);
+}
+
+void LeopardReplica::vc_escalation_fire() {
+  if (!in_view_change_ || crashed()) return;
+  // The prospective leader did not produce a new-view in time: it may be
+  // faulty as well. Target the next leader, with exponential backoff so
+  // honest replicas converge on the same view despite clock skew.
+  ++vc_target_;
+  vc_escalation_delay_ *= 2;
+  send_view_change(vc_target_);
+  schedule_vc_escalation();
 }
 
 void LeopardReplica::handle_view_change(ReplicaId from,
@@ -998,7 +1036,7 @@ void LeopardReplica::handle_view_change(ReplicaId from,
   const View target = msg->new_view;
   if (leader_of(target) != id_ || target <= view_) return;
 
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   util::ByteWriter w;
   w.str("leopard.viewchange");
   w.u32(target);
@@ -1021,7 +1059,7 @@ void LeopardReplica::leader_try_new_view(View target) {
   auto nv = std::make_shared<proto::NewViewMsg>();
   nv->new_view = target;
   for (const auto& vc : view_change_msgs_[target]) nv->view_changes.push_back(*vc);
-  charge(net_.costs().share_sign);
+  charge(costs().share_sign);
   util::ByteWriter w;
   w.str("leopard.newview");
   w.u32(target);
@@ -1033,7 +1071,7 @@ void LeopardReplica::leader_try_new_view(View target) {
 
 void LeopardReplica::handle_new_view(ReplicaId from, const proto::NewViewMsg& msg) {
   if (msg.new_view <= view_ || leader_of(msg.new_view) != from) return;
-  charge(net_.costs().share_verify);
+  charge(costs().share_verify);
   util::ByteWriter w;
   w.str("leopard.newview");
   w.u32(msg.new_view);
@@ -1049,10 +1087,13 @@ void LeopardReplica::adopt_new_view(const proto::NewViewMsg& msg) {
   view_ = msg.new_view;
   in_view_change_ = false;
   timeout_sent_ = false;
-  vc_escalation_timer_.cancel();
-  last_progress_at_ = net_.sim().now();
-  metrics_.vc_completed_at = std::max(metrics_.vc_completed_at, net_.sim().now());
-  if (id_ == 0) ++metrics_.view_changes_completed;
+  if (vc_escalation_token_ != 0) {
+    env().cancel_timer(vc_escalation_token_);
+    vc_escalation_token_ = 0;
+  }
+  last_progress_at_ = now();
+  env().metric(Metric::kVcCompletedAt, static_cast<double>(now()));
+  if (id_ == 0) env().metric(Metric::kViewChangesCompleted, 1);
 
   // Adopt the newest stable checkpoint proven in V (synchronizes watermarks
   // and garbage-collects stale datablocks before ready state is rebuilt).

@@ -4,9 +4,15 @@
 // codes (Algorithm 3), checkpointing/garbage collection (Algorithm 4), and
 // the PBFT-style view-change (Appendix A).
 //
-// One instance per replica; all replicas of a cluster share a Network, a
-// ThresholdScheme and a ProtocolMetrics. Replica ids must equal their network
-// NodeIds (replicas register with the network first).
+// The replica is a sans-I/O `protocol::Protocol` core: it consumes typed
+// events and emits Send/Broadcast/SetTimer/Execute/... actions through the
+// `protocol::Env` it is driven by (see src/protocol/). It never touches a
+// transport or scheduler itself — `protocol::SimEnv` hosts it inside the
+// discrete-event simulator, `protocol::ReplayEnv` re-drives it from recorded
+// traces.
+//
+// One instance per replica; all replicas of a cluster share a
+// ThresholdScheme. Replica ids must equal their env-level node ids.
 #pragma once
 
 #include <deque>
@@ -20,26 +26,26 @@
 
 #include "core/byzantine.hpp"
 #include "core/config.hpp"
-#include "core/metrics.hpp"
 #include "crypto/threshold_sig.hpp"
 #include "erasure/reed_solomon.hpp"
 #include "proto/messages.hpp"
-#include "sim/network.hpp"
+#include "protocol/protocol.hpp"
 
 namespace leopard::core {
 
-class LeopardReplica final : public sim::Node {
+class LeopardReplica final : public protocol::ProtocolBase {
  public:
-  LeopardReplica(sim::Network& net, LeopardConfig cfg, const crypto::ThresholdScheme& ts,
-                 ProtocolMetrics& metrics, proto::ReplicaId id, ByzantineSpec byz = {});
+  LeopardReplica(LeopardConfig cfg, const crypto::ThresholdScheme& ts, proto::ReplicaId id,
+                 ByzantineSpec byz = {});
 
-  void start() override;
-  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+  // -- protocol::Protocol ----------------------------------------------------
+  [[nodiscard]] proto::ReplicaId id() const override { return id_; }
 
   /// Application hook: invoked once per request, in the total order the
   /// protocol commits (BFTblock serial number, then link order, then request
   /// order within a datablock). This is where a replicated state machine
-  /// applies commands (see examples/kv_store.cpp).
+  /// applies commands (see examples/kv_store.cpp). The committed batch is
+  /// also emitted as an `Execute` action for env-level observers.
   using ExecutionHandler = std::function<void(const proto::Request&)>;
   void set_execution_handler(ExecutionHandler handler) {
     execution_handler_ = std::move(handler);
@@ -56,7 +62,6 @@ class LeopardReplica final : public sim::Node {
   }
 
   // -- Introspection (tests, harness) --------------------------------------
-  [[nodiscard]] proto::ReplicaId id() const { return id_; }
   [[nodiscard]] proto::View view() const { return view_; }
   [[nodiscard]] proto::ReplicaId leader_of(proto::View v) const { return v % cfg_.n; }
   [[nodiscard]] bool is_leader() const { return leader_of(view_) == id_ && !in_view_change_; }
@@ -73,11 +78,36 @@ class LeopardReplica final : public sim::Node {
   /// Digest of the confirmed BFTblock at `sn`, if confirmed at this replica.
   [[nodiscard]] std::optional<crypto::Digest> confirmed_digest(proto::SeqNum sn) const;
   /// All confirmed (sn → digest) pairs; safety tests compare across replicas.
-  [[nodiscard]] std::map<proto::SeqNum, crypto::Digest> confirmed_log() const;
+  /// A maintained snapshot — O(1) per call, no per-call map construction.
+  [[nodiscard]] const std::map<proto::SeqNum, crypto::Digest>& confirmed_log() const {
+    return confirmed_log_;
+  }
   /// Running hash over the executed block sequence (state-machine state).
   [[nodiscard]] const crypto::Digest& state_digest() const { return state_digest_; }
 
+ protected:
+  // -- protocol::ProtocolBase hooks ------------------------------------------
+  void do_start() override;
+  void do_message(protocol::NodeId from, const sim::PayloadPtr& payload) override;
+  void do_timer(protocol::TimerToken token) override;
+  void do_client_request(protocol::NodeId from, const proto::ClientRequestMsg& msg) override;
+
  private:
+  // -- Timer identity --------------------------------------------------------
+  // Tokens carry their purpose in the low 3 bits; unique timers (retrieval,
+  // view-change escalation) get a fresh sequence in the high bits per arm.
+  enum class TimerKind : std::uint8_t {
+    kDatablockFlush = 0,
+    kProposalFlush = 1,
+    kProgress = 2,
+    kRetrieval = 3,
+    kVcEscalation = 4,
+  };
+  [[nodiscard]] static constexpr protocol::TimerToken token_of(TimerKind kind,
+                                                               std::uint64_t seq = 0) {
+    return (seq << 3) | static_cast<std::uint64_t>(kind);
+  }
+
   // -- Agreement-instance bookkeeping ---------------------------------------
   struct Instance {
     proto::BftBlock block;
@@ -100,7 +130,7 @@ class LeopardReplica final : public sim::Node {
   };
 
   struct Retrieval {
-    sim::EventHandle timer;
+    protocol::TimerToken timer_token = 0;  // 0 = none armed
     bool query_sent = false;
     sim::SimTime query_sent_at = 0;
     // chunks grouped by claimed Merkle root; decode at f+1 consistent chunks.
@@ -109,7 +139,7 @@ class LeopardReplica final : public sim::Node {
   };
 
   // -- Message handlers ------------------------------------------------------
-  void handle_client_request(sim::NodeId from, const proto::ClientRequestMsg& msg);
+  void handle_client_request(const proto::ClientRequestMsg& msg);
   void handle_datablock(proto::ReplicaId from, std::shared_ptr<const proto::DatablockMsg> msg);
   void handle_ready(proto::ReplicaId from, const proto::ReadyMsg& msg);
   void handle_bftblock(proto::ReplicaId from, const proto::BftBlockMsg& msg);
@@ -163,24 +193,23 @@ class LeopardReplica final : public sim::Node {
   void enter_view_change();
   void send_view_change(proto::View target);
   void schedule_vc_escalation();
+  void vc_escalation_fire();
   void leader_try_new_view(proto::View target);
   void adopt_new_view(const proto::NewViewMsg& msg);
 
   // -- Helpers -----------------------------------------------------------------
   [[nodiscard]] bool crashed() const;
-  void send_to(sim::NodeId to, sim::PayloadPtr msg);
-  void multicast_to_replicas(const sim::PayloadPtr& msg);
-  void charge(sim::SimTime cost) { net_.charge_cpu(id_, cost); }
+  void send_to(protocol::NodeId to, sim::PayloadPtr msg);
+  void multicast_to_replicas(sim::PayloadPtr msg);
+  void mark_confirmed(proto::SeqNum sn, const crypto::Digest& digest);
+  void unmark_confirmed(proto::SeqNum sn);
   [[nodiscard]] Instance* instance_by_digest(const crypto::Digest& d);
   [[nodiscard]] crypto::Digest timeout_digest(proto::View v) const;
 
-  sim::Network& net_;
   LeopardConfig cfg_;
   const crypto::ThresholdScheme& ts_;
-  ProtocolMetrics& metrics_;
   proto::ReplicaId id_;
   ByzantineSpec byz_;
-  std::vector<sim::NodeId> replica_ids_;  // 0..n-1
   erasure::ReedSolomon rs_;               // (f+1, n) code for retrieval
   erasure::RsScratch rs_scratch_;         // reusable arena for the zero-copy
                                           // encode/decode hot path
@@ -217,9 +246,14 @@ class LeopardReplica final : public sim::Node {
   std::map<proto::SeqNum, Instance> instances_;
   std::unordered_map<crypto::Digest, proto::SeqNum> sn_by_digest_;
   std::unordered_map<crypto::Digest, std::vector<proto::SeqNum>> waiting_on_datablock_;
+  // Maintained (sn → digest) snapshot of confirmed live instances, mirroring
+  // instances_ confirm/reset/GC transitions (confirmed_log() returns a view).
+  std::map<proto::SeqNum, crypto::Digest> confirmed_log_;
 
   // Retrieval state.
   std::unordered_map<crypto::Digest, Retrieval> retrievals_;
+  std::unordered_map<protocol::TimerToken, crypto::Digest> retrieval_timers_;
+  std::uint64_t timer_seq_ = 0;  // unique-token allocator
   std::set<std::pair<crypto::Digest, proto::ReplicaId>> responded_once_;
 
   // Checkpoint votes (leader).
@@ -240,7 +274,7 @@ class LeopardReplica final : public sim::Node {
   // with the next one after an exponentially growing delay (PBFT-style).
   proto::View vc_target_ = 0;
   sim::SimTime vc_escalation_delay_ = 0;
-  sim::EventHandle vc_escalation_timer_;
+  protocol::TimerToken vc_escalation_token_ = 0;  // 0 = none armed
 
   // Execution accounting.
   std::uint64_t executed_request_count_ = 0;

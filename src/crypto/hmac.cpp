@@ -73,6 +73,86 @@ void HmacContext::mac_tagged_pair(std::uint8_t tag0, std::uint8_t tag1,
   Sha256::finalize_two(o0, o1, out0, out1);
 }
 
+namespace {
+
+constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+/// Longest tag||message that still pads into ONE inner block
+/// (1 tag + len + 0x80 + 8-byte length <= 64).
+constexpr std::size_t kFusedMaxMessage = kBlock - 10;
+
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+void store_be32x8(std::uint8_t* p, const std::uint32_t s[8]) {
+  for (int i = 0; i < 8; ++i) {
+    p[4 * i + 0] = static_cast<std::uint8_t>(s[i] >> 24);
+    p[4 * i + 1] = static_cast<std::uint8_t>(s[i] >> 16);
+    p[4 * i + 2] = static_cast<std::uint8_t>(s[i] >> 8);
+    p[4 * i + 3] = static_cast<std::uint8_t>(s[i]);
+  }
+}
+
+}  // namespace
+
+void HmacContext::mac_tagged_cross(const HmacContext& a, const HmacContext& b,
+                                   std::uint8_t tag, std::span<const std::uint8_t> message,
+                                   Sha256::DigestBytes& out_a, Sha256::DigestBytes& out_b) {
+  if (message.size() <= kFusedMaxMessage) {
+    // Fused fixed-shape path (the vote hot path: message is a 32-byte
+    // digest). Both lanes compress the SAME prepared inner block — only the
+    // key midstates differ — then one padded outer block each. No context
+    // copies, no incremental-update buffering, no finalize machinery: two
+    // compress_pair calls total.
+    std::uint8_t inner_block[kBlock] = {};
+    inner_block[0] = tag;
+    if (!message.empty()) std::memcpy(inner_block + 1, message.data(), message.size());
+    inner_block[1 + message.size()] = 0x80;
+    store_be64(inner_block + kBlock - 8,
+               static_cast<std::uint64_t>(kBlock + 1 + message.size()) * 8);
+
+    std::uint32_t sa[8];
+    std::uint32_t sb[8];
+    a.inner_.export_midstate(sa);
+    b.inner_.export_midstate(sb);
+    Sha256::compress_pair(sa, inner_block, sb, inner_block, 1);
+
+    // Outer: H(opad-midstate || inner-digest), one padded block per lane.
+    std::uint8_t outer_a[kBlock] = {};
+    std::uint8_t outer_b[kBlock] = {};
+    store_be32x8(outer_a, sa);
+    store_be32x8(outer_b, sb);
+    outer_a[Sha256::kDigestSize] = 0x80;
+    outer_b[Sha256::kDigestSize] = 0x80;
+    store_be64(outer_a + kBlock - 8, (kBlock + Sha256::kDigestSize) * 8);
+    store_be64(outer_b + kBlock - 8, (kBlock + Sha256::kDigestSize) * 8);
+
+    std::uint32_t oa[8];
+    std::uint32_t ob[8];
+    a.outer_.export_midstate(oa);
+    b.outer_.export_midstate(ob);
+    Sha256::compress_pair(oa, outer_a, ob, outer_b, 1);
+    store_be32x8(out_a.data(), oa);
+    store_be32x8(out_b.data(), ob);
+    return;
+  }
+
+  Sha256 ia = a.inner_;
+  Sha256 ib = b.inner_;
+  ia.update({&tag, 1});
+  ib.update({&tag, 1});
+  Sha256::update_two(ia, message, ib, message);
+  Sha256::DigestBytes da;
+  Sha256::DigestBytes db;
+  Sha256::finalize_two(ia, ib, da, db);
+
+  Sha256 oa = a.outer_;
+  Sha256 ob = b.outer_;
+  Sha256::update_two(oa, da, ob, db);
+  Sha256::finalize_two(oa, ob, out_a, out_b);
+}
+
 Sha256::DigestBytes hmac_sha256(std::span<const std::uint8_t> key,
                                 std::span<const std::uint8_t> message) {
   return HmacContext(key).mac(message);

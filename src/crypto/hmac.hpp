@@ -42,6 +42,17 @@ class HmacContext {
                        std::span<const std::uint8_t> message, Sha256::DigestBytes& out0,
                        Sha256::DigestBytes& out1) const;
 
+  /// HMAC(key_a, tag || m) and HMAC(key_b, tag || m) — two DIFFERENT keys,
+  /// one message: the cross-signer shape of batched vote verification
+  /// (ThresholdScheme::combine pairs adjacent shares through this). Unlike
+  /// back-to-back mac() calls, the two keys' inner compressions share one
+  /// two-lane pass and their outer compressions another, and consecutive
+  /// mac_tagged_cross calls (tag 0x00 then 0x01) are data-independent, so
+  /// the compression chains of a share pair overlap in the OoO window.
+  static void mac_tagged_cross(const HmacContext& a, const HmacContext& b, std::uint8_t tag,
+                               std::span<const std::uint8_t> message,
+                               Sha256::DigestBytes& out_a, Sha256::DigestBytes& out_b);
+
  private:
   Sha256 inner_;  // midstate after absorbing key ^ ipad
   Sha256 outer_;  // midstate after absorbing key ^ opad

@@ -524,6 +524,28 @@ Sha256::DigestBytes Sha256::hash(std::span<const std::uint8_t> data) {
 }
 
 // ---------------------------------------------------------------------------
+// Raw block interface
+// ---------------------------------------------------------------------------
+
+void Sha256::export_midstate(std::uint32_t out[8]) const {
+  util::expects(buffered_ == 0 && !finalized_,
+                "export_midstate requires a block-aligned, live context");
+  std::memcpy(out, state_.data(), sizeof(state_));
+}
+
+void Sha256::compress_pair(std::uint32_t* state_a, const std::uint8_t* blocks_a,
+                           std::uint32_t* state_b, const std::uint8_t* blocks_b,
+                           std::size_t nblocks) {
+  const KernelOps ops = active_ops();
+  if (ops.compress_x2 != nullptr) {
+    ops.compress_x2(state_a, blocks_a, state_b, blocks_b, nblocks);
+  } else {
+    ops.compress(state_a, blocks_a, nblocks);
+    ops.compress(state_b, blocks_b, nblocks);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Multi-buffer drivers
 // ---------------------------------------------------------------------------
 

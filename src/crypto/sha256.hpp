@@ -84,6 +84,21 @@ class Sha256 {
   /// are shaped alike. Equivalent to out_a = a.finalize(); out_b = b.finalize().
   static void finalize_two(Sha256& a, Sha256& b, DigestBytes& out_a, DigestBytes& out_b);
 
+  // --- raw block interface (fused fixed-shape flows) ------------------------
+
+  /// Exports the 8-word compression state. Only valid at a block boundary
+  /// (no buffered partial input); HMAC midstates qualify by construction.
+  /// Lets fused paths (HmacContext::mac_tagged_cross) run prepared padded
+  /// blocks through compress_pair without the incremental-update machinery.
+  void export_midstate(std::uint32_t out[8]) const;
+
+  /// Two-lane raw compression: advances `state_a` over `blocks_a` and
+  /// `state_b` over `blocks_b` (`nblocks` 64-byte blocks each) through the
+  /// active kernel's paired driver. Blocks must be fully padded already.
+  static void compress_pair(std::uint32_t* state_a, const std::uint8_t* blocks_a,
+                            std::uint32_t* state_b, const std::uint8_t* blocks_b,
+                            std::size_t nblocks);
+
  private:
   /// Tops the carry buffer up from `data` and compresses it once full;
   /// returns the unconsumed remainder. Post: buffered_ == 0 unless `data`

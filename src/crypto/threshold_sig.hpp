@@ -106,6 +106,12 @@ class ThresholdScheme {
   [[nodiscard]] SignatureBytes evaluate(const HmacContext& ctx,
                                         std::span<const std::uint8_t> message) const;
 
+  /// Evaluates two signers' 48-byte values over one message with cross-keyed
+  /// two-lane passes (batched vote verification; see combine()).
+  void evaluate_pair(const HmacContext& ctx_a, const HmacContext& ctx_b,
+                     std::span<const std::uint8_t> message, SignatureBytes& out_a,
+                     SignatureBytes& out_b) const;
+
   std::uint32_t n_;
   std::uint32_t threshold_;
   // Keyed HMAC midstates, precomputed once per key at setup: signing/verifying

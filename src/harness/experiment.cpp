@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "baselines/hotstuff.hpp"
-#include "baselines/pbft.hpp"
 #include "core/client.hpp"
-#include "core/replica.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocol/factory.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -191,55 +189,56 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       cfg.offered_load > 0 ? cfg.offered_load : saturation * estimate_capacity(cfg);
 
   // --- Build replicas ------------------------------------------------------
-  std::vector<std::unique_ptr<sim::Node>> replicas;
+  // Protocol-generic construction: translate the experiment knobs into a
+  // ProtocolSpec once, then stamp out sans-I/O cores behind SimEnv adapters.
+  protocol::ProtocolSpec base_spec;
+  if (leopard) {
+    core::LeopardConfig lcfg;
+    lcfg.n = cfg.n;
+    lcfg.datablock_requests = cfg.datablock_requests;
+    lcfg.bftblock_links = cfg.bftblock_links;
+    lcfg.payload_size = cfg.payload_size;
+    lcfg.mempool_capacity = std::max<std::uint32_t>(3 * cfg.datablock_requests, 4000);
+    lcfg.enable_ready_round = cfg.enable_ready_round;
+    if (cfg.proposal_max_wait > 0) lcfg.proposal_max_wait = cfg.proposal_max_wait;
+    if (cfg.view_timeout > 0) {
+      lcfg.view_timeout = cfg.view_timeout;
+    } else if (!cfg.crash_leader_at) {
+      // Throughput experiments under saturation: queues legitimately run
+      // deep during the fill phase at large n. The paper requires the
+      // view-change timer be "set appropriately ... to avoid switching to
+      // a new view too frequently"; disable spurious switches unless the
+      // experiment is about the view-change itself.
+      lcfg.view_timeout = 3600 * sim::kSecond;
+    }
+    base_spec.config = lcfg;
+  } else if (cfg.protocol == Protocol::kHotStuff) {
+    baselines::HotStuffConfig hcfg;
+    hcfg.n = cfg.n;
+    hcfg.batch_size = cfg.batch_size;
+    hcfg.payload_size = cfg.payload_size;
+    base_spec.config = hcfg;
+  } else {
+    baselines::PbftConfig pcfg;
+    pcfg.n = cfg.n;
+    pcfg.batch_size = cfg.batch_size;
+    pcfg.payload_size = cfg.payload_size;
+    base_spec.config = pcfg;
+  }
+
+  std::vector<protocol::SimReplica> replicas;
   replicas.reserve(cfg.n);
 
   std::uint32_t byz_assigned = 0;
   for (std::uint32_t id = 0; id < cfg.n; ++id) {
-    core::ByzantineSpec byz;
+    auto spec = base_spec;
     if (id != leader_id && id != 0 && byz_assigned < cfg.byzantine_count) {
-      byz = cfg.byzantine_spec;
+      spec.byzantine = cfg.byzantine_spec;
       ++byz_assigned;
     }
-    if (cfg.crash_leader_at && id == leader_id) byz.crash_at = *cfg.crash_leader_at;
+    if (cfg.crash_leader_at && id == leader_id) spec.byzantine.crash_at = *cfg.crash_leader_at;
 
-    if (leopard) {
-      core::LeopardConfig lcfg;
-      lcfg.n = cfg.n;
-      lcfg.datablock_requests = cfg.datablock_requests;
-      lcfg.bftblock_links = cfg.bftblock_links;
-      lcfg.payload_size = cfg.payload_size;
-      lcfg.mempool_capacity = std::max<std::uint32_t>(3 * cfg.datablock_requests, 4000);
-      lcfg.enable_ready_round = cfg.enable_ready_round;
-      if (cfg.proposal_max_wait > 0) lcfg.proposal_max_wait = cfg.proposal_max_wait;
-      if (cfg.view_timeout > 0) {
-        lcfg.view_timeout = cfg.view_timeout;
-      } else if (!cfg.crash_leader_at) {
-        // Throughput experiments under saturation: queues legitimately run
-        // deep during the fill phase at large n. The paper requires the
-        // view-change timer be "set appropriately ... to avoid switching to
-        // a new view too frequently"; disable spurious switches unless the
-        // experiment is about the view-change itself.
-        lcfg.view_timeout = 3600 * sim::kSecond;
-      }
-      replicas.push_back(
-          std::make_unique<core::LeopardReplica>(net, lcfg, ts, metrics, id, byz));
-    } else if (cfg.protocol == Protocol::kHotStuff) {
-      baselines::HotStuffConfig hcfg;
-      hcfg.n = cfg.n;
-      hcfg.batch_size = cfg.batch_size;
-      hcfg.payload_size = cfg.payload_size;
-      replicas.push_back(
-          std::make_unique<baselines::HotStuffReplica>(net, hcfg, ts, metrics, id));
-    } else {
-      baselines::PbftConfig pcfg;
-      pcfg.n = cfg.n;
-      pcfg.batch_size = cfg.batch_size;
-      pcfg.payload_size = cfg.payload_size;
-      replicas.push_back(std::make_unique<baselines::PbftReplica>(net, pcfg, ts, metrics, id));
-    }
-    const auto nid = net.add_node(replicas.back().get());
-    util::ensures(nid == id, "replica node ids must equal replica ids");
+    replicas.push_back(protocol::make_sim_replica(net, metrics, spec, ts, id));
   }
 
   // --- Build clients --------------------------------------------------------

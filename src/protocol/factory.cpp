@@ -1,0 +1,45 @@
+#include "protocol/factory.hpp"
+
+#include "util/check.hpp"
+
+namespace leopard::protocol {
+
+std::uint32_t ProtocolSpec::n() const {
+  return std::visit([](const auto& cfg) { return cfg.n; }, config);
+}
+
+std::unique_ptr<Protocol> make_protocol(const ProtocolSpec& spec,
+                                        const crypto::ThresholdScheme& ts,
+                                        proto::ReplicaId id) {
+  struct Maker {
+    const crypto::ThresholdScheme& ts;
+    proto::ReplicaId id;
+    const core::ByzantineSpec& byz;
+
+    std::unique_ptr<Protocol> operator()(const core::LeopardConfig& cfg) const {
+      return std::make_unique<core::LeopardReplica>(cfg, ts, id, byz);
+    }
+    std::unique_ptr<Protocol> operator()(const baselines::HotStuffConfig& cfg) const {
+      return std::make_unique<baselines::HotStuffReplica>(cfg, ts, id);
+    }
+    std::unique_ptr<Protocol> operator()(const baselines::PbftConfig& cfg) const {
+      return std::make_unique<baselines::PbftReplica>(cfg, ts, id);
+    }
+  };
+  return std::visit(Maker{ts, id, spec.byzantine}, spec.config);
+}
+
+SimReplica make_sim_replica(sim::Network& net, core::ProtocolMetrics& metrics,
+                            const ProtocolSpec& spec, const crypto::ThresholdScheme& ts,
+                            proto::ReplicaId id) {
+  SimReplica r;
+  r.core = make_protocol(spec, ts, id);
+  r.env = std::make_unique<SimEnv>(net, metrics, spec.n());
+  r.env->attach(*r.core);
+  const auto node_id = net.add_node(r.env.get());
+  util::ensures(node_id == id, "replica node ids must equal replica ids");
+  r.env->set_node_id(node_id);
+  return r;
+}
+
+}  // namespace leopard::protocol

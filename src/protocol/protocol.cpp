@@ -1,0 +1,26 @@
+#include "protocol/protocol.hpp"
+
+namespace leopard::protocol {
+
+void Protocol::deliver(Env& env, const Event& event) {
+  std::visit(
+      [&](const auto& ev) {
+        using T = std::decay_t<decltype(ev)>;
+        if constexpr (std::is_same_v<T, Start>) {
+          on_start(env);
+        } else if constexpr (std::is_same_v<T, MessageIn>) {
+          if (auto cr = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(ev.payload)) {
+            on_client_request(env, ev.from, cr);
+          } else {
+            on_message(env, ev.from, ev.payload);
+          }
+        } else if constexpr (std::is_same_v<T, TimerFired>) {
+          on_timer(env, ev.token);
+        } else {
+          on_client_request(env, ev.from, ev.request);
+        }
+      },
+      event);
+}
+
+}  // namespace leopard::protocol

@@ -1,0 +1,206 @@
+#include "protocol/replay.hpp"
+
+#include <bit>
+
+namespace leopard::protocol {
+
+namespace {
+
+void fold_share(util::ByteWriter& w, const crypto::SignatureShare& s) {
+  w.u32(s.signer);
+  w.raw(s.bytes);
+}
+
+void fold_sig(util::ByteWriter& w, const crypto::ThresholdSignature& s) { w.raw(s.bytes); }
+
+void fold_digests(util::ByteWriter& w, const std::vector<crypto::Digest>& ds) {
+  w.u32(static_cast<std::uint32_t>(ds.size()));
+  for (const auto& d : ds) w.raw(d.bytes());
+}
+
+}  // namespace
+
+std::uint64_t payload_fingerprint(const sim::Payload& payload) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(payload.component()));
+  w.u64(payload.wire_size());
+
+  if (const auto* m = dynamic_cast<const proto::ClientRequestMsg*>(&payload)) {
+    for (const auto& r : m->requests) {
+      w.u64(r.client_id);
+      w.u64(r.seq);
+    }
+  } else if (const auto* m = dynamic_cast<const proto::AckMsg*>(&payload)) {
+    w.u64(m->client_id);
+    for (const auto s : m->seqs) w.u64(s);
+  } else if (const auto* m = dynamic_cast<const proto::DatablockMsg*>(&payload)) {
+    w.raw(m->cached_digest.bytes());
+  } else if (const auto* m = dynamic_cast<const proto::ReadyMsg*>(&payload)) {
+    fold_digests(w, m->datablock_hashes);
+  } else if (const auto* m = dynamic_cast<const proto::BftBlockMsg*>(&payload)) {
+    w.raw(m->cached_digest.bytes());
+    fold_share(w, m->leader_share);
+  } else if (const auto* m = dynamic_cast<const proto::VoteMsg*>(&payload)) {
+    w.u8(m->round);
+    w.raw(m->block_digest.bytes());
+    fold_share(w, m->share);
+  } else if (const auto* m = dynamic_cast<const proto::ProofMsg*>(&payload)) {
+    w.u8(m->round);
+    w.raw(m->block_digest.bytes());
+    fold_sig(w, m->signature);
+  } else if (const auto* m = dynamic_cast<const proto::QueryMsg*>(&payload)) {
+    fold_digests(w, m->missing);
+  } else if (const auto* m = dynamic_cast<const proto::ChunkResponseMsg*>(&payload)) {
+    w.raw(m->datablock_hash.bytes());
+    w.raw(m->merkle_root.bytes());
+    w.u32(m->chunk_index);
+    w.u32(m->leaf_count);
+    w.blob(m->chunk);
+  } else if (const auto* m = dynamic_cast<const proto::CheckpointMsg*>(&payload)) {
+    w.u64(m->sn);
+    w.raw(m->state.bytes());
+    if (m->share) fold_share(w, *m->share);
+    if (m->signature) fold_sig(w, *m->signature);
+  } else if (const auto* m = dynamic_cast<const proto::TimeoutMsg*>(&payload)) {
+    w.u32(m->view);
+    fold_share(w, m->share);
+  } else if (const auto* m = dynamic_cast<const proto::ViewChangeMsg*>(&payload)) {
+    w.u32(m->new_view);
+    w.u64(m->checkpoint_sn);
+    w.raw(m->checkpoint_state.bytes());
+    w.u32(m->sender);
+    w.u32(static_cast<std::uint32_t>(m->notarized.size()));
+    for (const auto& nb : m->notarized) {
+      w.raw(nb.block.digest().bytes());
+      fold_sig(w, nb.notarization);
+    }
+    fold_share(w, m->sender_sig);
+  } else if (const auto* m = dynamic_cast<const proto::NewViewMsg*>(&payload)) {
+    w.u32(m->new_view);
+    w.u32(static_cast<std::uint32_t>(m->view_changes.size()));
+    for (const auto& vc : m->view_changes) {
+      w.u32(vc.sender);
+      w.u64(vc.checkpoint_sn);
+    }
+    fold_share(w, m->leader_sig);
+  } else if (const auto* m = dynamic_cast<const proto::BaselineBlockMsg*>(&payload)) {
+    w.u64(m->height);
+    w.raw(m->cached_digest.bytes());
+  } else if (const auto* m = dynamic_cast<const proto::BaselineVoteMsg*>(&payload)) {
+    w.u8(m->phase);
+    w.u64(m->height);
+    w.raw(m->block_digest.bytes());
+    fold_share(w, m->share);
+  }
+  return crypto::Digest::of(w.bytes()).prefix64();
+}
+
+namespace {
+
+void serialize_event(util::ByteWriter& w, const Event& event) {
+  std::visit(
+      [&](const auto& ev) {
+        using T = std::decay_t<decltype(ev)>;
+        if constexpr (std::is_same_v<T, Start>) {
+          w.u8(0);
+        } else if constexpr (std::is_same_v<T, MessageIn>) {
+          w.u8(1);
+          w.u32(ev.from);
+          w.u64(payload_fingerprint(*ev.payload));
+        } else if constexpr (std::is_same_v<T, TimerFired>) {
+          w.u8(2);
+          w.u64(ev.token);
+        } else {
+          w.u8(3);
+          w.u32(ev.from);
+          w.u64(payload_fingerprint(*ev.request));
+        }
+      },
+      event);
+}
+
+void serialize_action(util::ByteWriter& w, const Action& action) {
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, Send>) {
+          w.u8(0);
+          w.u32(a.to);
+          w.u64(payload_fingerprint(*a.payload));
+        } else if constexpr (std::is_same_v<T, Broadcast>) {
+          w.u8(1);
+          w.u64(payload_fingerprint(*a.payload));
+        } else if constexpr (std::is_same_v<T, SetTimer>) {
+          w.u8(2);
+          w.u64(a.token);
+          w.i64(a.delay);
+        } else if constexpr (std::is_same_v<T, CancelTimer>) {
+          w.u8(3);
+          w.u64(a.token);
+        } else if constexpr (std::is_same_v<T, Execute>) {
+          w.u8(4);
+          w.u64(a.requests);
+          w.u64(payload_fingerprint(*a.block));
+        } else if constexpr (std::is_same_v<T, MetricsUpdate>) {
+          w.u8(5);
+          w.u8(static_cast<std::uint8_t>(a.metric));
+          // Exact bit fold: avoids the float->int overflow UB a fixed-point
+          // scale would hit on time-valued metrics in long runs.
+          w.u64(std::bit_cast<std::uint64_t>(a.value));
+        } else {
+          w.u8(6);
+          w.i64(a.cost);
+        }
+      },
+      action);
+}
+
+}  // namespace
+
+std::size_t Trace::action_count() const {
+  std::size_t n = 0;
+  for (const auto& s : steps) n += s.actions.size();
+  return n;
+}
+
+void Trace::serialize(util::ByteWriter& w) const {
+  w.u64(steps.size());
+  for (const auto& step : steps) {
+    w.i64(step.at);
+    serialize_event(w, step.event);
+    w.u32(static_cast<std::uint32_t>(step.actions.size()));
+    for (const auto& a : step.actions) serialize_action(w, a);
+  }
+}
+
+crypto::Digest Trace::digest() const {
+  util::ByteWriter w;
+  serialize(w);
+  return crypto::Digest::of(w.bytes());
+}
+
+Trace ReplayEnv::replay(Protocol& core, const Trace& recorded) {
+  Trace out;
+  out.steps.reserve(recorded.steps.size());
+  for (const auto& recorded_step : recorded.steps) {
+    TraceStep step;
+    step.at = recorded_step.at;
+    step.event = recorded_step.event;
+    if (filter_ && !filter_(step)) continue;
+
+    now_ = step.at;
+    out.steps.push_back(std::move(step));
+    current_ = &out.steps.back();
+    core.deliver(*this, out.steps.back().event);
+    current_ = nullptr;
+  }
+  return out;
+}
+
+void ReplayEnv::apply(Action action) {
+  // Collect only: the recorded event stream already contains the deliveries
+  // and timer firings these actions produced in the original run.
+  if (current_ != nullptr) current_->actions.push_back(std::move(action));
+}
+
+}  // namespace leopard::protocol

@@ -1,0 +1,75 @@
+// SimEnv: the discrete-event-simulator adapter for sans-I/O protocol cores.
+//
+// Implements `sim::Node` on the network side and `protocol::Env` on the core
+// side: deliveries/timers become typed events into the attached Protocol, and
+// the core's actions translate back into the existing metered network and
+// event queue — same `Network::send`/`multicast`/`charge_cpu` calls, in the
+// same order, at the same simulated instants as the pre-refactor inline code,
+// so every bench and figure keeps its semantics and numbers.
+//
+// Optionally records the full event/action stream into a `Trace`
+// (replay.hpp) for determinism checks and offline replay.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "protocol/protocol.hpp"
+#include "sim/network.hpp"
+
+namespace leopard::protocol {
+
+class Trace;
+
+/// Applies one MetricsUpdate to the shared metrics object, honouring the
+/// per-metric semantics documented on `Metric`.
+void apply_metrics_update(core::ProtocolMetrics& metrics, const MetricsUpdate& update);
+
+class SimEnv final : public Env, public sim::Node {
+ public:
+  /// `n_replicas` defines the Broadcast target set (replica ids 0..n-1).
+  SimEnv(sim::Network& net, core::ProtocolMetrics& metrics, std::uint32_t n_replicas);
+
+  /// Binds the protocol core this env hosts. Must be called before the
+  /// simulation starts; the env does not own the core.
+  void attach(Protocol& protocol);
+
+  /// Network node id of this replica; must be set right after add_node.
+  void set_node_id(NodeId id) { id_ = id; }
+
+  /// Application observer for Execute actions (e.g. a replicated KV store).
+  using ExecuteObserver = std::function<void(const Execute&)>;
+  void set_execute_observer(ExecuteObserver obs) { execute_observer_ = std::move(obs); }
+
+  /// Starts (or stops, with nullptr) recording events and actions into
+  /// `trace`. The recorder must outlive the run.
+  void set_recorder(Trace* trace) { trace_ = trace; }
+
+  // -- Env ------------------------------------------------------------------
+  [[nodiscard]] sim::SimTime now() const override { return net_.sim().now(); }
+  [[nodiscard]] const sim::CostModel& costs() const override { return net_.costs(); }
+  void apply(Action action) override;
+
+  // -- sim::Node ------------------------------------------------------------
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+ private:
+  void fire_timer(TimerToken token);
+  void begin_step(Event event);
+  void record_action(const Action& action);
+
+  sim::Network& net_;
+  core::ProtocolMetrics& metrics_;
+  Protocol* protocol_ = nullptr;
+  NodeId id_ = 0;
+  std::vector<NodeId> replica_ids_;  // 0..n-1, the Broadcast target set
+  std::unordered_map<TimerToken, sim::EventHandle> timers_;
+  ExecuteObserver execute_observer_;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace leopard::protocol

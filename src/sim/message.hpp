@@ -8,6 +8,9 @@
 
 namespace leopard::sim {
 
+/// Identity of a participant (replica or client group) on the transport.
+using NodeId = std::uint32_t;
+
 /// Traffic component a message belongs to, mirroring the rows of the paper's
 /// Table III bandwidth-utilization breakdown.
 enum class Component : std::uint8_t {

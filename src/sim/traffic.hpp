@@ -12,8 +12,6 @@
 
 namespace leopard::sim {
 
-using NodeId = std::uint32_t;
-
 enum class Direction : std::uint8_t { kSend, kReceive };
 
 class TrafficAccountant {

@@ -9,6 +9,7 @@
 #include "baselines/pbft.hpp"
 #include "core/client.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocol/factory.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -22,14 +23,17 @@ struct BaselineCluster {
   sim::Network net;
   crypto::ThresholdScheme ts;
   core::ProtocolMetrics metrics;
-  std::vector<std::unique_ptr<Replica>> replicas;
+  std::vector<protocol::SimReplica> handles;
+  std::vector<Replica*> replicas;  // typed views into `handles`
   std::unique_ptr<core::LeopardClient> client;
 
   BaselineCluster(Config cfg, double rate)
       : net(sim, make_net()), ts(cfg.n, cfg.quorum(), 11) {
     for (std::uint32_t id = 0; id < cfg.n; ++id) {
-      replicas.push_back(std::make_unique<Replica>(net, cfg, ts, metrics, id));
-      net.add_node(replicas.back().get());
+      protocol::ProtocolSpec spec;
+      spec.config = cfg;
+      handles.push_back(protocol::make_sim_replica(net, metrics, spec, ts, id));
+      replicas.push_back(&handles.back().template as<Replica>());
     }
     core::ClientConfig ccfg;
     ccfg.request_rate = rate;

@@ -1,5 +1,7 @@
-// Shared test fixture: builds a small Leopard cluster with per-replica
-// Byzantine specs and direct access to replicas/clients for invariant checks.
+// Shared test fixture: builds a small Leopard cluster (sans-I/O cores behind
+// SimEnv adapters) with per-replica Byzantine specs and direct access to
+// replicas/clients for invariant checks. Optionally records each replica's
+// full event/action trace for determinism and replay tests.
 #pragma once
 
 #include <memory>
@@ -10,6 +12,8 @@
 #include "core/metrics.hpp"
 #include "core/replica.hpp"
 #include "crypto/threshold_sig.hpp"
+#include "protocol/factory.hpp"
+#include "protocol/replay.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,6 +30,7 @@ struct ClusterOptions {
   std::uint32_t payload_size = 64;
   bool real_payload = false;
   std::uint64_t seed = 7;
+  bool record_traces = false;  // capture per-replica event/action traces
 };
 
 class LeopardCluster {
@@ -36,14 +41,15 @@ class LeopardCluster {
         ts_(opts_.n, 2 * ((opts_.n - 1) / 3) + 1, opts_.seed) {
     opts_.protocol.n = opts_.n;
     opts_.protocol.payload_size = opts_.payload_size;
+    if (opts_.record_traces) traces_.resize(opts_.n);
 
     const sim::NodeId leader = 1 % opts_.n;
     for (std::uint32_t id = 0; id < opts_.n; ++id) {
-      core::ByzantineSpec byz;
-      if (id < opts_.byzantine.size()) byz = opts_.byzantine[id];
-      replicas_.push_back(std::make_unique<core::LeopardReplica>(net_, opts_.protocol, ts_,
-                                                                 metrics_, id, byz));
-      net_.add_node(replicas_.back().get());
+      protocol::ProtocolSpec spec;
+      spec.config = opts_.protocol;
+      if (id < opts_.byzantine.size()) spec.byzantine = opts_.byzantine[id];
+      replicas_.push_back(protocol::make_sim_replica(net_, metrics_, spec, ts_, id));
+      if (opts_.record_traces) replicas_.back().env->set_recorder(&traces_[id]);
     }
     for (std::uint32_t id = 0; id < opts_.n; ++id) {
       if (id == leader) continue;
@@ -70,23 +76,32 @@ class LeopardCluster {
     sim_.run_until(sim_.now() + sim::from_seconds(seconds));
   }
 
-  [[nodiscard]] core::LeopardReplica& replica(std::uint32_t id) { return *replicas_[id]; }
+  [[nodiscard]] core::LeopardReplica& replica(std::uint32_t id) {
+    return replicas_[id].as<core::LeopardReplica>();
+  }
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] protocol::SimEnv& env(std::uint32_t id) { return *replicas_[id].env; }
+  [[nodiscard]] const protocol::Trace& trace(std::uint32_t id) const {
+    util::expects(id < traces_.size(), "trace(): cluster built without record_traces");
+    return traces_[id];
+  }
   [[nodiscard]] core::LeopardClient& client(std::size_t i) { return *clients_[i]; }
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
   [[nodiscard]] core::ProtocolMetrics& metrics() { return metrics_; }
   [[nodiscard]] sim::Network& network() { return net_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const crypto::ThresholdScheme& scheme() const { return ts_; }
+  [[nodiscard]] const core::LeopardConfig& protocol_config() const { return opts_.protocol; }
 
   /// Theorem 1 invariant: all honest replicas' confirmed logs agree
   /// position-wise (honest = not in `byzantine_ids`).
   [[nodiscard]] bool logs_consistent(const std::vector<std::uint32_t>& byzantine_ids = {}) {
     for (std::uint32_t a = 0; a < opts_.n; ++a) {
       if (is_in(a, byzantine_ids)) continue;
-      const auto log_a = replicas_[a]->confirmed_log();
+      const auto& log_a = replica(a).confirmed_log();
       for (std::uint32_t b = a + 1; b < opts_.n; ++b) {
         if (is_in(b, byzantine_ids)) continue;
-        const auto log_b = replicas_[b]->confirmed_log();
+        const auto& log_b = replica(b).confirmed_log();
         for (const auto& [sn, digest] : log_a) {
           const auto it = log_b.find(sn);
           if (it != log_b.end() && it->second != digest) return false;
@@ -101,7 +116,7 @@ class LeopardCluster {
     proto::SeqNum lo = std::numeric_limits<proto::SeqNum>::max();
     for (std::uint32_t id = 0; id < opts_.n; ++id) {
       if (is_in(id, byzantine_ids)) continue;
-      lo = std::min(lo, replicas_[id]->executed_through());
+      lo = std::min(lo, replica(id).executed_through());
     }
     return lo;
   }
@@ -122,7 +137,8 @@ class LeopardCluster {
   sim::Network net_;
   crypto::ThresholdScheme ts_;
   core::ProtocolMetrics metrics_;
-  std::vector<std::unique_ptr<core::LeopardReplica>> replicas_;
+  std::vector<protocol::Trace> traces_;
+  std::vector<protocol::SimReplica> replicas_;
   std::vector<std::unique_ptr<core::LeopardClient>> clients_;
   bool started_ = false;
 };

@@ -200,6 +200,46 @@ TEST(HmacContext, PairApisMatchSequentialMacs) {
   }
 }
 
+TEST(HmacContext, TaggedCrossMatchesSequentialMacsAcrossKeys) {
+  const lc::HmacContext ctx_a(random_bytes(32, 910));
+  const lc::HmacContext ctx_b(random_bytes(32, 911));
+  // Sweep across the fused single-block boundary (tag+msg <= 54 bytes fuses;
+  // longer messages fall back to the incremental path).
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{32}, std::size_t{54}, std::size_t{55}, std::size_t{200}}) {
+    const auto msg = random_bytes(len, 912 + len);
+    for (const std::uint8_t tag : {std::uint8_t{0x00}, std::uint8_t{0x01}}) {
+      lc::Sha256::DigestBytes ca, cb;
+      lc::HmacContext::mac_tagged_cross(ctx_a, ctx_b, tag, msg, ca, cb);
+      lu::Bytes cat;
+      cat.push_back(tag);
+      cat.insert(cat.end(), msg.begin(), msg.end());
+      EXPECT_EQ(ca, ctx_a.mac(cat)) << "len=" << len << " tag=" << int(tag);
+      EXPECT_EQ(cb, ctx_b.mac(cat)) << "len=" << len << " tag=" << int(tag);
+    }
+  }
+}
+
+TEST(HmacContext, TaggedCrossParityUnderEveryKernel) {
+  const auto prev = lc::Sha256::active_kernel();
+  const lc::HmacContext ctx_a(random_bytes(32, 920));
+  const lc::HmacContext ctx_b(random_bytes(32, 921));
+  const auto msg = random_bytes(32, 922);  // the vote shape: a digest
+  lu::Bytes cat;
+  cat.push_back(0x01);
+  cat.insert(cat.end(), msg.begin(), msg.end());
+  for (const auto k : {lc::Sha256::Kernel::kPortable, lc::Sha256::Kernel::kShaNi,
+                       lc::Sha256::Kernel::kArmCe}) {
+    if (!lc::Sha256::kernel_available(k)) continue;
+    lc::Sha256::force_kernel(k);
+    lc::Sha256::DigestBytes ca, cb;
+    lc::HmacContext::mac_tagged_cross(ctx_a, ctx_b, 0x01, msg, ca, cb);
+    EXPECT_EQ(ca, ctx_a.mac(cat)) << lc::Sha256::kernel_name(k);
+    EXPECT_EQ(cb, ctx_b.mac(cat)) << lc::Sha256::kernel_name(k);
+  }
+  lc::Sha256::force_kernel(prev);
+}
+
 // ---------------------------------------------------------------------------
 // Kernel dispatch and parity
 // ---------------------------------------------------------------------------

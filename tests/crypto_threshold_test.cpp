@@ -103,6 +103,40 @@ TEST(ThresholdSig, InvalidSharesDoNotCount) {
   EXPECT_FALSE(ts.combine(msg, shares).has_value());
 }
 
+TEST(ThresholdSig, CombineBatchedPairsMatchOddCounts) {
+  // combine() verifies shares in cross-keyed pairs; odd counts leave a tail
+  // share on the single-evaluation path. Both shapes must agree.
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("odd-even");
+  const auto even = ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3, 4, 5}));
+  const auto odd = ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3, 4}));
+  ASSERT_TRUE(even.has_value());
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_EQ(even->bytes, odd->bytes);  // unique-signature property
+}
+
+TEST(ThresholdSig, CombineSkipsOutOfRangeSignerMidBatch) {
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("oob");
+  auto shares = shares_from(ts, msg, {0, 1});
+  shares.push_back(lc::SignatureShare{kN + 3, {}});  // breaks the pair loop
+  const auto rest = shares_from(ts, msg, {2, 3, 4});
+  shares.insert(shares.end(), rest.begin(), rest.end());
+  EXPECT_TRUE(ts.combine(msg, shares).has_value());  // 5 valid distinct remain
+}
+
+TEST(ThresholdSig, CombineCorruptedTagHalfRejected) {
+  // The last 16 bytes of a share come from the domain-separated 0x01 MAC;
+  // batched verification must still check them byte-for-byte.
+  const auto ts = make_scheme();
+  const auto msg = lc::Digest::of_string("tag1");
+  auto shares = shares_from(ts, msg, {0, 1, 2, 3, 4});
+  shares[2].bytes[40] ^= 0x01;  // corrupt inside the 0x01-MAC half
+  EXPECT_FALSE(ts.combine(msg, shares).has_value());
+  shares[2].bytes[40] ^= 0x01;
+  EXPECT_TRUE(ts.combine(msg, shares).has_value());
+}
+
 TEST(ThresholdSig, AnyThresholdSubsetYieldsSameSignature) {
   // Unique-signature property: as with threshold BLS, the combined signature
   // is independent of which 2f+1 shares were used.

@@ -1,5 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a bench_hotpath JSON record against the committed baseline.
+"""Compare a bench JSON record against its committed baseline.
+
+Understands two record families, selected by the record's "bench" field:
+  hotpath         — bench_hotpath (BENCH_hotpath.json baseline)
+  erasure_kernel  — bench_erasure_kernel (BENCH_erasure.json baseline)
 
 Only machine-portable *ratio* metrics are compared (speedups of one kernel
 over another on the same machine in the same run); absolute MB/s, events/s,
@@ -8,8 +12,9 @@ as trajectory data.
 
 Policy: a metric fails when it regresses more than TOLERANCE below the
 committed baseline AND also falls below its hard acceptance floor (the
-floors bench_hotpath itself enforces). The floor override keeps noisy shared
-runners from flagging a run that still meets the PR's acceptance criteria.
+floors the benches themselves enforce). The floor override keeps noisy
+shared runners from flagging a run that still meets the PR's acceptance
+criteria.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
 Exit status: 0 ok, 1 regression, 2 usage/parse error.
@@ -20,14 +25,20 @@ import sys
 
 TOLERANCE = 0.30
 
-# (json path, hard acceptance floor or None)
-METRICS = [
-    ("sha256.speedup_one_shot", 4.0),
-    ("sha256.speedup_hash_many", None),
-    ("hmac.speedup", None),
-    ("event_queue.speedup", 5.0),
-    ("gf256.avx2_vs_ssse3", 1.5),
-]
+# bench name -> [(json path, hard acceptance floor or None)]
+METRIC_SETS = {
+    "hotpath": [
+        ("sha256.speedup_one_shot", 4.0),
+        ("sha256.speedup_hash_many", None),
+        ("hmac.speedup", None),
+        ("vote_combine.speedup", None),
+        ("event_queue.speedup", 5.0),
+        ("gf256.avx2_vs_ssse3", 1.5),
+    ],
+    "erasure_kernel": [
+        ("acceptance.speedup", 10.0),
+    ],
+}
 
 
 def lookup(record, dotted):
@@ -52,9 +63,20 @@ def main(argv):
         print(f"error: {e}", file=sys.stderr)
         return 2
 
+    bench = current.get("bench")
+    if bench != baseline.get("bench"):
+        print(f"error: bench mismatch (baseline={baseline.get('bench')} current={bench})",
+              file=sys.stderr)
+        return 2
+    metrics = METRIC_SETS.get(bench)
+    if metrics is None:
+        print(f"error: unknown bench record '{bench}'", file=sys.stderr)
+        return 2
+
     failures = []
+    print(f"bench: {bench}")
     print(f"{'metric':<28} {'baseline':>10} {'current':>10} {'min ok':>10}  verdict")
-    for path, floor in METRICS:
+    for path, floor in metrics:
         base = lookup(baseline, path)
         cur = lookup(current, path)
         if base is None or cur is None:
