@@ -1,21 +1,29 @@
 // Erasure-coding kernel throughput: encode/decode MB/s for the dispatched
 // GF(256) kernel vs. the retained scalar log/exp reference, across
-// k ∈ {4,16,32,64} and shard sizes 1KiB–1MiB. Emits one JSON record so CI and
-// future PRs can track the trajectory, plus the ISSUE acceptance check
-// (>= 10x encode speedup at k=32, 64KiB shards).
+// k ∈ {4,16,32,64} and shard sizes 1KiB–1MiB, plus a worker-pool section
+// (encode at k=32/1MiB for 1/2/4/8 lanes). Emits one JSON record so CI and
+// future PRs can track the trajectory, plus the ISSUE acceptance checks
+// (>= 10x encode speedup at k=32, 64KiB shards; >= 2x with 4 workers at
+// k=32/1MiB where the machine has >= 4 hardware threads).
 //
-// Usage: bench_erasure_kernel [--smoke]
-//   --smoke   tiny sizes / short timings, for CI smoke runs.
+// Usage: bench_erasure_kernel [--smoke] [--no-acceptance]
+//   --smoke          tiny sizes / short timings, for CI smoke runs.
+//   --no-acceptance  record but do not enforce the acceptance targets (CI
+//                    uses this so check_bench_regression.py — which knows
+//                    how to absorb shared-runner noise — is the sole
+//                    verdict).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "erasure/gf256.hpp"
 #include "erasure/reed_solomon.hpp"
 #include "util/rng.hpp"
+#include "util/worker_pool.hpp"
 
 namespace le = leopard::erasure;
 namespace lu = leopard::util;
@@ -102,11 +110,15 @@ std::string fmt1(double v) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool enforce_acceptance = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--no-acceptance") == 0) {
+      enforce_acceptance = false;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\nusage: %s [--smoke]\n", argv[i], argv[0]);
+      std::fprintf(stderr, "unknown flag: %s\nusage: %s [--smoke] [--no-acceptance]\n",
+                   argv[i], argv[0]);
       return 2;
     }
   }
@@ -158,15 +170,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- worker-pool encode section -------------------------------------------
+  // Encode throughput at the large-datablock dispersal point (k=32, 1 MiB
+  // shards) as the global pool grows. The speedup_w4 ratio is the tentpole
+  // acceptance signal; it only binds on machines with >= 4 hardware threads
+  // (a 1-core container measures the dispatch overhead, not the scaling).
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t par_shard = smoke ? (1u << 14) : (1u << 20);
+  auto& pool = leopard::util::WorkerPool::global();
+  double w1_mbps = 0, w4_mbps = 0;
+  std::printf("],\"parallel\":{\"k\":32,\"shard_bytes\":%zu,\"hw_threads\":%u,\"records\":[",
+              par_shard, hw_threads);
+  first = true;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    pool.resize(workers);
+    const Timing t = run_point(32, 96, par_shard, min_time, max_iters);
+    if (workers == 1) w1_mbps = t.encode_mbps;
+    if (workers == 4) w4_mbps = t.encode_mbps;
+    std::printf("%s{\"workers\":%zu,\"encode_MBps\":%s}", first ? "" : ",", workers,
+                fmt1(t.encode_mbps).c_str());
+    first = false;
+    std::fflush(stdout);
+  }
+  pool.resize(1);
+  const double w4_speedup = w1_mbps > 0 ? w4_mbps / w1_mbps : 0;
+  std::printf("],\"speedup_w4\":%s}", w1_mbps > 0 ? fmt1(w4_speedup).c_str() : "null");
+
   const double speedup = accept_ref > 0 ? accept_fast / accept_ref : 0;
-  std::printf("],\"acceptance\":{\"k\":32,\"shard_bytes\":65536,\"encode_MBps\":%s,"
-              "\"ref_encode_MBps\":%s,\"speedup\":%s,\"target\":10.0,\"pass\":%s}}\n",
+  const bool par_ok = smoke || hw_threads < 4 || w4_speedup >= 2.0;
+  std::printf(",\"acceptance\":{\"k\":32,\"shard_bytes\":65536,\"encode_MBps\":%s,"
+              "\"ref_encode_MBps\":%s,\"speedup\":%s,\"target\":10.0,"
+              "\"parallel_speedup_w4\":%s,\"parallel_target\":2.0,\"pass\":%s}}\n",
               fmt1(accept_fast).c_str(), fmt1(accept_ref).c_str(), fmt1(speedup).c_str(),
-              (smoke || speedup >= 10.0) ? "true" : "false");
+              fmt1(w4_speedup).c_str(),
+              (smoke || (speedup >= 10.0 && par_ok)) ? "true" : "false");
 
   if (!smoke && speedup < 10.0) {
-    std::fprintf(stderr, "acceptance FAILED: %.1fx < 10x at k=32, 64KiB shards\n", speedup);
-    return 1;
+    std::fprintf(stderr, "acceptance %s: %.1fx < 10x at k=32, 64KiB shards\n",
+                 enforce_acceptance ? "FAILED" : "missed (not enforced)", speedup);
+    if (enforce_acceptance) return 1;
+  }
+  if (!par_ok) {
+    std::fprintf(stderr,
+                 "acceptance %s: %.1fx < 2x encode with 4 workers at k=32/1MiB "
+                 "(%u hardware threads)\n",
+                 enforce_acceptance ? "FAILED" : "missed (not enforced)", w4_speedup,
+                 hw_threads);
+    if (enforce_acceptance) return 1;
   }
   return 0;
 }

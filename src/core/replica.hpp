@@ -26,6 +26,7 @@
 
 #include "core/byzantine.hpp"
 #include "core/config.hpp"
+#include "crypto/merkle.hpp"
 #include "crypto/threshold_sig.hpp"
 #include "erasure/reed_solomon.hpp"
 #include "proto/messages.hpp"
@@ -215,6 +216,21 @@ class LeopardReplica final : public protocol::ProtocolBase {
                                           // encode/decode hot path
   util::Bytes decode_buf_;                // reconstructed datablock bytes
   std::vector<erasure::ShardView> decode_views_;  // reused per try_decode call
+
+  // handle_query memo: the last datablock this replica erasure-coded and
+  // Merkle-hashed for a querier. Every member of the f+1 committee answers
+  // each querier, so a retrieval storm asks for the same datablock many
+  // times back to back; the memo skips the redundant recompute. CPU charges
+  // stay per-query (they model the paper's replica, which has no such
+  // cache), so simulated time is unchanged — this is wall clock only. The
+  // memo owns a dedicated scratch: EncodedShards views are only valid until
+  // the next encode/decode on their scratch, and try_decode runs
+  // decode_into on rs_scratch_ between queries.
+  erasure::RsScratch query_scratch_;
+  crypto::Digest query_cache_digest_;
+  std::size_t query_cache_bytes_ = 0;     // serialized datablock size
+  erasure::EncodedShards query_cache_enc_;
+  std::optional<crypto::MerkleTree> query_cache_tree_;
 
   // Protocol state.
   proto::View view_ = 1;

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "util/check.hpp"
+
 namespace leopard::crypto {
 
 void HmacContext::init(std::span<const std::uint8_t> key) {
@@ -54,25 +56,6 @@ void HmacContext::mac_pair(std::span<const std::uint8_t> m0, std::span<const std
   Sha256::finalize_two(o0, o1, out0, out1);
 }
 
-void HmacContext::mac_tagged_pair(std::uint8_t tag0, std::uint8_t tag1,
-                                  std::span<const std::uint8_t> message,
-                                  Sha256::DigestBytes& out0,
-                                  Sha256::DigestBytes& out1) const {
-  Sha256 in0 = inner_;
-  Sha256 in1 = inner_;
-  in0.update({&tag0, 1});
-  in1.update({&tag1, 1});
-  Sha256::update_two(in0, message, in1, message);
-  Sha256::DigestBytes d0;
-  Sha256::DigestBytes d1;
-  Sha256::finalize_two(in0, in1, d0, d1);
-
-  Sha256 o0 = outer_;
-  Sha256 o1 = outer_;
-  Sha256::update_two(o0, d0, o1, d1);
-  Sha256::finalize_two(o0, o1, out0, out1);
-}
-
 namespace {
 
 constexpr std::size_t kBlock = Sha256::kBlockSize;
@@ -94,63 +77,155 @@ void store_be32x8(std::uint8_t* p, const std::uint32_t s[8]) {
   }
 }
 
+/// Builds the single padded inner block for HMAC(·, tag || message) on the
+/// fused path; message.size() must be <= kFusedMaxMessage.
+void build_fused_inner_block(std::uint8_t tag, std::span<const std::uint8_t> message,
+                             std::uint8_t block[/*kBlock*/]) {
+  std::memset(block, 0, kBlock);
+  block[0] = tag;
+  if (!message.empty()) std::memcpy(block + 1, message.data(), message.size());
+  block[1 + message.size()] = 0x80;
+  store_be64(block + kBlock - 8, static_cast<std::uint64_t>(kBlock + 1 + message.size()) * 8);
+}
+
+/// Shared fused-path finish: per lane, builds the padded outer block
+/// H(opad-midstate || inner-digest) from the advanced inner state
+/// `inner[i]`, compresses it over the opad midstate `outer_mid[i]` (advanced
+/// in place), and emits the final MAC. One n-lane pass for the whole batch.
+void fused_outer_pass(const std::uint32_t inner[][8], std::uint32_t outer_mid[][8],
+                      std::size_t count, Sha256::DigestBytes* out) {
+  std::uint8_t blocks[Sha256::kMaxBatch][kBlock];
+  std::uint32_t* st[Sha256::kMaxBatch];
+  const std::uint8_t* bl[Sha256::kMaxBatch];
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memset(blocks[i], 0, kBlock);
+    store_be32x8(blocks[i], inner[i]);
+    blocks[i][Sha256::kDigestSize] = 0x80;
+    store_be64(blocks[i] + kBlock - 8, (kBlock + Sha256::kDigestSize) * 8);
+    st[i] = outer_mid[i];
+    bl[i] = blocks[i];
+  }
+  Sha256::compress_wide(st, bl, count, 1);
+  for (std::size_t i = 0; i < count; ++i) store_be32x8(out[i].data(), outer_mid[i]);
+}
+
 }  // namespace
+
+void HmacContext::mac_tagged_pair(std::uint8_t tag0, std::uint8_t tag1,
+                                  std::span<const std::uint8_t> message,
+                                  Sha256::DigestBytes& out0,
+                                  Sha256::DigestBytes& out1) const {
+  if (message.size() <= kFusedMaxMessage) {
+    // Fused fixed-shape path: one key, two domain tags — the single-share
+    // sign/verify shape (ROADMAP: the incremental machinery cost ~40% of
+    // those calls). The two inner blocks differ only in the tag byte; both
+    // lanes start from the same precomputed ipad midstate, then one padded
+    // outer block each. Two compress_pair calls total.
+    std::uint8_t block0[kBlock];
+    std::uint8_t block1[kBlock];
+    build_fused_inner_block(tag0, message, block0);
+    build_fused_inner_block(tag1, message, block1);
+
+    std::uint32_t inner_states[2][8];
+    inner_.export_midstate(inner_states[0]);
+    inner_.export_midstate(inner_states[1]);
+    Sha256::compress_pair(inner_states[0], block0, inner_states[1], block1, 1);
+
+    std::uint32_t outer_states[2][8];
+    outer_.export_midstate(outer_states[0]);
+    outer_.export_midstate(outer_states[1]);
+    Sha256::DigestBytes outs[2];
+    fused_outer_pass(inner_states, outer_states, 2, outs);
+    out0 = outs[0];
+    out1 = outs[1];
+    return;
+  }
+
+  Sha256 in0 = inner_;
+  Sha256 in1 = inner_;
+  in0.update({&tag0, 1});
+  in1.update({&tag1, 1});
+  Sha256::update_two(in0, message, in1, message);
+  Sha256::DigestBytes d0;
+  Sha256::DigestBytes d1;
+  Sha256::finalize_two(in0, in1, d0, d1);
+
+  Sha256 o0 = outer_;
+  Sha256 o1 = outer_;
+  Sha256::update_two(o0, d0, o1, d1);
+  Sha256::finalize_two(o0, o1, out0, out1);
+}
 
 void HmacContext::mac_tagged_cross(const HmacContext& a, const HmacContext& b,
                                    std::uint8_t tag, std::span<const std::uint8_t> message,
                                    Sha256::DigestBytes& out_a, Sha256::DigestBytes& out_b) {
+  const HmacContext* ctxs[2] = {&a, &b};
+  Sha256::DigestBytes out[2];
+  mac_tagged_cross_many(ctxs, 2, tag, message, out);
+  out_a = out[0];
+  out_b = out[1];
+}
+
+void HmacContext::mac_tagged_cross_many(const HmacContext* const* ctxs, std::size_t count,
+                                        std::uint8_t tag,
+                                        std::span<const std::uint8_t> message,
+                                        Sha256::DigestBytes* out) {
+  constexpr std::size_t kMax = Sha256::kMaxBatch;
+  util::expects(count <= kMax, "mac_tagged_cross_many: batch too large");
+  if (count == 0) return;
+
   if (message.size() <= kFusedMaxMessage) {
     // Fused fixed-shape path (the vote hot path: message is a 32-byte
-    // digest). Both lanes compress the SAME prepared inner block — only the
-    // key midstates differ — then one padded outer block each. No context
-    // copies, no incremental-update buffering, no finalize machinery: two
-    // compress_pair calls total.
-    std::uint8_t inner_block[kBlock] = {};
-    inner_block[0] = tag;
-    if (!message.empty()) std::memcpy(inner_block + 1, message.data(), message.size());
-    inner_block[1 + message.size()] = 0x80;
-    store_be64(inner_block + kBlock - 8,
-               static_cast<std::uint64_t>(kBlock + 1 + message.size()) * 8);
+    // digest). EVERY lane compresses the SAME prepared inner block — only
+    // the key midstates differ — then one padded outer block each. No
+    // context copies, no incremental-update buffering, no finalize
+    // machinery: two compress_wide passes total, up to wide_lanes() shares
+    // per pass.
+    std::uint8_t inner_block[kBlock];
+    build_fused_inner_block(tag, message, inner_block);
 
-    std::uint32_t sa[8];
-    std::uint32_t sb[8];
-    a.inner_.export_midstate(sa);
-    b.inner_.export_midstate(sb);
-    Sha256::compress_pair(sa, inner_block, sb, inner_block, 1);
+    std::uint32_t inner_states[kMax][8];
+    std::uint32_t* st[kMax];
+    const std::uint8_t* bl[kMax];
+    for (std::size_t i = 0; i < count; ++i) {
+      ctxs[i]->inner_.export_midstate(inner_states[i]);
+      st[i] = inner_states[i];
+      bl[i] = inner_block;
+    }
+    Sha256::compress_wide(st, bl, count, 1);
 
-    // Outer: H(opad-midstate || inner-digest), one padded block per lane.
-    std::uint8_t outer_a[kBlock] = {};
-    std::uint8_t outer_b[kBlock] = {};
-    store_be32x8(outer_a, sa);
-    store_be32x8(outer_b, sb);
-    outer_a[Sha256::kDigestSize] = 0x80;
-    outer_b[Sha256::kDigestSize] = 0x80;
-    store_be64(outer_a + kBlock - 8, (kBlock + Sha256::kDigestSize) * 8);
-    store_be64(outer_b + kBlock - 8, (kBlock + Sha256::kDigestSize) * 8);
-
-    std::uint32_t oa[8];
-    std::uint32_t ob[8];
-    a.outer_.export_midstate(oa);
-    b.outer_.export_midstate(ob);
-    Sha256::compress_pair(oa, outer_a, ob, outer_b, 1);
-    store_be32x8(out_a.data(), oa);
-    store_be32x8(out_b.data(), ob);
+    std::uint32_t outer_states[kMax][8];
+    for (std::size_t i = 0; i < count; ++i) ctxs[i]->outer_.export_midstate(outer_states[i]);
+    fused_outer_pass(inner_states, outer_states, count, out);
     return;
   }
 
-  Sha256 ia = a.inner_;
-  Sha256 ib = b.inner_;
-  ia.update({&tag, 1});
-  ib.update({&tag, 1});
-  Sha256::update_two(ia, message, ib, message);
-  Sha256::DigestBytes da;
-  Sha256::DigestBytes db;
-  Sha256::finalize_two(ia, ib, da, db);
+  // Long messages: paired incremental runs (rare — votes are digests).
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    Sha256 ia = ctxs[i]->inner_;
+    Sha256 ib = ctxs[i + 1]->inner_;
+    ia.update({&tag, 1});
+    ib.update({&tag, 1});
+    Sha256::update_two(ia, message, ib, message);
+    Sha256::DigestBytes da;
+    Sha256::DigestBytes db;
+    Sha256::finalize_two(ia, ib, da, db);
 
-  Sha256 oa = a.outer_;
-  Sha256 ob = b.outer_;
-  Sha256::update_two(oa, da, ob, db);
-  Sha256::finalize_two(oa, ob, out_a, out_b);
+    Sha256 oa = ctxs[i]->outer_;
+    Sha256 ob = ctxs[i + 1]->outer_;
+    Sha256::update_two(oa, da, ob, db);
+    Sha256::finalize_two(oa, ob, out[i], out[i + 1]);
+  }
+  if (i < count) {
+    Sha256 in = ctxs[i]->inner_;
+    in.update({&tag, 1});
+    in.update(message);
+    const auto d = in.finalize();
+    Sha256 o = ctxs[i]->outer_;
+    o.update(d);
+    out[i] = o.finalize();
+  }
 }
 
 Sha256::DigestBytes hmac_sha256(std::span<const std::uint8_t> key,

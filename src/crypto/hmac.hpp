@@ -37,7 +37,10 @@ class HmacContext {
 
   /// HMAC(key, tag0 || m) and HMAC(key, tag1 || m) — the threshold-signature
   /// evaluation shape (two domain-separated MACs over one message), without
-  /// materializing the concatenations.
+  /// materializing the concatenations. Messages short enough that tag||m pads
+  /// into one block (the vote shape: m is a 32-byte digest) run the fused
+  /// raw-block path — two compress_pair calls total, no incremental-update
+  /// machinery — which is what makes single-share sign/verify cheap.
   void mac_tagged_pair(std::uint8_t tag0, std::uint8_t tag1,
                        std::span<const std::uint8_t> message, Sha256::DigestBytes& out0,
                        Sha256::DigestBytes& out1) const;
@@ -52,6 +55,15 @@ class HmacContext {
   static void mac_tagged_cross(const HmacContext& a, const HmacContext& b, std::uint8_t tag,
                                std::span<const std::uint8_t> message,
                                Sha256::DigestBytes& out_a, Sha256::DigestBytes& out_b);
+
+  /// The n-lane generalization: HMAC(key_i, tag || m) for i in [0, count),
+  /// count <= Sha256::kMaxBatch. All lanes share one prepared inner block on
+  /// the fused path (only the key midstates differ), so a whole batch of
+  /// vote shares runs as two compress_wide passes — 8 shares per pass under
+  /// the AVX2 kernel. Longer messages fall back to paired incremental runs.
+  static void mac_tagged_cross_many(const HmacContext* const* ctxs, std::size_t count,
+                                    std::uint8_t tag, std::span<const std::uint8_t> message,
+                                    Sha256::DigestBytes* out);
 
  private:
   Sha256 inner_;  // midstate after absorbing key ^ ipad

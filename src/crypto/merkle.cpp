@@ -28,8 +28,9 @@ std::vector<Digest> MerkleTree::hash_leaves(std::span<const std::uint8_t> buf,
   util::expects(buf.size() % leaf_size == 0, "buffer is not a whole number of leaves");
   const std::size_t count = buf.size() / leaf_size;
   // The shards sit back to back in the arena, so they are exactly the
-  // equal-size rows the multi-buffer interface wants: adjacent leaves hash in
-  // paired lanes instead of one at a time, written straight into the Digest
+  // equal-size rows the multi-buffer interface wants: leaves hash in n-lane
+  // batches (8-wide under AVX2) — and, for arena-scale inputs, row ranges
+  // fan out across the worker pool — written straight into the Digest
   // storage (licensed by the sizeof static_assert above).
   std::vector<Digest> leaves(count);
   Sha256::hash_many({&kLeafTag, 1}, buf.data(), leaf_size, leaf_size, count,
@@ -52,8 +53,8 @@ MerkleTree::MerkleTree(std::vector<Digest> leaves) {
     const auto& below = levels_.back();
     const std::size_t pairs = below.size() / 2;
     // Each interior node hashes 0x01 || left || right, and sibling digests
-    // are adjacent 64-byte rows of the level below — the same multi-buffer
-    // shape as the leaves.
+    // are adjacent 64-byte rows of the level below — the same n-lane
+    // multi-buffer shape as the leaves.
     std::vector<Digest> above(pairs);
     above.reserve(pairs + below.size() % 2);
     Sha256::hash_many({&kInteriorTag, 1},

@@ -1,9 +1,11 @@
 #include "crypto/sha256.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/worker_pool.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
@@ -242,6 +244,252 @@ __attribute__((target("sha,sse4.1,ssse3"))) void compress_shani_x2(
 #endif  // LEOPARD_SHA256_HAS_SHANI
 
 // ---------------------------------------------------------------------------
+// x86 transposed multi-buffer kernels (AVX2 8-wide, SSE2 4-wide)
+//
+// The classic SHA-256-MB technique: N independent message streams, one vector
+// register per working variable whose lane j belongs to stream j. Every round
+// and every message-schedule step is an ordinary 32-bit vector op, so the
+// kernel needs no SHA ISA at all — it is the fast path for multi-stream work
+// on CPUs whose only SHA option would otherwise be the portable loop. Blocks
+// are loaded per lane and transposed in registers (8x8 or 4x4 32-bit
+// transpose) so w[i] holds word i of all lanes.
+// ---------------------------------------------------------------------------
+
+// x86-64 only: SSE2 is baseline there, so compress_sse2_x4 needs no target
+// attribute and no CPUID gate. (An i386 build would need both — it falls
+// back to the portable/SHA-NI dispatch instead.)
+#if defined(__x86_64__)
+#define LEOPARD_SHA256_HAS_X86_WIDE 1
+
+bool cpu_has_avx2_sha() { return __builtin_cpu_supports("avx2") != 0; }
+
+#define LEOPARD_AVX2_FN __attribute__((target("avx2"), always_inline)) static inline
+
+LEOPARD_AVX2_FN __m256i v8_add(__m256i a, __m256i b) { return _mm256_add_epi32(a, b); }
+LEOPARD_AVX2_FN __m256i v8_xor(__m256i a, __m256i b) { return _mm256_xor_si256(a, b); }
+LEOPARD_AVX2_FN __m256i v8_and(__m256i a, __m256i b) { return _mm256_and_si256(a, b); }
+
+template <int N>
+LEOPARD_AVX2_FN __m256i v8_rotr(__m256i x) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, N), _mm256_slli_epi32(x, 32 - N));
+}
+LEOPARD_AVX2_FN __m256i v8_big_sigma0(__m256i x) {
+  return v8_xor(v8_rotr<2>(x), v8_xor(v8_rotr<13>(x), v8_rotr<22>(x)));
+}
+LEOPARD_AVX2_FN __m256i v8_big_sigma1(__m256i x) {
+  return v8_xor(v8_rotr<6>(x), v8_xor(v8_rotr<11>(x), v8_rotr<25>(x)));
+}
+LEOPARD_AVX2_FN __m256i v8_small_sigma0(__m256i x) {
+  return v8_xor(v8_rotr<7>(x), v8_xor(v8_rotr<18>(x), _mm256_srli_epi32(x, 3)));
+}
+LEOPARD_AVX2_FN __m256i v8_small_sigma1(__m256i x) {
+  return v8_xor(v8_rotr<17>(x), v8_xor(v8_rotr<19>(x), _mm256_srli_epi32(x, 10)));
+}
+LEOPARD_AVX2_FN __m256i v8_ch(__m256i e, __m256i f, __m256i g) {
+  return v8_xor(v8_and(e, f), _mm256_andnot_si256(e, g));
+}
+LEOPARD_AVX2_FN __m256i v8_maj(__m256i a, __m256i b, __m256i c) {
+  return v8_xor(v8_and(a, b), v8_and(c, v8_xor(a, b)));
+}
+
+/// Eight lanes, `nblocks` 64-byte blocks each: states[l] advances over
+/// blocks[l]. Lanes are fully independent streams.
+__attribute__((target("avx2"))) void compress_avx2_x8(std::uint32_t* const* states,
+                                                      const std::uint8_t* const* blocks,
+                                                      std::size_t nblocks) {
+  // Transposed state load: s[j] lane l = states[l][j].
+  __m256i s[8];
+  alignas(32) std::uint32_t tmp[8];
+  for (int j = 0; j < 8; ++j) {
+    for (int l = 0; l < 8; ++l) tmp[l] = states[l][j];
+    s[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+  // Byte swap within each 32-bit element (per 128-bit half, as vpshufb works).
+  const __m256i bswap = _mm256_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,
+                                         3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::size_t off = blk * Sha256::kBlockSize;
+    // Load+transpose the 16 message words of all 8 lanes, one 8-word half at
+    // a time (rows = per-lane word runs, columns = per-word lane vectors).
+    __m256i w[16];
+    for (int half = 0; half < 2; ++half) {
+      __m256i r[8], t[8], u[8];
+      for (int l = 0; l < 8; ++l) {
+        r[l] = _mm256_shuffle_epi8(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blocks[l] + off + 32 * half)),
+            bswap);
+      }
+      for (int p = 0; p < 4; ++p) {
+        t[2 * p] = _mm256_unpacklo_epi32(r[2 * p], r[2 * p + 1]);
+        t[2 * p + 1] = _mm256_unpackhi_epi32(r[2 * p], r[2 * p + 1]);
+      }
+      u[0] = _mm256_unpacklo_epi64(t[0], t[2]);
+      u[1] = _mm256_unpackhi_epi64(t[0], t[2]);
+      u[2] = _mm256_unpacklo_epi64(t[1], t[3]);
+      u[3] = _mm256_unpackhi_epi64(t[1], t[3]);
+      u[4] = _mm256_unpacklo_epi64(t[4], t[6]);
+      u[5] = _mm256_unpackhi_epi64(t[4], t[6]);
+      u[6] = _mm256_unpacklo_epi64(t[5], t[7]);
+      u[7] = _mm256_unpackhi_epi64(t[5], t[7]);
+      for (int j = 0; j < 4; ++j) {
+        w[8 * half + j] = _mm256_permute2x128_si256(u[j], u[j + 4], 0x20);
+        w[8 * half + 4 + j] = _mm256_permute2x128_si256(u[j], u[j + 4], 0x31);
+      }
+    }
+
+    __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+    __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+    for (int i = 0; i < 64; ++i) {
+      __m256i wi;
+      if (i < 16) {
+        wi = w[i];
+      } else {
+        wi = v8_add(v8_add(v8_small_sigma1(w[(i - 2) & 15]), w[(i - 7) & 15]),
+                    v8_add(v8_small_sigma0(w[(i - 15) & 15]), w[i & 15]));
+        w[i & 15] = wi;
+      }
+      const __m256i t1 = v8_add(v8_add(h, v8_big_sigma1(e)),
+                                v8_add(v8_ch(e, f, g),
+                                       v8_add(_mm256_set1_epi32(
+                                                  static_cast<int>(kRoundConstants[i])),
+                                              wi)));
+      const __m256i t2 = v8_add(v8_big_sigma0(a), v8_maj(a, b, c));
+      h = g;
+      g = f;
+      f = e;
+      e = v8_add(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = v8_add(t1, t2);
+    }
+    s[0] = v8_add(s[0], a);
+    s[1] = v8_add(s[1], b);
+    s[2] = v8_add(s[2], c);
+    s[3] = v8_add(s[3], d);
+    s[4] = v8_add(s[4], e);
+    s[5] = v8_add(s[5], f);
+    s[6] = v8_add(s[6], g);
+    s[7] = v8_add(s[7], h);
+  }
+
+  for (int j = 0; j < 8; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), s[j]);
+    for (int l = 0; l < 8; ++l) states[l][j] = tmp[l];
+  }
+}
+
+#undef LEOPARD_AVX2_FN
+
+// SSE2 4-wide variant: baseline x86-64 vectors, no target attribute needed.
+
+static inline __m128i v4_add(__m128i a, __m128i b) { return _mm_add_epi32(a, b); }
+static inline __m128i v4_xor(__m128i a, __m128i b) { return _mm_xor_si128(a, b); }
+static inline __m128i v4_and(__m128i a, __m128i b) { return _mm_and_si128(a, b); }
+
+template <int N>
+static inline __m128i v4_rotr(__m128i x) {
+  return _mm_or_si128(_mm_srli_epi32(x, N), _mm_slli_epi32(x, 32 - N));
+}
+static inline __m128i v4_big_sigma0(__m128i x) {
+  return v4_xor(v4_rotr<2>(x), v4_xor(v4_rotr<13>(x), v4_rotr<22>(x)));
+}
+static inline __m128i v4_big_sigma1(__m128i x) {
+  return v4_xor(v4_rotr<6>(x), v4_xor(v4_rotr<11>(x), v4_rotr<25>(x)));
+}
+static inline __m128i v4_small_sigma0(__m128i x) {
+  return v4_xor(v4_rotr<7>(x), v4_xor(v4_rotr<18>(x), _mm_srli_epi32(x, 3)));
+}
+static inline __m128i v4_small_sigma1(__m128i x) {
+  return v4_xor(v4_rotr<17>(x), v4_xor(v4_rotr<19>(x), _mm_srli_epi32(x, 10)));
+}
+static inline __m128i v4_ch(__m128i e, __m128i f, __m128i g) {
+  return v4_xor(v4_and(e, f), _mm_andnot_si128(e, g));
+}
+static inline __m128i v4_maj(__m128i a, __m128i b, __m128i c) {
+  return v4_xor(v4_and(a, b), v4_and(c, v4_xor(a, b)));
+}
+/// 32-bit byte swap with pure SSE2 (no pshufb).
+static inline __m128i v4_bswap32(__m128i x) {
+  const __m128i mask = _mm_set1_epi32(0x0000FF00);
+  return _mm_or_si128(
+      _mm_or_si128(_mm_slli_epi32(x, 24), _mm_slli_epi32(v4_and(x, mask), 8)),
+      _mm_or_si128(v4_and(_mm_srli_epi32(x, 8), mask), _mm_srli_epi32(x, 24)));
+}
+
+void compress_sse2_x4(std::uint32_t* const* states, const std::uint8_t* const* blocks,
+                      std::size_t nblocks) {
+  __m128i s[8];
+  alignas(16) std::uint32_t tmp[4];
+  for (int j = 0; j < 8; ++j) {
+    for (int l = 0; l < 4; ++l) tmp[l] = states[l][j];
+    s[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
+  }
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::size_t off = blk * Sha256::kBlockSize;
+    __m128i w[16];
+    for (int q = 0; q < 4; ++q) {
+      __m128i r[4];
+      for (int l = 0; l < 4; ++l) {
+        r[l] = v4_bswap32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks[l] + off + 16 * q)));
+      }
+      const __m128i t0 = _mm_unpacklo_epi32(r[0], r[1]);
+      const __m128i t1 = _mm_unpackhi_epi32(r[0], r[1]);
+      const __m128i t2 = _mm_unpacklo_epi32(r[2], r[3]);
+      const __m128i t3 = _mm_unpackhi_epi32(r[2], r[3]);
+      w[4 * q + 0] = _mm_unpacklo_epi64(t0, t2);
+      w[4 * q + 1] = _mm_unpackhi_epi64(t0, t2);
+      w[4 * q + 2] = _mm_unpacklo_epi64(t1, t3);
+      w[4 * q + 3] = _mm_unpackhi_epi64(t1, t3);
+    }
+
+    __m128i a = s[0], b = s[1], c = s[2], d = s[3];
+    __m128i e = s[4], f = s[5], g = s[6], h = s[7];
+    for (int i = 0; i < 64; ++i) {
+      __m128i wi;
+      if (i < 16) {
+        wi = w[i];
+      } else {
+        wi = v4_add(v4_add(v4_small_sigma1(w[(i - 2) & 15]), w[(i - 7) & 15]),
+                    v4_add(v4_small_sigma0(w[(i - 15) & 15]), w[i & 15]));
+        w[i & 15] = wi;
+      }
+      const __m128i t1 =
+          v4_add(v4_add(h, v4_big_sigma1(e)),
+                 v4_add(v4_ch(e, f, g),
+                        v4_add(_mm_set1_epi32(static_cast<int>(kRoundConstants[i])), wi)));
+      const __m128i t2 = v4_add(v4_big_sigma0(a), v4_maj(a, b, c));
+      h = g;
+      g = f;
+      f = e;
+      e = v4_add(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = v4_add(t1, t2);
+    }
+    s[0] = v4_add(s[0], a);
+    s[1] = v4_add(s[1], b);
+    s[2] = v4_add(s[2], c);
+    s[3] = v4_add(s[3], d);
+    s[4] = v4_add(s[4], e);
+    s[5] = v4_add(s[5], f);
+    s[6] = v4_add(s[6], g);
+    s[7] = v4_add(s[7], h);
+  }
+
+  for (int j = 0; j < 8; ++j) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), s[j]);
+    for (int l = 0; l < 4; ++l) states[l][j] = tmp[l];
+  }
+}
+
+#endif  // x86 wide kernels
+
+// ---------------------------------------------------------------------------
 // ARMv8 crypto-extension kernel
 // ---------------------------------------------------------------------------
 
@@ -360,38 +608,173 @@ LEOPARD_ARMCE_TARGET void compress_armce_x2(std::uint32_t* state_a, const std::u
 #endif  // LEOPARD_SHA256_HAS_ARMCE
 
 // ---------------------------------------------------------------------------
+// NEON transposed 4-wide kernel (aarch64 without the crypto extensions)
+// ---------------------------------------------------------------------------
+
+#if defined(__aarch64__)
+#define LEOPARD_SHA256_HAS_NEON_WIDE 1
+
+static inline uint32x4_t vn_add(uint32x4_t a, uint32x4_t b) { return vaddq_u32(a, b); }
+static inline uint32x4_t vn_xor(uint32x4_t a, uint32x4_t b) { return veorq_u32(a, b); }
+
+template <int N>
+static inline uint32x4_t vn_rotr(uint32x4_t x) {
+  return vorrq_u32(vshrq_n_u32(x, N), vshlq_n_u32(x, 32 - N));
+}
+static inline uint32x4_t vn_big_sigma0(uint32x4_t x) {
+  return vn_xor(vn_rotr<2>(x), vn_xor(vn_rotr<13>(x), vn_rotr<22>(x)));
+}
+static inline uint32x4_t vn_big_sigma1(uint32x4_t x) {
+  return vn_xor(vn_rotr<6>(x), vn_xor(vn_rotr<11>(x), vn_rotr<25>(x)));
+}
+static inline uint32x4_t vn_small_sigma0(uint32x4_t x) {
+  return vn_xor(vn_rotr<7>(x), vn_xor(vn_rotr<18>(x), vshrq_n_u32(x, 3)));
+}
+static inline uint32x4_t vn_small_sigma1(uint32x4_t x) {
+  return vn_xor(vn_rotr<17>(x), vn_xor(vn_rotr<19>(x), vshrq_n_u32(x, 10)));
+}
+static inline uint32x4_t vn_ch(uint32x4_t e, uint32x4_t f, uint32x4_t g) {
+  return vbslq_u32(e, f, g);  // bitwise select: (e & f) | (~e & g)
+}
+static inline uint32x4_t vn_maj(uint32x4_t a, uint32x4_t b, uint32x4_t c) {
+  return vn_xor(vandq_u32(a, b), vandq_u32(c, vn_xor(a, b)));
+}
+static inline uint32x4_t vn_trn1_64(uint32x4_t a, uint32x4_t b) {
+  return vreinterpretq_u32_u64(
+      vtrn1q_u64(vreinterpretq_u64_u32(a), vreinterpretq_u64_u32(b)));
+}
+static inline uint32x4_t vn_trn2_64(uint32x4_t a, uint32x4_t b) {
+  return vreinterpretq_u32_u64(
+      vtrn2q_u64(vreinterpretq_u64_u32(a), vreinterpretq_u64_u32(b)));
+}
+
+void compress_neon_x4(std::uint32_t* const* states, const std::uint8_t* const* blocks,
+                      std::size_t nblocks) {
+  uint32x4_t s[8];
+  std::uint32_t tmp[4];
+  for (int j = 0; j < 8; ++j) {
+    for (int l = 0; l < 4; ++l) tmp[l] = states[l][j];
+    s[j] = vld1q_u32(tmp);
+  }
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::size_t off = blk * Sha256::kBlockSize;
+    uint32x4_t w[16];
+    for (int q = 0; q < 4; ++q) {
+      uint32x4_t r[4];
+      for (int l = 0; l < 4; ++l) {
+        r[l] = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks[l] + off + 16 * q)));
+      }
+      const uint32x4_t t0 = vtrn1q_u32(r[0], r[1]);
+      const uint32x4_t t1 = vtrn2q_u32(r[0], r[1]);
+      const uint32x4_t t2 = vtrn1q_u32(r[2], r[3]);
+      const uint32x4_t t3 = vtrn2q_u32(r[2], r[3]);
+      w[4 * q + 0] = vn_trn1_64(t0, t2);
+      w[4 * q + 1] = vn_trn1_64(t1, t3);
+      w[4 * q + 2] = vn_trn2_64(t0, t2);
+      w[4 * q + 3] = vn_trn2_64(t1, t3);
+    }
+
+    uint32x4_t a = s[0], b = s[1], c = s[2], d = s[3];
+    uint32x4_t e = s[4], f = s[5], g = s[6], h = s[7];
+    for (int i = 0; i < 64; ++i) {
+      uint32x4_t wi;
+      if (i < 16) {
+        wi = w[i];
+      } else {
+        wi = vn_add(vn_add(vn_small_sigma1(w[(i - 2) & 15]), w[(i - 7) & 15]),
+                    vn_add(vn_small_sigma0(w[(i - 15) & 15]), w[i & 15]));
+        w[i & 15] = wi;
+      }
+      const uint32x4_t t1 = vn_add(vn_add(h, vn_big_sigma1(e)),
+                                   vn_add(vn_ch(e, f, g),
+                                          vn_add(vdupq_n_u32(kRoundConstants[i]), wi)));
+      const uint32x4_t t2 = vn_add(vn_big_sigma0(a), vn_maj(a, b, c));
+      h = g;
+      g = f;
+      f = e;
+      e = vn_add(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = vn_add(t1, t2);
+    }
+    s[0] = vn_add(s[0], a);
+    s[1] = vn_add(s[1], b);
+    s[2] = vn_add(s[2], c);
+    s[3] = vn_add(s[3], d);
+    s[4] = vn_add(s[4], e);
+    s[5] = vn_add(s[5], f);
+    s[6] = vn_add(s[6], g);
+    s[7] = vn_add(s[7], h);
+  }
+
+  for (int j = 0; j < 8; ++j) {
+    vst1q_u32(tmp, s[j]);
+    for (int l = 0; l < 4; ++l) states[l][j] = tmp[l];
+  }
+}
+
+#endif  // LEOPARD_SHA256_HAS_NEON_WIDE
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
 using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*, std::size_t);
 using CompressX2Fn = void (*)(std::uint32_t*, const std::uint8_t*, std::uint32_t*,
                               const std::uint8_t*, std::size_t);
+using CompressWideFn = void (*)(std::uint32_t* const*, const std::uint8_t* const*,
+                                std::size_t);
 
 struct KernelOps {
   CompressFn compress = nullptr;
-  CompressX2Fn compress_x2 = nullptr;  // null: two compress() calls instead
+  CompressX2Fn compress_x2 = nullptr;      // null: two compress() calls instead
+  CompressWideFn compress_wide = nullptr;  // fixed-lane n-buffer driver (or null)
+  std::size_t wide_lanes = 2;              // lanes of the widest driver
 };
 
 KernelOps ops_for(Sha256::Kernel k) {
   switch (k) {
 #if defined(LEOPARD_SHA256_HAS_SHANI)
     case Sha256::Kernel::kShaNi:
-      return {&compress_shani, &compress_shani_x2};
+      return {&compress_shani, &compress_shani_x2, nullptr, 2};
 #endif
 #if defined(LEOPARD_SHA256_HAS_ARMCE)
     case Sha256::Kernel::kArmCe:
-      return {&compress_armce, &compress_armce_x2};
+      return {&compress_armce, &compress_armce_x2, nullptr, 2};
+#endif
+#if defined(LEOPARD_SHA256_HAS_X86_WIDE)
+    case Sha256::Kernel::kAvx2:
+      return {&compress_portable, nullptr, &compress_avx2_x8, 8};
+    case Sha256::Kernel::kSse2:
+      return {&compress_portable, nullptr, &compress_sse2_x4, 4};
+#endif
+#if defined(LEOPARD_SHA256_HAS_NEON_WIDE)
+    case Sha256::Kernel::kNeon:
+      return {&compress_portable, nullptr, &compress_neon_x4, 4};
 #endif
     default:
-      return {&compress_portable, nullptr};
+      return {&compress_portable, nullptr, nullptr, 2};
   }
 }
 
 Sha256::Kernel detect_kernel() {
 #if defined(LEOPARD_SHA256_HAS_SHANI)
   if (cpu_has_sha_ni()) return Sha256::Kernel::kShaNi;
-#elif defined(LEOPARD_SHA256_HAS_ARMCE)
+#endif
+#if defined(LEOPARD_SHA256_HAS_X86_WIDE)
+  // No SHA ISA: the transposed multi-buffer kernels still beat the portable
+  // loop wherever several streams are in flight (hash_many, batched votes);
+  // their single-stream path IS the portable loop, so nothing regresses.
+  if (cpu_has_avx2_sha()) return Sha256::Kernel::kAvx2;
+  return Sha256::Kernel::kSse2;  // baseline x86-64
+#endif
+#if defined(LEOPARD_SHA256_HAS_ARMCE)
   if (cpu_has_arm_sha2()) return Sha256::Kernel::kArmCe;
+#endif
+#if defined(LEOPARD_SHA256_HAS_NEON_WIDE)
+  return Sha256::Kernel::kNeon;
 #endif
   return Sha256::Kernel::kPortable;
 }
@@ -421,6 +804,24 @@ bool Sha256::kernel_available(Kernel k) {
 #else
       return false;
 #endif
+    case Kernel::kAvx2:
+#if defined(LEOPARD_SHA256_HAS_X86_WIDE)
+      return cpu_has_avx2_sha();
+#else
+      return false;
+#endif
+    case Kernel::kSse2:
+#if defined(LEOPARD_SHA256_HAS_X86_WIDE)
+      return true;  // SSE2 is x86-64 baseline
+#else
+      return false;
+#endif
+    case Kernel::kNeon:
+#if defined(LEOPARD_SHA256_HAS_NEON_WIDE)
+      return true;
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -441,6 +842,12 @@ const char* Sha256::kernel_name(Kernel k) {
       return "sha_ni";
     case Kernel::kArmCe:
       return "arm_ce";
+    case Kernel::kAvx2:
+      return "avx2_x8";
+    case Kernel::kSse2:
+      return "sse2_x4";
+    case Kernel::kNeon:
+      return "neon_x4";
   }
   return "unknown";
 }
@@ -536,13 +943,45 @@ void Sha256::export_midstate(std::uint32_t out[8]) const {
 void Sha256::compress_pair(std::uint32_t* state_a, const std::uint8_t* blocks_a,
                            std::uint32_t* state_b, const std::uint8_t* blocks_b,
                            std::size_t nblocks) {
+  std::uint32_t* states[2] = {state_a, state_b};
+  const std::uint8_t* blocks[2] = {blocks_a, blocks_b};
+  compress_wide(states, blocks, 2, nblocks);
+}
+
+std::size_t Sha256::wide_lanes() { return active_ops().wide_lanes; }
+
+void Sha256::compress_wide(std::uint32_t* const* states, const std::uint8_t* const* blocks,
+                           std::size_t count, std::size_t nblocks) {
+  util::expects(count <= kMaxBatch, "compress_wide: batch too large");
+  if (count == 0 || nblocks == 0) return;
   const KernelOps ops = active_ops();
-  if (ops.compress_x2 != nullptr) {
-    ops.compress_x2(state_a, blocks_a, state_b, blocks_b, nblocks);
-  } else {
-    ops.compress(state_a, blocks_a, nblocks);
-    ops.compress(state_b, blocks_b, nblocks);
+  std::size_t i = 0;
+  if (ops.compress_wide != nullptr) {
+    for (; i + ops.wide_lanes <= count; i += ops.wide_lanes) {
+      ops.compress_wide(states + i, blocks + i, nblocks);
+    }
+    // Pad a short tail group with throwaway lanes rather than dropping to the
+    // (portable) single-stream path: garbage columns cost nothing extra, and
+    // lanes are independent so the real columns are unaffected.
+    if (count - i >= 2) {
+      std::uint32_t dummy[8];
+      std::memcpy(dummy, kInitialState.data(), sizeof(dummy));
+      std::uint32_t* st[kMaxBatch];
+      const std::uint8_t* bl[kMaxBatch];
+      for (std::size_t l = 0; l < ops.wide_lanes; ++l) {
+        st[l] = i + l < count ? states[i + l] : dummy;
+        bl[l] = i + l < count ? blocks[i + l] : blocks[i];
+      }
+      ops.compress_wide(st, bl, nblocks);
+      i = count;
+    }
   }
+  if (ops.compress_x2 != nullptr) {
+    for (; i + 2 <= count; i += 2) {
+      ops.compress_x2(states[i], blocks[i], states[i + 1], blocks[i + 1], nblocks);
+    }
+  }
+  for (; i < count; ++i) ops.compress(states[i], blocks[i], nblocks);
 }
 
 // ---------------------------------------------------------------------------
@@ -593,11 +1032,121 @@ void Sha256::finalize_two(Sha256& a, Sha256& b, DigestBytes& out_a, DigestBytes&
   b.emit_digest(out_b);
 }
 
-void Sha256::hash_many(std::span<const std::uint8_t> prefix, const std::uint8_t* base,
-                       std::size_t stride, std::size_t len, std::size_t count,
-                       DigestBytes* out) {
-  util::expects(count == 0 || base != nullptr, "hash_many: null rows");
+void Sha256::update_many(Sha256* const* ctxs, const std::span<const std::uint8_t>* data,
+                         std::size_t count) {
+  util::expects(count <= kMaxBatch, "update_many: batch too large");
+  std::span<const std::uint8_t> rest[kMaxBatch];
+  for (std::size_t i = 0; i < count; ++i) {
+    util::expects(!ctxs[i]->finalized_, "Sha256 reused after finalize");
+    ctxs[i]->total_bytes_ += data[i].size();
+    rest[i] = data[i];
+  }
+
+  // Phase 1: top carry buffers up; the lanes whose buffer fills compress the
+  // buffered block as one batch (equal-shaped streams all fill together).
+  std::uint32_t* st[kMaxBatch];
+  const std::uint8_t* bl[kMaxBatch];
+  std::size_t filled[kMaxBatch];
+  std::size_t nfill = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Sha256& c = *ctxs[i];
+    if (c.buffered_ == 0 || rest[i].empty()) continue;
+    const std::size_t take = std::min(kBlockSize - c.buffered_, rest[i].size());
+    std::memcpy(c.buffer_.data() + c.buffered_, rest[i].data(), take);
+    c.buffered_ += take;
+    rest[i] = rest[i].subspan(take);
+    if (c.buffered_ == kBlockSize) {
+      st[nfill] = c.state_.data();
+      bl[nfill] = c.buffer_.data();
+      filled[nfill] = i;
+      ++nfill;
+    }
+  }
+  compress_wide(st, bl, nfill, 1);
+  for (std::size_t j = 0; j < nfill; ++j) ctxs[filled[j]]->buffered_ = 0;
+
+  // Phase 2: whole blocks, batched over the lanes still holding full blocks.
+  // Like-shaped streams (the hash_many case) stay in lockstep and run one
+  // n-lane pass; ragged shapes peel off as they run dry.
+  std::size_t off[kMaxBatch] = {};
+  std::size_t nblocks[kMaxBatch];
+  for (std::size_t i = 0; i < count; ++i) nblocks[i] = rest[i].size() / kBlockSize;
+  for (;;) {
+    std::size_t active[kMaxBatch];
+    std::size_t nactive = 0;
+    std::size_t common = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t left = nblocks[i] - off[i];
+      if (left == 0) continue;
+      common = nactive == 0 ? left : std::min(common, left);
+      active[nactive++] = i;
+    }
+    if (nactive == 0) break;
+    for (std::size_t j = 0; j < nactive; ++j) {
+      const std::size_t i = active[j];
+      st[j] = ctxs[i]->state_.data();
+      bl[j] = rest[i].data() + off[i] * kBlockSize;
+    }
+    compress_wide(st, bl, nactive, common);
+    for (std::size_t j = 0; j < nactive; ++j) off[active[j]] += common;
+  }
+
+  // Phase 3: stash the sub-block tails.
+  for (std::size_t i = 0; i < count; ++i) {
+    ctxs[i]->stash_tail(rest[i].subspan(nblocks[i] * kBlockSize));
+  }
+}
+
+void Sha256::finalize_many(Sha256* const* ctxs, DigestBytes* out, std::size_t count) {
+  util::expects(count <= kMaxBatch, "finalize_many: batch too large");
+  std::uint8_t tails[kMaxBatch][2 * kBlockSize];
+  std::size_t tail_blocks[kMaxBatch];
+  for (std::size_t i = 0; i < count; ++i) {
+    util::expects(!ctxs[i]->finalized_, "Sha256 reused after finalize");
+    ctxs[i]->finalized_ = true;
+    tail_blocks[i] = ctxs[i]->build_final_blocks(tails[i]);
+  }
+  // Batch the one-block finishes together, then the two-block finishes.
+  for (std::size_t want = 1; want <= 2; ++want) {
+    std::uint32_t* st[kMaxBatch];
+    const std::uint8_t* bl[kMaxBatch];
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (tail_blocks[i] != want) continue;
+      st[n] = ctxs[i]->state_.data();
+      bl[n] = tails[i];
+      ++n;
+    }
+    compress_wide(st, bl, n, want);
+  }
+  for (std::size_t i = 0; i < count; ++i) ctxs[i]->emit_digest(out[i]);
+}
+
+namespace {
+
+/// hash_many over one row range, on the calling thread. Wide batches when the
+/// active kernel has an n-lane driver; the two-lane pairing otherwise.
+void hash_many_rows(std::span<const std::uint8_t> prefix, const std::uint8_t* base,
+                    std::size_t stride, std::size_t len, std::size_t count,
+                    Sha256::DigestBytes* out) {
   std::size_t i = 0;
+  const std::size_t wide = Sha256::wide_lanes();
+  if (wide > 2) {
+    while (count - i >= 3) {
+      const std::size_t g = std::min(wide, count - i);
+      Sha256 ctxs[Sha256::kMaxBatch];
+      Sha256* ptrs[Sha256::kMaxBatch];
+      std::span<const std::uint8_t> rows[Sha256::kMaxBatch];
+      for (std::size_t l = 0; l < g; ++l) {
+        if (!prefix.empty()) ctxs[l].update(prefix);
+        ptrs[l] = &ctxs[l];
+        rows[l] = {base + (i + l) * stride, len};
+      }
+      Sha256::update_many(ptrs, rows, g);
+      Sha256::finalize_many(ptrs, out + i, g);
+      i += g;
+    }
+  }
   for (; i + 2 <= count; i += 2) {
     Sha256 a;
     Sha256 b;
@@ -605,8 +1154,8 @@ void Sha256::hash_many(std::span<const std::uint8_t> prefix, const std::uint8_t*
       a.update(prefix);
       b.update(prefix);
     }
-    update_two(a, {base + i * stride, len}, b, {base + (i + 1) * stride, len});
-    finalize_two(a, b, out[i], out[i + 1]);
+    Sha256::update_two(a, {base + i * stride, len}, b, {base + (i + 1) * stride, len});
+    Sha256::finalize_two(a, b, out[i], out[i + 1]);
   }
   if (i < count) {
     Sha256 c;
@@ -614,6 +1163,31 @@ void Sha256::hash_many(std::span<const std::uint8_t> prefix, const std::uint8_t*
     c.update({base + i * stride, len});
     out[i] = c.finalize();
   }
+}
+
+/// Don't fan hash_many out across the pool below this much hashed data — a
+/// dispatch costs a cv wake per worker (~µs), which only amortizes against
+/// arena-scale inputs (Merkle trees over whole datablocks).
+constexpr std::size_t kHashManyParallelMin = 128 * 1024;
+
+}  // namespace
+
+void Sha256::hash_many(std::span<const std::uint8_t> prefix, const std::uint8_t* base,
+                       std::size_t stride, std::size_t len, std::size_t count,
+                       DigestBytes* out) {
+  util::expects(count == 0 || base != nullptr, "hash_many: null rows");
+  // Large arenas split by row range across the worker pool (each lane then
+  // runs the n-lane kernel on its rows). Rows are independent one-shot
+  // hashes, so the digests are identical for every pool size.
+  auto& pool = util::WorkerPool::global();
+  if (pool.lanes() > 1 && count >= 2 * pool.lanes() &&
+      count * (len + prefix.size()) >= kHashManyParallelMin) {
+    pool.for_ranges(count, wide_lanes(), [&](std::size_t, std::size_t b, std::size_t e) {
+      hash_many_rows(prefix, base + b * stride, stride, len, e - b, out + b);
+    });
+    return;
+  }
+  hash_many_rows(prefix, base, stride, len, count, out);
 }
 
 }  // namespace leopard::crypto

@@ -12,11 +12,23 @@
 //               one block in ~64 instructions;
 //   kArmCe    — ARMv8 crypto extensions (sha256h/sha256h2/sha256su0/su1).
 //
+//   kAvx2     — 8-wide transposed multi-buffer: eight independent message
+//               streams, one ymm register per working variable (lane j of
+//               each register is stream j), the message schedule computed
+//               with AVX2 32-bit ops. Single-stream calls fall back to the
+//               portable loop — this kernel only pays off when several
+//               streams are available;
+//   kSse2     — the same technique at 4 lanes on baseline x86-64 vectors;
+//   kNeon     — the 4-lane variant on aarch64 without the crypto extensions.
+//
 // On top of the single-stream context there is a multi-buffer interface:
-// hash_many() and the update_two()/finalize_two() drivers run two independent
-// message streams through the compression function back to back, so the two
-// hardware dependency chains overlap in the out-of-order window. Merkle leaf
-// hashing and the HMAC-based vote evaluation both have this two-lane shape.
+// hash_many() and the update_many()/finalize_many() drivers run up to
+// wide_lanes() independent message streams through the compression function
+// together — truly simultaneously on the wide kernels, back to back (so the
+// hardware dependency chains overlap in the out-of-order window) on the
+// two-lane kShaNi/kArmCe drivers. Merkle leaf and interior hashing, the
+// HMAC-based vote evaluation, and batched vote verification all have this
+// n-lane shape.
 #pragma once
 
 #include <array>
@@ -35,7 +47,13 @@ class Sha256 {
   // --- kernel dispatch ------------------------------------------------------
 
   /// Which compression-function implementation update/finalize dispatch to.
-  enum class Kernel { kPortable, kShaNi, kArmCe };
+  /// kAvx2/kSse2/kNeon are multi-buffer kernels: their single-stream path is
+  /// the portable loop, their n-lane path runs 8 (AVX2) or 4 (SSE2/NEON)
+  /// streams per pass.
+  enum class Kernel { kPortable, kShaNi, kArmCe, kAvx2, kSse2, kNeon };
+
+  /// Largest batch update_many/finalize_many/compress_wide accept per call.
+  static constexpr std::size_t kMaxBatch = 16;
 
   /// Kernel currently in effect (auto-detected at startup, see force_kernel).
   static Kernel active_kernel();
@@ -84,6 +102,22 @@ class Sha256 {
   /// are shaped alike. Equivalent to out_a = a.finalize(); out_b = b.finalize().
   static void finalize_two(Sha256& a, Sha256& b, DigestBytes& out_a, DigestBytes& out_b);
 
+  /// Lanes the active kernel's widest multi-buffer driver runs per pass: 8
+  /// for kAvx2, 4 for kSse2/kNeon, 2 everywhere else (the paired drivers).
+  static std::size_t wide_lanes();
+
+  /// Absorbs data[i] into *ctxs[i] for i in [0, count), count <= kMaxBatch.
+  /// Streams that stay block-aligned in lockstep (equal shapes — the
+  /// hash_many case) run through the n-lane kernel; stragglers fall back to
+  /// pairs/singles. Equivalent to ctxs[i]->update(data[i]) for each i.
+  static void update_many(Sha256* const* ctxs, const std::span<const std::uint8_t>* data,
+                          std::size_t count);
+
+  /// Finalizes *ctxs[i] into out[i] for i in [0, count), count <= kMaxBatch,
+  /// batching the padding blocks of like-shaped streams through the n-lane
+  /// kernel. Equivalent to out[i] = ctxs[i]->finalize() for each i.
+  static void finalize_many(Sha256* const* ctxs, DigestBytes* out, std::size_t count);
+
   // --- raw block interface (fused fixed-shape flows) ------------------------
 
   /// Exports the 8-word compression state. Only valid at a block boundary
@@ -98,6 +132,14 @@ class Sha256 {
   static void compress_pair(std::uint32_t* state_a, const std::uint8_t* blocks_a,
                             std::uint32_t* state_b, const std::uint8_t* blocks_b,
                             std::size_t nblocks);
+
+  /// n-lane raw compression: advances states[i] over blocks[i] (`nblocks`
+  /// 64-byte blocks each) for i in [0, count), count <= kMaxBatch. Full
+  /// wide_lanes() groups run through the wide kernel; the remainder runs as
+  /// pairs/singles. Lanes are independent — sharing a blocks pointer across
+  /// lanes is allowed (the batched-HMAC inner-block shape).
+  static void compress_wide(std::uint32_t* const* states, const std::uint8_t* const* blocks,
+                            std::size_t count, std::size_t nblocks);
 
  private:
   /// Tops the carry buffer up from `data` and compresses it once full;

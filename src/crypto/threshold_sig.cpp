@@ -58,28 +58,31 @@ bool ThresholdScheme::verify_share(std::span<const std::uint8_t> message,
   return evaluate(signer_ctxs_[share.signer], message) == share.bytes;
 }
 
-void ThresholdScheme::evaluate_pair(const HmacContext& ctx_a, const HmacContext& ctx_b,
-                                    std::span<const std::uint8_t> message,
-                                    SignatureBytes& out_a, SignatureBytes& out_b) const {
-  // Same 48-byte construction as evaluate(), but the two signers' MACs are
-  // paired per tag: the tag-0x00 pass and the tag-0x01 pass carry no data
-  // dependency on each other, so the four inner/outer compressions of a
-  // share pair overlap instead of serializing inner→outer per share.
-  Sha256::DigestBytes a0, b0, a1, b1;
-  HmacContext::mac_tagged_cross(ctx_a, ctx_b, 0x00, message, a0, b0);
-  HmacContext::mac_tagged_cross(ctx_a, ctx_b, 0x01, message, a1, b1);
-  std::memcpy(out_a.data(), a0.data(), 32);
-  std::memcpy(out_a.data() + 32, a1.data(), 16);
-  std::memcpy(out_b.data(), b0.data(), 32);
-  std::memcpy(out_b.data() + 32, b1.data(), 16);
+void ThresholdScheme::evaluate_batch(const HmacContext* const* ctxs, std::size_t count,
+                                     std::span<const std::uint8_t> message,
+                                     SignatureBytes* out) const {
+  // Same 48-byte construction as evaluate(), but the signers' MACs run as
+  // cross-keyed n-lane batches per tag: the tag-0x00 pass and the tag-0x01
+  // pass carry no data dependency on each other, and within a pass every
+  // lane shares the prepared inner block, so a whole batch of shares costs
+  // four compress_wide passes regardless of batch size (up to wide_lanes()).
+  Sha256::DigestBytes h0[Sha256::kMaxBatch];
+  Sha256::DigestBytes h1[Sha256::kMaxBatch];
+  HmacContext::mac_tagged_cross_many(ctxs, count, 0x00, message, h0);
+  HmacContext::mac_tagged_cross_many(ctxs, count, 0x01, message, h1);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(out[i].data(), h0[i].data(), 32);
+    std::memcpy(out[i].data() + 32, h1[i].data(), 16);
+  }
 }
 
 std::optional<ThresholdSignature> ThresholdScheme::combine(
     std::span<const std::uint8_t> message, std::span<const SignatureShare> shares) const {
   // Count distinct signers with valid shares. Verification is batched:
-  // adjacent shares are evaluated as a cross-keyed two-lane pair instead of
-  // one full evaluate() per share (see evaluate_pair). Distinctness is a
-  // signer bitmap, not a linear scan — the scan was O(quorum²) at n >= 100.
+  // groups of up to wide_lanes() shares are evaluated as one cross-keyed
+  // n-lane batch instead of one full evaluate() per share (see
+  // evaluate_batch). Distinctness is a signer bitmap, not a linear scan —
+  // the scan was O(quorum²) at n >= 100.
   std::vector<std::uint64_t> seen_mask((n_ + 63) / 64, 0);
   std::uint32_t distinct_valid = 0;
   const auto admit = [&](const SignatureShare& share, const SignatureBytes& expected) {
@@ -91,15 +94,23 @@ std::optional<ThresholdSignature> ThresholdScheme::combine(
     ++distinct_valid;
   };
 
+  const std::size_t batch =
+      std::min<std::size_t>(std::max<std::size_t>(Sha256::wide_lanes(), 2),
+                            Sha256::kMaxBatch);
   std::size_t i = 0;
-  for (; i + 1 < shares.size(); i += 2) {
-    const auto& a = shares[i];
-    const auto& b = shares[i + 1];
-    if (a.signer >= n_ || b.signer >= n_) break;  // fall back to singles
-    SignatureBytes ea, eb;
-    evaluate_pair(signer_ctxs_[a.signer], signer_ctxs_[b.signer], message, ea, eb);
-    admit(a, ea);
-    admit(b, eb);
+  while (shares.size() - i >= 2) {
+    const std::size_t g = std::min(batch, shares.size() - i);
+    const HmacContext* ctxs[Sha256::kMaxBatch];
+    bool in_range = true;
+    for (std::size_t l = 0; l < g && in_range; ++l) {
+      in_range = shares[i + l].signer < n_;
+      if (in_range) ctxs[l] = &signer_ctxs_[shares[i + l].signer];
+    }
+    if (!in_range) break;  // fall back to singles
+    SignatureBytes expected[Sha256::kMaxBatch];
+    evaluate_batch(ctxs, g, message, expected);
+    for (std::size_t l = 0; l < g; ++l) admit(shares[i + l], expected[l]);
+    i += g;
   }
   for (; i < shares.size(); ++i) {
     const auto& share = shares[i];

@@ -106,11 +106,12 @@ class ThresholdScheme {
   [[nodiscard]] SignatureBytes evaluate(const HmacContext& ctx,
                                         std::span<const std::uint8_t> message) const;
 
-  /// Evaluates two signers' 48-byte values over one message with cross-keyed
-  /// two-lane passes (batched vote verification; see combine()).
-  void evaluate_pair(const HmacContext& ctx_a, const HmacContext& ctx_b,
-                     std::span<const std::uint8_t> message, SignatureBytes& out_a,
-                     SignatureBytes& out_b) const;
+  /// Evaluates `count` signers' 48-byte values over one message with
+  /// cross-keyed n-lane passes (batched vote verification; see combine()).
+  /// One mac_tagged_cross_many call per domain tag — up to
+  /// Sha256::wide_lanes() shares' MACs per compression pass.
+  void evaluate_batch(const HmacContext* const* ctxs, std::size_t count,
+                      std::span<const std::uint8_t> message, SignatureBytes* out) const;
 
   std::uint32_t n_;
   std::uint32_t threshold_;

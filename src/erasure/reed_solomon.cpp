@@ -4,34 +4,68 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/worker_pool.hpp"
 
 namespace leopard::erasure {
 
 namespace {
 
-/// rows (r×k, flat row-major) times k input rows of `width` bytes, into r
-/// contiguous output rows at `out`. The inner step is a whole-row
+/// rows (r×k, flat row-major) times k input rows, restricted to the byte
+/// columns [col_begin, col_end) of every row, into r contiguous output rows
+/// of `width` bytes at `out`. The field is per-byte, so any column slice of
+/// the product is the product of the column slices — this is the unit the
+/// worker pool hands each lane. The inner step is a whole-slice
 /// multiply-accumulate through the dispatched Gf256 bulk kernel, so the per
 /// byte cost is one table-lookup/pshufb, not a log/exp chain.
-void matrix_apply_flat(const Gf* rows, std::size_t r_count, std::size_t k,
-                       const std::uint8_t* const* inputs, std::size_t width,
-                       std::uint8_t* out) {
+void matrix_apply_slice(const Gf* rows, std::size_t r_count, std::size_t k,
+                        const std::uint8_t* const* inputs, std::size_t width,
+                        std::uint8_t* out, std::size_t col_begin, std::size_t col_end) {
+  const std::size_t len = col_end - col_begin;
   for (std::size_t r = 0; r < r_count; ++r) {
-    std::uint8_t* dst = out + r * width;
+    std::uint8_t* dst = out + r * width + col_begin;
     const Gf* row = rows + r * k;
     bool first = true;
     for (std::size_t c = 0; c < k; ++c) {
       const Gf coef = row[c];
       if (coef == 0) continue;
       if (first) {
-        Gf256::mul_row(dst, inputs[c], width, coef);
+        Gf256::mul_row(dst, inputs[c] + col_begin, len, coef);
         first = false;
       } else {
-        Gf256::mul_add_row(dst, inputs[c], width, coef);
+        Gf256::mul_add_row(dst, inputs[c] + col_begin, len, coef);
       }
     }
-    if (first) std::memset(dst, 0, width);  // all-zero row
+    if (first) std::memset(dst, 0, len);  // all-zero row
   }
+}
+
+void matrix_apply_flat(const Gf* rows, std::size_t r_count, std::size_t k,
+                       const std::uint8_t* const* inputs, std::size_t width,
+                       std::uint8_t* out) {
+  matrix_apply_slice(rows, r_count, k, inputs, width, out, 0, width);
+}
+
+/// Don't fan a matrix apply out below this many output bytes per lane —
+/// dispatch latency (a cv wake per worker) dwarfs sub-L1 kernel work.
+constexpr std::size_t kParallelMinBytesPerLane = 16 * 1024;
+
+/// Fans matrix_apply_slice across the global worker pool, splitting the
+/// shard width into 64-byte-aligned column ranges (one per lane, so SIMD
+/// lanes never straddle a chunk boundary). Every lane writes a disjoint
+/// column slice of every output row, so the result is byte-identical to the
+/// serial apply for any pool size.
+void matrix_apply_parallel(const Gf* rows, std::size_t r_count, std::size_t k,
+                           const std::uint8_t* const* inputs, std::size_t width,
+                           std::uint8_t* out) {
+  auto& pool = util::WorkerPool::global();
+  if (pool.lanes() <= 1 ||
+      r_count * width < pool.lanes() * kParallelMinBytesPerLane) {
+    matrix_apply_flat(rows, r_count, k, inputs, width, out);
+    return;
+  }
+  pool.for_ranges(width, 64, [&](std::size_t, std::size_t begin, std::size_t end) {
+    matrix_apply_slice(rows, r_count, k, inputs, width, out, begin, end);
+  });
 }
 
 /// Strips the u32 length header + zero padding off a reconstructed padded
@@ -165,11 +199,14 @@ EncodedShards ReedSolomon::encode_into(std::span<const std::uint8_t> message,
 
   // The top k×k block is the identity, so the first k output rows equal the
   // input rows: memcpy them and run the kernel only over the parity rows.
+  // Large parity blocks fan out across the worker pool by byte range (the
+  // leader's datablock-dispersal hot path); the output is byte-identical for
+  // every pool size.
   scratch.coded.resize(static_cast<std::size_t>(n_) * width);
   std::memcpy(scratch.coded.data(), scratch.padded.data(), width * k_);
   if (n_ > k_) {
-    matrix_apply_flat(row(k_), n_ - k_, k_, scratch.inputs.data(), width,
-                      scratch.coded.data() + static_cast<std::size_t>(k_) * width);
+    matrix_apply_parallel(row(k_), n_ - k_, k_, scratch.inputs.data(), width,
+                          scratch.coded.data() + static_cast<std::size_t>(k_) * width);
   }
   return EncodedShards{scratch.coded.data(), width, n_};
 }

@@ -9,6 +9,7 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
+#include "util/worker_pool.hpp"
 
 namespace leopard::harness {
 
@@ -162,6 +163,12 @@ double estimate_capacity(const ExperimentConfig& cfg) {
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   util::expects(cfg.n >= 4, "experiments require n >= 4");
 
+  // Size the compute pool for this run. Deterministic for any value: the
+  // pool only accelerates pure kernels (erasure encode, Merkle hashing)
+  // whose outputs are byte-identical at every lane count, and simulated CPU
+  // costs come from the CostModel, not wall clock.
+  util::WorkerPool::global().resize(std::max<std::uint32_t>(cfg.encode_workers, 1));
+
   sim::Simulator sim;
   sim::NetworkConfig net_cfg;
   net_cfg.default_out_bps = cfg.bandwidth_bps;
@@ -200,6 +207,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     lcfg.payload_size = cfg.payload_size;
     lcfg.mempool_capacity = std::max<std::uint32_t>(3 * cfg.datablock_requests, 4000);
     lcfg.enable_ready_round = cfg.enable_ready_round;
+    lcfg.encode_workers = cfg.encode_workers;
     if (cfg.proposal_max_wait > 0) lcfg.proposal_max_wait = cfg.proposal_max_wait;
     if (cfg.view_timeout > 0) {
       lcfg.view_timeout = cfg.view_timeout;

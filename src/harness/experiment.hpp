@@ -66,6 +66,12 @@ struct ExperimentConfig {
 
   /// Ablation: disable the ready round (see LeopardConfig::enable_ready_round).
   bool enable_ready_round = true;
+
+  /// Worker lanes for erasure-encode/Merkle-hash compute (see
+  /// LeopardConfig::encode_workers). Applied to the process-global
+  /// util::WorkerPool for the run; protocol output is byte-identical for any
+  /// value — only wall clock changes.
+  std::uint32_t encode_workers = 1;
 };
 
 /// Per-component bandwidth numbers for one role (Table III rows).

@@ -92,23 +92,55 @@ void Network::arrive(NodeId from, NodeId to, const PayloadPtr& msg, std::size_t 
   if (r.shared_duplex) r.rx_busy_until = link_busy;
   const SimTime rx_done = link_busy;
 
-  r.inbox.push_back(PendingDelivery{from, msg, rx_done, size});
+  inbox_push(r, PendingDelivery{from, msg, rx_done, size});
   maybe_dispatch(to);
+}
+
+void Network::inbox_push(NodeState& st, PendingDelivery&& d) {
+  std::uint32_t idx;
+  if (inbox_free_ != kNilSlot) {
+    idx = inbox_free_;
+    inbox_free_ = inbox_slab_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(inbox_slab_.size());
+    inbox_slab_.emplace_back();  // grows to the high-water mark, then recycles
+  }
+  auto& slot = inbox_slab_[idx];
+  slot.d = std::move(d);
+  slot.next = kNilSlot;
+  if (st.inbox_tail == kNilSlot) {
+    st.inbox_head = idx;
+  } else {
+    inbox_slab_[st.inbox_tail].next = idx;
+  }
+  st.inbox_tail = idx;
+}
+
+Network::PendingDelivery Network::inbox_pop(NodeState& st) {
+  util::expects(st.inbox_head != kNilSlot, "dispatch with empty inbox");
+  const std::uint32_t idx = st.inbox_head;
+  auto& slot = inbox_slab_[idx];
+  st.inbox_head = slot.next;
+  if (st.inbox_head == kNilSlot) st.inbox_tail = kNilSlot;
+  PendingDelivery d = std::move(slot.d);
+  slot.d.msg.reset();  // drop the payload ref while the slot idles in the free list
+  slot.next = inbox_free_;
+  inbox_free_ = idx;
+  return d;
 }
 
 void Network::maybe_dispatch(NodeId to) {
   auto& r = states_[to];
-  if (r.dispatch_busy || r.inbox.empty()) return;
+  if (r.dispatch_busy || inbox_empty(r)) return;
   r.dispatch_busy = true;
-  const SimTime at = std::max({sim_.now(), r.inbox.front().ready_at, r.cpu_busy_until});
+  const SimTime at =
+      std::max({sim_.now(), inbox_slab_[r.inbox_head].d.ready_at, r.cpu_busy_until});
   sim_.schedule_at(at, [this, to] { process_inbox_front(to); });
 }
 
 void Network::process_inbox_front(NodeId to) {
   auto& r = states_[to];
-  util::expects(!r.inbox.empty(), "dispatch with empty inbox");
-  PendingDelivery d = std::move(r.inbox.front());
-  r.inbox.pop_front();
+  PendingDelivery d = inbox_pop(r);
 
   // Receiver CPU: deserialize + dispatch. Additional handler costs (crypto,
   // bookkeeping) are charged by the handler via charge_cpu and delay the

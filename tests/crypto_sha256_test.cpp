@@ -36,7 +36,8 @@ class Sha256KernelGuard {
 std::vector<lc::Sha256::Kernel> all_available_kernels() {
   std::vector<lc::Sha256::Kernel> out;
   for (const auto k : {lc::Sha256::Kernel::kPortable, lc::Sha256::Kernel::kShaNi,
-                       lc::Sha256::Kernel::kArmCe}) {
+                       lc::Sha256::Kernel::kArmCe, lc::Sha256::Kernel::kAvx2,
+                       lc::Sha256::Kernel::kSse2, lc::Sha256::Kernel::kNeon}) {
     if (lc::Sha256::kernel_available(k)) out.push_back(k);
   }
   return out;
@@ -345,10 +346,12 @@ TEST(Sha256Kernel, HashManyMatchesIndividualHashes) {
   const std::uint8_t tag = 0x00;
   for (const auto kernel : all_available_kernels()) {
     lc::Sha256::force_kernel(kernel);
-    // Odd and even counts (odd leaves a single-lane remainder), strides equal
-    // to and larger than the row length.
-    for (const std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{7},
-                                    std::size_t{16}}) {
+    // Counts straddling the wide-batch boundaries (8-lane groups, padded tail
+    // groups, pair and single remainders), strides equal to and larger than
+    // the row length.
+    for (const std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                    std::size_t{7}, std::size_t{8}, std::size_t{9},
+                                    std::size_t{16}, std::size_t{31}}) {
       for (const std::size_t len : {std::size_t{1}, std::size_t{64}, std::size_t{1024}}) {
         const std::size_t stride = len + (count % 2 == 0 ? 0 : 8);
         const auto arena = random_bytes(stride * count, count * 1009 + len);
@@ -363,6 +366,124 @@ TEST(Sha256Kernel, HashManyMatchesIndividualHashes) {
               << lc::Sha256::kernel_name(kernel);
         }
       }
+    }
+  }
+}
+
+TEST(Sha256Kernel, WideKernelParityVsPortableAcrossSizes) {
+  Sha256KernelGuard guard;
+  // The 8-wide/4-wide transposed kernels must be byte-identical to the
+  // portable oracle from the empty message up to 1 MiB rows, including every
+  // padding boundary around one block.
+  const std::size_t sizes[] = {0,  1,  31,  32,  54,   55,    56,     63,
+                               64, 65, 127, 128, 1000, 65536, 1u << 20};
+  for (const std::size_t len : sizes) {
+    constexpr std::size_t kCount = 9;  // one full 8-lane group + a single
+    const auto arena = random_bytes(std::max<std::size_t>(len, 1) * kCount, len * 77 + 5);
+    lc::Sha256::force_kernel(lc::Sha256::Kernel::kPortable);
+    std::vector<lc::Sha256::DigestBytes> expected(kCount);
+    lc::Sha256::hash_many({}, arena.data(), len, len, kCount, expected.data());
+    for (const auto kernel : all_available_kernels()) {
+      if (kernel == lc::Sha256::Kernel::kPortable) continue;
+      lc::Sha256::force_kernel(kernel);
+      std::vector<lc::Sha256::DigestBytes> got(kCount);
+      lc::Sha256::hash_many({}, arena.data(), len, len, kCount, got.data());
+      EXPECT_EQ(got, expected) << "len=" << len
+                               << " kernel=" << lc::Sha256::kernel_name(kernel);
+    }
+  }
+}
+
+TEST(Sha256Kernel, UpdateManyMatchesSequentialAcrossChunkBoundaries) {
+  Sha256KernelGuard guard;
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    // Feed 6 asymmetric streams through update_many in deterministically
+    // ragged chunks: lanes top up carry buffers, run dry mid-batch, and
+    // straddle block boundaries at different offsets.
+    constexpr std::size_t kLanes = 6;
+    const std::size_t lens[kLanes] = {0, 1, 63, 64, 200, 5000};
+    std::vector<lu::Bytes> msgs;
+    for (std::size_t l = 0; l < kLanes; ++l) msgs.push_back(random_bytes(lens[l], 70 + l));
+
+    lc::Sha256 ctxs[kLanes];
+    lc::Sha256* ptrs[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) ptrs[l] = &ctxs[l];
+    lu::Rng rng(606);
+    std::size_t off[kLanes] = {};
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      std::span<const std::uint8_t> chunks[kLanes];
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const std::size_t left = msgs[l].size() - off[l];
+        const std::size_t take = std::min<std::size_t>(rng.uniform(150), left);
+        chunks[l] = {msgs[l].data() + off[l], take};
+        off[l] += take;
+        progressed = progressed || left > 0;
+      }
+      lc::Sha256::update_many(ptrs, chunks, kLanes);
+    }
+    lc::Sha256::DigestBytes out[kLanes];
+    lc::Sha256::finalize_many(ptrs, out, kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      EXPECT_EQ(out[l], lc::Sha256::hash(msgs[l]))
+          << "lane=" << l << " kernel=" << lc::Sha256::kernel_name(kernel);
+    }
+  }
+}
+
+TEST(HmacContext, TaggedCrossManyMatchesPerKeyMacs) {
+  Sha256KernelGuard guard;
+  constexpr std::size_t kKeys = 9;  // exceeds one 8-lane group
+  std::vector<lc::HmacContext> ctxs;
+  for (std::size_t i = 0; i < kKeys; ++i) ctxs.emplace_back(random_bytes(32, 930 + i));
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    // Fused (<= 54 bytes) and incremental-fallback message lengths, every
+    // batch size from a single lane through the padded and full wide groups.
+    for (const std::size_t len : {std::size_t{32}, std::size_t{54}, std::size_t{200}}) {
+      const auto msg = random_bytes(len, 940 + len);
+      lu::Bytes cat;
+      cat.push_back(0x01);
+      cat.insert(cat.end(), msg.begin(), msg.end());
+      for (std::size_t count = 1; count <= kKeys; ++count) {
+        const lc::HmacContext* ptrs[kKeys];
+        for (std::size_t i = 0; i < count; ++i) ptrs[i] = &ctxs[i];
+        lc::Sha256::DigestBytes out[kKeys];
+        lc::HmacContext::mac_tagged_cross_many(ptrs, count, 0x01, msg, out);
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(out[i], ctxs[i].mac(cat))
+              << "i=" << i << " count=" << count << " len=" << len
+              << " kernel=" << lc::Sha256::kernel_name(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(HmacContext, TaggedPairFusedBoundarySweepUnderEveryKernel) {
+  Sha256KernelGuard guard;
+  const lc::HmacContext ctx(random_bytes(32, 950));
+  // The fused single-block fast path (satellite of the sign_share/verify_share
+  // reuse): sweep across the one-block padding boundary at 54/55 bytes.
+  for (const auto kernel : all_available_kernels()) {
+    lc::Sha256::force_kernel(kernel);
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{1}, std::size_t{32}, std::size_t{53}, std::size_t{54},
+          std::size_t{55}, std::size_t{64}, std::size_t{200}}) {
+      const auto msg = random_bytes(len, 960 + len);
+      lc::Sha256::DigestBytes t0, t1;
+      ctx.mac_tagged_pair(0x00, 0x01, msg, t0, t1);
+      lu::Bytes cat0, cat1;
+      cat0.push_back(0x00);
+      cat0.insert(cat0.end(), msg.begin(), msg.end());
+      cat1.push_back(0x01);
+      cat1.insert(cat1.end(), msg.begin(), msg.end());
+      EXPECT_EQ(t0, ctx.mac(cat0)) << "len=" << len
+                                   << " kernel=" << lc::Sha256::kernel_name(kernel);
+      EXPECT_EQ(t1, ctx.mac(cat1)) << "len=" << len
+                                   << " kernel=" << lc::Sha256::kernel_name(kernel);
     }
   }
 }

@@ -104,8 +104,8 @@ TEST(ThresholdSig, InvalidSharesDoNotCount) {
 }
 
 TEST(ThresholdSig, CombineBatchedPairsMatchOddCounts) {
-  // combine() verifies shares in cross-keyed pairs; odd counts leave a tail
-  // share on the single-evaluation path. Both shapes must agree.
+  // combine() verifies shares in cross-keyed n-lane batches; odd counts leave
+  // a tail share on the single-evaluation path. Both shapes must agree.
   const auto ts = make_scheme();
   const auto msg = lc::Digest::of_string("odd-even");
   const auto even = ts.combine(msg, shares_from(ts, msg, {0, 1, 2, 3, 4, 5}));
@@ -113,6 +113,59 @@ TEST(ThresholdSig, CombineBatchedPairsMatchOddCounts) {
   ASSERT_TRUE(even.has_value());
   ASSERT_TRUE(odd.has_value());
   EXPECT_EQ(even->bytes, odd->bytes);  // unique-signature property
+}
+
+TEST(ThresholdSig, CombineEveryQuorumSizeAroundWideBatches) {
+  // A larger scheme so quorums span several wide groups (8 lanes under AVX2)
+  // plus padded-tail and singles remainders. Every count from the threshold
+  // up must combine to the same unique signature; threshold-1 must fail.
+  constexpr std::uint32_t n = 25, threshold = 17;
+  const lc::ThresholdScheme ts(n, threshold, 4242);
+  const auto msg = lc::Digest::of_string("wide-batches");
+  std::vector<lc::SignatureShare> shares;
+  for (std::uint32_t i = 0; i < n; ++i) shares.push_back(ts.sign_share(i, msg));
+
+  std::optional<lc::ThresholdSignature> reference;
+  for (std::uint32_t count = threshold; count <= n; ++count) {
+    const auto sig = ts.combine(
+        msg, std::span<const lc::SignatureShare>(shares.data(), count));
+    ASSERT_TRUE(sig.has_value()) << "count=" << count;
+    if (!reference) reference = sig;
+    EXPECT_EQ(sig->bytes, reference->bytes) << "count=" << count;
+  }
+  EXPECT_FALSE(ts.combine(msg, std::span<const lc::SignatureShare>(shares.data(),
+                                                                   threshold - 1))
+                   .has_value());
+}
+
+TEST(ThresholdSig, CombineCorruptedShareMidWideBatchOnlyDropsThatShare) {
+  // Corrupt one share inside a full wide group: the other lanes of the batch
+  // must still be admitted, so threshold+1 submitted shares with one bad one
+  // still combine — and exactly-threshold with one bad one must not.
+  constexpr std::uint32_t n = 25, threshold = 17;
+  const lc::ThresholdScheme ts(n, threshold, 4242);
+  const auto msg = lc::Digest::of_string("mid-batch");
+  std::vector<lc::SignatureShare> shares;
+  for (std::uint32_t i = 0; i < threshold + 1; ++i) shares.push_back(ts.sign_share(i, msg));
+  shares[3].bytes[7] ^= 0x40;  // inside the first wide group
+  EXPECT_TRUE(ts.combine(msg, shares).has_value());
+  shares.pop_back();  // exactly threshold submitted, one invalid
+  EXPECT_FALSE(ts.combine(msg, shares).has_value());
+}
+
+TEST(ThresholdSig, CombineDuplicatesAcrossWideBatchBoundaries) {
+  // The same signer appearing in two different wide groups counts once.
+  constexpr std::uint32_t n = 25, threshold = 17;
+  const lc::ThresholdScheme ts(n, threshold, 4242);
+  const auto msg = lc::Digest::of_string("dup-across");
+  std::vector<lc::SignatureShare> shares;
+  for (std::uint32_t i = 0; i < 12; ++i) shares.push_back(ts.sign_share(i, msg));
+  // Pad to two full 8-lane groups with duplicates of signer 0 — 16 valid
+  // shares but only 12 distinct signers.
+  while (shares.size() < 16) shares.push_back(ts.sign_share(0, msg));
+  EXPECT_FALSE(ts.combine(msg, shares).has_value());
+  for (std::uint32_t i = 12; i < threshold; ++i) shares.push_back(ts.sign_share(i, msg));
+  EXPECT_TRUE(ts.combine(msg, shares).has_value());
 }
 
 TEST(ThresholdSig, CombineSkipsOutOfRangeSignerMidBatch) {

@@ -32,6 +32,22 @@ TEST(Harness, LeopardEndToEnd) {
   EXPECT_GT(r.leader_recv_bps, 0.0);
 }
 
+TEST(Harness, PoolSizeDoesNotChangeResults) {
+  // The worker pool accelerates pure compute only; simulated time comes from
+  // the CostModel. Every metric of a run must be identical at any pool size.
+  auto cfg = quick_leopard();
+  cfg.encode_workers = 1;
+  const auto serial = lh::run_experiment(cfg);
+  cfg.encode_workers = 4;
+  const auto pooled = lh::run_experiment(cfg);
+  EXPECT_EQ(serial.throughput_kreqs, pooled.throughput_kreqs);
+  EXPECT_EQ(serial.mean_latency_sec, pooled.mean_latency_sec);
+  EXPECT_EQ(serial.p99_latency_sec, pooled.p99_latency_sec);
+  EXPECT_EQ(serial.leader_send_bps, pooled.leader_send_bps);
+  EXPECT_EQ(serial.executed_requests, pooled.executed_requests);
+  EXPECT_EQ(serial.measured_for, pooled.measured_for);
+}
+
 TEST(Harness, HotStuffEndToEnd) {
   auto cfg = quick_leopard();
   cfg.protocol = lh::Protocol::kHotStuff;

@@ -30,6 +30,7 @@ METRIC_SETS = {
     "hotpath": [
         ("sha256.speedup_one_shot", 4.0),
         ("sha256.speedup_hash_many", None),
+        ("sha256_wide.speedup_wide", 1.5),
         ("hmac.speedup", None),
         ("vote_combine.speedup", None),
         ("event_queue.speedup", 5.0),
@@ -37,6 +38,10 @@ METRIC_SETS = {
     ],
     "erasure_kernel": [
         ("acceptance.speedup", 10.0),
+        # Worker-pool scaling: a 1-core runner measures dispatch overhead
+        # (~0.9x), a 4-core runner the real >= 2x; the committed baseline's
+        # machine sets which regime the tolerance band tracks.
+        ("parallel.speedup_w4", 2.0),
     ],
 }
 
