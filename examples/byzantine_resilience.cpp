@@ -57,16 +57,14 @@ int main() {
     replicas.push_back(&handles.back().as<core::LeopardReplica>());
   }
 
-  std::vector<std::unique_ptr<core::LeopardClient>> clients;
+  std::vector<protocol::SimClient> clients;
   for (std::uint32_t id = 0; id < kReplicas; ++id) {
     if (id == 1) continue;
     core::ClientConfig client_cfg;
     client_cfg.request_rate = 2000;
     client_cfg.resubmit_timeout = 2 * sim::kSecond;  // re-route around faults
-    auto client = std::make_unique<core::LeopardClient>(network, metrics, client_cfg, id,
-                                                        kReplicas, 1, 500 + id);
-    client->set_node_id(network.add_node(client.get(), /*metered=*/false));
-    clients.push_back(std::move(client));
+    clients.push_back(protocol::make_sim_client(network, metrics, client_cfg, id, kReplicas,
+                                                1, 500 + id));
   }
 
   network.start_all();

@@ -46,17 +46,14 @@ int main() {
   }
 
   // 5. Clients submit to non-leader replicas (view 1's leader is replica 1).
-  std::vector<std::unique_ptr<core::LeopardClient>> clients;
+  std::vector<protocol::SimClient> clients;
   for (std::uint32_t id = 0; id < kReplicas; ++id) {
     if (id == 1) continue;
     core::ClientConfig client_cfg;
     client_cfg.request_rate = 5000;  // requests/s to this replica
     client_cfg.payload_size = 128;
-    auto client = std::make_unique<core::LeopardClient>(network, metrics, client_cfg, id,
-                                                        kReplicas, /*avoid=*/1,
-                                                        /*seed=*/100 + id);
-    client->set_node_id(network.add_node(client.get(), /*metered=*/false));
-    clients.push_back(std::move(client));
+    clients.push_back(protocol::make_sim_client(network, metrics, client_cfg, id, kReplicas,
+                                                /*avoid=*/1, /*seed=*/100 + id));
   }
 
   // 6. Run two seconds of cluster time.

@@ -63,17 +63,25 @@ void HotStuffReplica::maybe_propose() {
 }
 
 void HotStuffReplica::proposal_flush_tick() {
-  if (!proposal_outstanding_ && !mempool_.empty() &&
-      now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
-    propose();
+  if (!proposal_outstanding_) {
+    if (!mempool_.empty() && now() - oldest_pending_at_ >= cfg_.proposal_max_wait) {
+      propose();
+    } else if (mempool_.empty() && committed_ < last_payload_height_) {
+      // Closed-loop tail flush: no new requests are coming, but payload
+      // blocks sit above the commit point. Drive the 3-chain rule with
+      // empty pacemaker blocks (paced by the vote round trip) until every
+      // payload height commits. Saturated open-loop runs never enter this
+      // branch — their mempool is never empty.
+      propose(/*allow_empty=*/true);
+    }
   }
   env().set_timer(kProposalFlushToken,
                   std::max<sim::SimTime>(cfg_.proposal_max_wait / 4, sim::kMillisecond));
 }
 
-void HotStuffReplica::propose() {
+void HotStuffReplica::propose(bool allow_empty) {
   const auto take = std::min<std::size_t>(mempool_.size(), cfg_.batch_size);
-  if (take == 0) return;
+  if (take == 0 && !allow_empty) return;
 
   auto block = std::make_shared<proto::BaselineBlockMsg>();
   block->view = 1;
@@ -87,12 +95,9 @@ void HotStuffReplica::propose() {
     mempool_.pop_front();
   }
   oldest_pending_at_ = now();
+  if (take > 0) last_payload_height_ = block->height;
 
-  // Digest over identity + batch (digest-of-digests, like Leopard datablocks).
-  util::ByteWriter w(16 + 32 * block->batch.size());
-  w.u64(block->height);
-  for (const auto& r : block->batch) w.raw(r.digest().bytes());
-  block->cached_digest = Digest::of(w.bytes());
+  block->cached_digest = block->compute_digest();
   charge(costs().per_bytes(costs().hash_per_byte_ns, block->wire_size()));
 
   // Leader's own vote opens the collection for this height.

@@ -63,7 +63,11 @@ class HotStuffReplica final : public protocol::ProtocolBase {
   void handle_vote(proto::ReplicaId from, const proto::BaselineVoteMsg& msg);
 
   void maybe_propose();
-  void propose();
+  /// `allow_empty` proposes a batch-less pacemaker block: the 3-chain rule
+  /// only commits a height once two descendants are notarized, so when the
+  /// mempool drains (closed-loop workloads) the chain tail would strand
+  /// without them.
+  void propose(bool allow_empty = false);
   void proposal_flush_tick();
   void advance_commit(proto::SeqNum notarized_height);
   void execute_through(proto::SeqNum height);
@@ -76,6 +80,7 @@ class HotStuffReplica final : public protocol::ProtocolBase {
   std::deque<proto::Request> mempool_;
   sim::SimTime oldest_pending_at_ = 0;
   proto::SeqNum next_height_ = 1;
+  proto::SeqNum last_payload_height_ = 0;  // newest height carrying requests
   bool proposal_outstanding_ = false;  // one in-flight proposal (chained pipeline)
   std::vector<crypto::SignatureShare> votes_;
   std::set<proto::ReplicaId> voters_;

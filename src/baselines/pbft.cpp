@@ -86,10 +86,7 @@ void PbftReplica::propose() {
   }
   oldest_pending_at_ = now();
 
-  util::ByteWriter w(16 + 32 * block->batch.size());
-  w.u64(block->height);
-  for (const auto& r : block->batch) w.raw(r.digest().bytes());
-  block->cached_digest = Digest::of(w.bytes());
+  block->cached_digest = block->compute_digest();
   charge(costs().per_bytes(costs().hash_per_byte_ns, block->wire_size()));
 
   auto& inst = instances_[block->height];

@@ -2,62 +2,85 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "core/replica.hpp"
 
 namespace leopard::core {
 
-LeopardClient::LeopardClient(sim::Network& net, ProtocolMetrics& metrics, ClientConfig cfg,
-                             sim::NodeId target, std::uint32_t replica_count,
-                             sim::NodeId avoid, std::uint64_t seed)
-    : net_(net),
-      metrics_(metrics),
-      cfg_(cfg),
-      target_(target),
-      replica_count_(replica_count),
-      avoid_(avoid),
-      rng_(seed) {}
+LeopardClient::LeopardClient(ClientConfig cfg, protocol::NodeId target,
+                             std::uint32_t replica_count, protocol::NodeId avoid,
+                             std::uint64_t seed)
+    : cfg_(cfg), target_(target), replica_count_(replica_count), avoid_(avoid), rng_(seed) {}
 
-void LeopardClient::start() {
+void LeopardClient::do_start() {
   if (cfg_.burst == 0) {
     // Keep client-side event rates near ~25k messages/s regardless of load.
     cfg_.burst = static_cast<std::uint32_t>(std::max(1.0, cfg_.request_rate / 25000.0));
+  }
+  if (cfg_.closed_loop_window > 0) {
+    refill_window();
+    if (cfg_.resubmit_timeout > 0) env().set_timer(kResubmitTick, cfg_.resubmit_timeout / 2);
+    return;
   }
   if (cfg_.initial_backlog > 0) {
     // Stagger backlog injection across clients so the cluster does not take
     // the whole standing backlog as one synchronized CPU shock.
     const auto jitter = static_cast<sim::SimTime>(rng_.uniform(300 * sim::kMillisecond));
-    const auto backlog = cfg_.initial_backlog;
-    net_.sim().schedule_after(jitter, [this, backlog] { submit_burst(backlog); });
+    env().set_timer(kBacklogBurst, jitter);
   }
   if (cfg_.request_rate > 0) {
     submit_next();
-    if (cfg_.resubmit_timeout > 0) resubmit_tick();
+    if (cfg_.resubmit_timeout > 0) env().set_timer(kResubmitTick, cfg_.resubmit_timeout / 2);
   }
 }
 
+void LeopardClient::do_timer(protocol::TimerToken token) {
+  switch (token) {
+    case kSubmitTick:
+      submit_next();
+      break;
+    case kResubmitTick:
+      resubmit_tick();
+      break;
+    case kBacklogBurst:
+      submit_burst(cfg_.initial_backlog);
+      break;
+    default:
+      break;  // unknown token: stale env artifact, ignore
+  }
+}
+
+std::uint64_t LeopardClient::remaining_budget() const {
+  if (cfg_.total_requests == 0) return UINT64_MAX;
+  return cfg_.total_requests > next_seq_ ? cfg_.total_requests - next_seq_ : 0;
+}
+
 void LeopardClient::submit_burst(std::uint32_t count) {
-  const auto now = net_.sim().now();
+  count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(count, remaining_budget()));
+  if (count == 0) return;
+  const auto t = now();
   // One batch per destination: the pinned target, or µ(req)-routed buckets.
-  std::map<sim::NodeId, std::shared_ptr<proto::ClientRequestMsg>> batches;
+  std::map<protocol::NodeId, std::shared_ptr<proto::ClientRequestMsg>> batches;
   for (std::uint32_t i = 0; i < count; ++i) {
     proto::Request req;
     req.client_id = self_;
     req.seq = next_seq_++;
     req.payload_size = cfg_.payload_size;
-    req.submitted_at = now;
+    req.submitted_at = t;
     if (cfg_.real_payload) {
       req.payload.resize(cfg_.payload_size);
       rng_.fill(req.payload.data(), req.payload.size());
     }
 
-    sim::NodeId first = target_;
+    protocol::NodeId first = target_;
     if (cfg_.route_by_mu) {
       first = assign_replica(req, replica_count_,
                              static_cast<proto::ReplicaId>(avoid_ % replica_count_));
     }
     if (outstanding_.size() < kMaxTracked) {
-      outstanding_[req.seq] = Outstanding{now, now, 1, first};
+      outstanding_[req.seq] = Outstanding{t, t, 1, first};
     }
 
     // §IV-1: optionally submit to several replicas at once for lower latency
@@ -72,43 +95,53 @@ void LeopardClient::submit_burst(std::uint32_t count) {
       if (dest == avoid_) dest = (dest + 1) % replica_count_;
     }
   }
-  for (auto& [to, batch] : batches) net_.send(self_, to, std::move(batch));
+  for (auto& [to, batch] : batches) env().send(to, std::move(batch));
 }
 
 void LeopardClient::submit_next() {
-  if (cfg_.stop_at >= 0 && net_.sim().now() >= cfg_.stop_at) return;
+  if (cfg_.stop_at >= 0 && now() >= cfg_.stop_at) return;
+  if (remaining_budget() == 0) return;
   submit_burst(cfg_.burst);
   // Poisson-distributed gaps between bursts at the configured mean rate.
   const double gap_sec =
       rng_.exponential(static_cast<double>(cfg_.burst) / cfg_.request_rate);
-  net_.sim().schedule_after(sim::from_seconds(gap_sec), [this] { submit_next(); });
+  env().set_timer(kSubmitTick, sim::from_seconds(gap_sec));
 }
 
-void LeopardClient::on_message(sim::NodeId, const sim::PayloadPtr& msg) {
-  const auto ack = std::dynamic_pointer_cast<const proto::AckMsg>(msg);
+void LeopardClient::refill_window() {
+  if (outstanding_.size() >= cfg_.closed_loop_window) return;
+  const auto room = cfg_.closed_loop_window - outstanding_.size();
+  submit_burst(static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(room, remaining_budget())));
+}
+
+void LeopardClient::do_message(protocol::NodeId, const sim::PayloadPtr& payload) {
+  const auto ack = std::dynamic_pointer_cast<const proto::AckMsg>(payload);
   if (!ack) return;
-  const auto now = net_.sim().now();
+  const auto t = now();
   for (const auto seq : ack->seqs) {
     const auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) continue;  // duplicate ack after re-submission
-    metrics_.record_ack_latency(sim::to_seconds(now - it->second.submitted_at));
+    env().metric(protocol::Metric::kAckLatencySample,
+                 sim::to_seconds(t - it->second.submitted_at));
     ++acked_;
     outstanding_.erase(it);
   }
+  if (cfg_.closed_loop_window > 0) refill_window();
 }
 
 void LeopardClient::resubmit_tick() {
-  const auto now = net_.sim().now();
+  const auto t = now();
   // Scan only the oldest entries: requests are acked roughly in order.
   std::size_t scanned = 0;
   for (auto& [seq, out] : outstanding_) {
-    if (++scanned > 64 || now - out.last_sent_at < cfg_.resubmit_timeout) break;
+    if (++scanned > 64 || t - out.last_sent_at < cfg_.resubmit_timeout) break;
 
     // Rotate to the next replica, skipping the initial leader (µ re-selection).
     auto next = (out.sent_to + 1) % replica_count_;
     if (next == avoid_) next = (next + 1) % replica_count_;
     out.sent_to = next;
-    out.last_sent_at = now;
+    out.last_sent_at = t;
     ++out.attempts;
 
     proto::Request req;
@@ -120,10 +153,10 @@ void LeopardClient::resubmit_tick() {
       req.payload.resize(cfg_.payload_size);
       rng_.fill(req.payload.data(), req.payload.size());
     }
-    net_.send(self_, next, std::make_shared<proto::ClientRequestMsg>(std::move(req)));
+    env().send(next, std::make_shared<proto::ClientRequestMsg>(std::move(req)));
   }
-  net_.sim().schedule_after(std::max<sim::SimTime>(cfg_.resubmit_timeout / 2, sim::kMillisecond),
-                            [this] { resubmit_tick(); });
+  env().set_timer(kResubmitTick,
+                  std::max<sim::SimTime>(cfg_.resubmit_timeout / 2, sim::kMillisecond));
 }
 
 }  // namespace leopard::core

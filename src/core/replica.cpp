@@ -250,16 +250,12 @@ void LeopardReplica::accept_datablock(const std::shared_ptr<const proto::Datablo
 
   // Cancel any in-flight retrieval for this datablock.
   if (auto it = retrievals_.find(digest); it != retrievals_.end()) {
-    if (it->second.timer_token != 0) {
-      env().cancel_timer(it->second.timer_token);
-      retrieval_timers_.erase(it->second.timer_token);
-    }
     if (recovered && it->second.query_sent) {
       env().metric(Metric::kDatablocksRecovered, 1);
       env().metric(Metric::kRecoveryTimeSumSec,
                    sim::to_seconds(now() - it->second.query_sent_at));
     }
-    retrievals_.erase(it);
+    drop_retrieval(digest);
   }
 
   // Ready round: tell the leader this datablock is held here (Algorithm 3).
@@ -782,7 +778,7 @@ void LeopardReplica::adopt_checkpoint(SeqNum sn, const Digest& state,
         pool_.erase(link);
         ready_votes_.erase(link);
         queued_or_linked_.erase(link);
-        retrievals_.erase(link);
+        drop_retrieval(link);
         waiting_on_datablock_.erase(link);
       }
       sn_by_digest_.erase(it->second.digest);
@@ -811,7 +807,7 @@ void LeopardReplica::garbage_collect(SeqNum through_sn) {
       pool_.erase(link);
       ready_votes_.erase(link);
       queued_or_linked_.erase(link);
-      retrievals_.erase(link);
+      drop_retrieval(link);
       waiting_on_datablock_.erase(link);
       responded_once_.erase(responded_once_.lower_bound({link, 0}),
                             responded_once_.upper_bound({link, cfg_.n}));
@@ -825,6 +821,16 @@ void LeopardReplica::garbage_collect(SeqNum through_sn) {
 // ---------------------------------------------------------------------------
 // Datablock retrieval (Algorithm 3)
 // ---------------------------------------------------------------------------
+
+void LeopardReplica::drop_retrieval(const Digest& digest) {
+  const auto it = retrievals_.find(digest);
+  if (it == retrievals_.end()) return;
+  if (it->second.timer_token != 0) {
+    env().cancel_timer(it->second.timer_token);
+    retrieval_timers_.erase(it->second.timer_token);
+  }
+  retrievals_.erase(it);
+}
 
 void LeopardReplica::note_missing(SeqNum sn, const Digest& digest) {
   waiting_on_datablock_[digest].push_back(sn);

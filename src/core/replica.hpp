@@ -181,6 +181,10 @@ class LeopardReplica final : public protocol::ProtocolBase {
   void note_missing(proto::SeqNum sn, const crypto::Digest& digest);
   void send_queries(const crypto::Digest& digest);
   void try_decode(const crypto::Digest& digest, Retrieval& ret);
+  /// Abandons an in-flight retrieval: cancels its armed timer (and the
+  /// token → digest mapping) before erasing the entry, so a stale token can
+  /// never fire after the digest is re-missed and multicast a Query early.
+  void drop_retrieval(const crypto::Digest& digest);
 
   // -- Checkpoint / garbage collection (Algorithm 4) --------------------------
   void maybe_checkpoint();

@@ -266,10 +266,13 @@ bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scra
   for (std::uint32_t i = 0; i < k_; ++i) scratch.inputs[i] = chosen[i]->data.data();
 
   // Reconstruct the k data rows directly into a contiguous padded buffer —
-  // row c lands at offset c*width, so no reassembly copy is needed.
+  // row c lands at offset c*width, so no reassembly copy is needed. The
+  // inversion apply has the same column-sliceable shape as encode, so large
+  // recoveries fan out across the worker pool by byte range (byte-identical
+  // to the serial apply for any pool size).
   scratch.padded.resize(width * k_);
-  matrix_apply_flat(scratch.sub.data(), k_, k_, scratch.inputs.data(), width,
-                    scratch.padded.data());
+  matrix_apply_parallel(scratch.sub.data(), k_, k_, scratch.inputs.data(), width,
+                        scratch.padded.data());
   return unpack_padded(scratch.padded, out);
 }
 

@@ -250,7 +250,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   // --- Build clients --------------------------------------------------------
-  std::vector<std::unique_ptr<core::LeopardClient>> clients;
+  std::vector<protocol::SimClient> clients;
   if (leopard) {
     const double per_group = offered / static_cast<double>(cfg.n - 1);
     // Saturation requires the mempool pinned at capacity from t = 0 so every
@@ -265,20 +265,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       ccfg.payload_size = cfg.payload_size;
       ccfg.resubmit_timeout = cfg.client_resubmit_timeout;
       ccfg.initial_backlog = backlog;
-      auto client = std::make_unique<core::LeopardClient>(net, metrics, ccfg, id, cfg.n,
-                                                          leader_id, cfg.seed + 1000 + id);
-      client->set_node_id(net.add_node(client.get(), /*metered=*/false));
-      clients.push_back(std::move(client));
+      clients.push_back(protocol::make_sim_client(net, metrics, ccfg, id, cfg.n, leader_id,
+                                                  cfg.seed + 1000 + id));
     }
   } else {
     core::ClientConfig ccfg;
     ccfg.request_rate = offered;
     ccfg.payload_size = cfg.payload_size;
     ccfg.initial_backlog = 2 * cfg.batch_size;
-    auto client = std::make_unique<core::LeopardClient>(net, metrics, ccfg, leader_id, cfg.n,
-                                                        cfg.n /*avoid: none*/, cfg.seed + 999);
-    client->set_node_id(net.add_node(client.get(), /*metered=*/false));
-    clients.push_back(std::move(client));
+    clients.push_back(protocol::make_sim_client(net, metrics, ccfg, leader_id, cfg.n,
+                                                cfg.n /*avoid: none*/, cfg.seed + 999));
   }
 
   // --- Windows ---------------------------------------------------------------

@@ -1,0 +1,115 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "util/check.hpp"
+
+namespace leopard::net {
+
+namespace {
+
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t out = 0;
+  if ((events & EventLoop::kReadable) != 0) out |= EPOLLIN;
+  if ((events & EventLoop::kWritable) != 0) out |= EPOLLOUT;
+  return out;
+}
+
+std::uint32_t from_epoll(std::uint32_t events) {
+  std::uint32_t out = 0;
+  if ((events & EPOLLIN) != 0) out |= EventLoop::kReadable;
+  if ((events & EPOLLOUT) != 0) out |= EventLoop::kWritable;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) out |= EventLoop::kError;
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  util::ensures(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  util::ensures(wake_fd_ >= 0, "eventfd failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  util::ensures(rc == 0, "epoll_ctl(wakeup fd) failed");
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, IoCallback cb) {
+  const auto generation = next_generation_++;
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.u64 = (static_cast<std::uint64_t>(generation) << 32) |
+                static_cast<std::uint32_t>(fd);
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  util::expects(rc == 0, "epoll_ctl(ADD) failed");
+  callbacks_[fd] = Entry{std::make_shared<IoCallback>(std::move(cb)), generation};
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  const auto it = callbacks_.find(fd);
+  util::expects(it != callbacks_.end(), "modify() of an unregistered fd");
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.u64 = (static_cast<std::uint64_t>(it->second.generation) << 32) |
+                static_cast<std::uint32_t>(fd);
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  util::expects(rc == 0, "epoll_ctl(MOD) failed");
+}
+
+void EventLoop::remove(int fd) {
+  if (callbacks_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);  // fd may already be closed
+}
+
+int EventLoop::poll(int timeout_ms) {
+  std::array<epoll_event, 64> events{};
+  const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                             timeout_ms);
+  if (n < 0) {
+    util::expects(errno == EINTR, "epoll_wait failed");
+    return 0;
+  }
+
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto data = events[static_cast<std::size_t>(i)].data.u64;
+    const int fd = static_cast<int>(data & 0xFFFFFFFFu);
+    const auto generation = static_cast<std::uint32_t>(data >> 32);
+    if (fd == wake_fd_) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const auto rc = ::read(wake_fd_, &drained, sizeof(drained));
+      continue;
+    }
+    // A callback dispatched earlier this round may have removed this fd (or
+    // the fd number may have been reused by a NEW registration — detected by
+    // the generation mismatch); consult the live registry, and hold a
+    // reference so a callback removing itself stays valid while running.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end() || it->second.generation != generation) continue;
+    const auto cb = it->second.callback;
+    (*cb)(from_epoll(events[static_cast<std::size_t>(i)].events));
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::wakeup() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto rc = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace leopard::net

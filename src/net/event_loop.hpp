@@ -1,0 +1,66 @@
+// Minimal epoll reactor for the socket transport: level-triggered fd
+// callbacks plus an eventfd wakeup for cross-thread stop requests. The loop
+// itself is policy-free — SocketEnv layers connections, timers, and the
+// protocol Env contract on top.
+//
+// Single-threaded except wakeup(), which is async-signal- and thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace leopard::net {
+
+class EventLoop {
+ public:
+  /// Bitmask of readiness reported to callbacks (subset of epoll events).
+  static constexpr std::uint32_t kReadable = 0x1;   // EPOLLIN
+  static constexpr std::uint32_t kWritable = 0x4;   // EPOLLOUT
+  static constexpr std::uint32_t kError = 0x8;      // EPOLLERR | EPOLLHUP
+
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (kReadable/kWritable). The callback may
+  /// add/modify/remove any fd, including its own.
+  void add(int fd, std::uint32_t events, IoCallback cb);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+  [[nodiscard]] bool watching(int fd) const { return callbacks_.contains(fd); }
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely) and dispatches ready fds.
+  /// Returns the number of fds dispatched (0 on timeout). Interruptible by
+  /// wakeup() and EINTR (both return 0 promptly).
+  int poll(int timeout_ms);
+
+  /// Forces a concurrent/later poll() to return immediately. Safe from other
+  /// threads and signal handlers (a single eventfd write).
+  void wakeup();
+
+ private:
+  struct Entry {
+    // shared_ptr so a callback that removes itself mid-dispatch stays alive
+    // for the duration of its own invocation.
+    std::shared_ptr<IoCallback> callback;
+    // Registration generation, packed into epoll_event.data alongside the
+    // fd: if an fd is closed and its number reused by a new registration
+    // within one epoll_wait batch, stale events from the old socket carry
+    // the old generation and are discarded instead of being delivered to
+    // the new connection.
+    std::uint32_t generation = 0;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint32_t next_generation_ = 0;
+  std::unordered_map<int, Entry> callbacks_;
+};
+
+}  // namespace leopard::net

@@ -1,0 +1,194 @@
+#include "net/manifest.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace leopard::net {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw util::ContractViolation("manifest line " + std::to_string(line_no) + ": " + what);
+}
+
+std::uint64_t parse_u64(std::string_view token, std::size_t line_no) {
+  std::uint64_t value = 0;
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, value);
+  if (ec != std::errc{} || ptr != end) fail(line_no, "expected a number, got '" + std::string(token) + "'");
+  return value;
+}
+
+PeerAddr parse_addr(std::string_view token, std::size_t line_no) {
+  const auto colon = token.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == token.size()) {
+    fail(line_no, "expected host:port, got '" + std::string(token) + "'");
+  }
+  PeerAddr addr;
+  addr.host = std::string(token.substr(0, colon));
+  // Validate here, where the line diagnostic is available: an unparseable
+  // host would otherwise only surface as a silent dial failure at runtime.
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, addr.host.c_str(), &parsed) != 1) {
+    fail(line_no, "host must be an IPv4 dotted quad, got '" + addr.host + "'");
+  }
+  const auto port = parse_u64(token.substr(colon + 1), line_no);
+  if (port == 0 || port > 65535) fail(line_no, "port out of range");
+  addr.port = static_cast<std::uint16_t>(port);
+  return addr;
+}
+
+}  // namespace
+
+Manifest Manifest::parse(std::string_view text) {
+  Manifest m;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_n = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string key;
+    if (!(fields >> key)) continue;  // blank / comment-only line
+
+    std::string value;
+    if (!(fields >> value)) fail(line_no, "key '" + key + "' is missing a value");
+
+    if (key == "protocol") {
+      if (value != "leopard" && value != "hotstuff" && value != "pbft") {
+        fail(line_no, "unknown protocol '" + value + "'");
+      }
+      m.protocol = value;
+    } else if (key == "n") {
+      m.n = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      saw_n = true;
+    } else if (key == "seed") {
+      m.seed = parse_u64(value, line_no);
+    } else if (key == "payload_size") {
+      m.payload_size = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "datablock_requests") {
+      m.datablock_requests = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "bftblock_links") {
+      m.bftblock_links = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "max_parallel_instances") {
+      m.max_parallel_instances = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "datablock_max_wait_ms") {
+      m.datablock_max_wait = static_cast<sim::SimTime>(parse_u64(value, line_no)) * sim::kMillisecond;
+    } else if (key == "proposal_max_wait_ms") {
+      m.proposal_max_wait = static_cast<sim::SimTime>(parse_u64(value, line_no)) * sim::kMillisecond;
+    } else if (key == "retrieval_timeout_ms") {
+      m.retrieval_timeout = static_cast<sim::SimTime>(parse_u64(value, line_no)) * sim::kMillisecond;
+    } else if (key == "view_timeout_ms") {
+      m.view_timeout = static_cast<sim::SimTime>(parse_u64(value, line_no)) * sim::kMillisecond;
+    } else if (key == "mempool_capacity") {
+      m.mempool_capacity = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "batch_size") {
+      m.batch_size = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "node") {
+      const auto id = static_cast<sim::NodeId>(parse_u64(value, line_no));
+      std::string addr;
+      if (!(fields >> addr)) fail(line_no, "node line is missing host:port");
+      if (m.nodes.contains(id)) fail(line_no, "duplicate node id");
+      m.nodes.emplace(id, parse_addr(addr, line_no));
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+
+    std::string extra;
+    if (fields >> extra) fail(line_no, "trailing token '" + extra + "'");
+  }
+
+  if (!saw_n) throw util::ContractViolation("manifest: missing 'n'");
+  if (m.n < 1) throw util::ContractViolation("manifest: n must be >= 1");
+  for (sim::NodeId id = 0; id < m.n; ++id) {
+    if (!m.nodes.contains(id)) {
+      throw util::ContractViolation("manifest: missing node line for replica " +
+                                    std::to_string(id));
+    }
+  }
+  for (const auto& [id, addr] : m.nodes) {
+    if (id >= m.n) {
+      throw util::ContractViolation("manifest: node id " + std::to_string(id) +
+                                    " out of range for n");
+    }
+    (void)addr;
+  }
+  return m;
+}
+
+Manifest Manifest::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  util::expects(in.good(), "manifest: cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+protocol::ProtocolSpec Manifest::spec() const {
+  protocol::ProtocolSpec spec;
+  if (protocol == "leopard") {
+    core::LeopardConfig cfg;
+    cfg.n = n;
+    cfg.payload_size = payload_size;
+    cfg.datablock_requests = datablock_requests;
+    cfg.bftblock_links = bftblock_links;
+    cfg.max_parallel_instances = max_parallel_instances;
+    cfg.datablock_max_wait = datablock_max_wait;
+    cfg.proposal_max_wait = proposal_max_wait;
+    cfg.retrieval_timeout = retrieval_timeout;
+    cfg.view_timeout = view_timeout;
+    cfg.mempool_capacity = mempool_capacity;
+    spec.config = cfg;
+  } else if (protocol == "hotstuff") {
+    baselines::HotStuffConfig cfg;
+    cfg.n = n;
+    cfg.payload_size = payload_size;
+    cfg.batch_size = batch_size;
+    cfg.proposal_max_wait = proposal_max_wait;
+    cfg.mempool_capacity = mempool_capacity;
+    spec.config = cfg;
+  } else {
+    baselines::PbftConfig cfg;
+    cfg.n = n;
+    cfg.payload_size = payload_size;
+    cfg.batch_size = batch_size;
+    cfg.proposal_max_wait = proposal_max_wait;
+    cfg.mempool_capacity = mempool_capacity;
+    spec.config = cfg;
+  }
+  return spec;
+}
+
+SocketEnvOptions Manifest::replica_env_options(sim::NodeId id) const {
+  util::expects(id < n, "replica id out of manifest range");
+  SocketEnvOptions opts;
+  opts.self = id;
+  opts.n_replicas = n;
+  const auto& self_addr = nodes.at(id);
+  opts.listen_host = self_addr.host;
+  opts.listen_port = self_addr.port;
+  // The higher id dials: each replica pair shares exactly one connection,
+  // and a restarted replica re-establishes every link it is responsible for.
+  for (sim::NodeId peer = 0; peer < id; ++peer) opts.dial.emplace(peer, nodes.at(peer));
+  return opts;
+}
+
+SocketEnvOptions Manifest::client_env_options(sim::NodeId self) const {
+  util::expects(self >= n, "client transport ids start at n");
+  SocketEnvOptions opts;
+  opts.self = self;
+  opts.n_replicas = n;
+  for (const auto& [id, addr] : nodes) opts.dial.emplace(id, addr);
+  return opts;
+}
+
+}  // namespace leopard::net

@@ -1,0 +1,579 @@
+#include "net/socket_env.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "protocol/sim_env.hpp"  // apply_metrics_update
+#include "util/check.hpp"
+
+namespace leopard::net {
+
+namespace {
+
+sim::SimTime monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<sim::SimTime>(ts.tv_sec) * sim::kSecond + ts.tv_nsec;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Real CPUs charge themselves: every modelled cost is zero under SocketEnv.
+const sim::CostModel& zero_costs() {
+  static const sim::CostModel zeroed = [] {
+    sim::CostModel c;
+    c.send_per_msg = 0;
+    c.send_per_byte_ns = 0;
+    c.recv_per_msg = 0;
+    c.recv_per_byte_ns = 0;
+    c.client_request_ingress = 0;
+    c.client_request_shed = 0;
+    c.datablock_per_request = 0;
+    c.block_per_request = 0;
+    c.execute_per_request = 0;
+    c.share_sign = 0;
+    c.share_verify = 0;
+    c.combine_base = 0;
+    c.combine_per_share = 0;
+    c.combined_verify = 0;
+    c.hash_per_byte_ns = 0;
+    c.erasure_encode_per_byte_ns = 0;
+    c.erasure_decode_per_byte_ns = 0;
+    return c;
+  }();
+  return zeroed;
+}
+
+bool make_sockaddr(const PeerAddr& addr, sockaddr_in& out) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(addr.port);
+  return ::inet_pton(AF_INET, addr.host.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+SocketEnv::SocketEnv(SocketEnvOptions opts)
+    : opts_(std::move(opts)),
+      core_timers_(opts_.timer_tick),
+      internal_timers_(opts_.timer_tick),
+      epoch_ns_(monotonic_ns()) {
+  for (const auto& [id, addr] : opts_.dial) {
+    Peer peer;
+    peer.addr = addr;
+    peer.dialable = true;
+    peer.backoff = opts_.reconnect_min;
+    peers_.emplace(id, std::move(peer));
+  }
+  // Every replica gets a persistent peer slot even before it connects, so
+  // frames sent toward a peer that dials US (higher id) queue during startup
+  // and reconnect windows instead of being dropped. Only client slots
+  // (id >= n_replicas) are ephemeral.
+  for (sim::NodeId id = 0; id < opts_.n_replicas; ++id) {
+    if (id != opts_.self) peers_.try_emplace(id);
+  }
+  if (!opts_.listen_host.empty()) open_listener();
+}
+
+SocketEnv::~SocketEnv() {
+  for (auto& [fd, conn] : conns_) {
+    loop_.remove(fd);
+    ::close(fd);
+    (void)conn;
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_.remove(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+sim::SimTime SocketEnv::now() const { return monotonic_ns() - epoch_ns_; }
+
+const sim::CostModel& SocketEnv::costs() const { return zero_costs(); }
+
+void SocketEnv::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  loop_.wakeup();
+}
+
+// ---------------------------------------------------------------------------
+// Env actions
+// ---------------------------------------------------------------------------
+
+void SocketEnv::apply(protocol::Action action) {
+  std::visit(
+      [&](auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, protocol::Send>) {
+          util::Bytes frame;
+          if (encode_frame(*a.payload, frame) && check_frame_size(frame)) {
+            send_frame(a.to, std::move(frame));
+          }
+        } else if constexpr (std::is_same_v<T, protocol::Broadcast>) {
+          util::Bytes frame;
+          if (!encode_frame(*a.payload, frame) || !check_frame_size(frame)) return;
+          for (sim::NodeId id = 0; id < opts_.n_replicas; ++id) {
+            if (id == opts_.self) continue;
+            send_frame(id, frame);  // one serialization, one buffer copy per peer
+          }
+        } else if constexpr (std::is_same_v<T, protocol::SetTimer>) {
+          core_timers_.arm(a.token, now() + std::max<sim::SimTime>(a.delay, 0));
+        } else if constexpr (std::is_same_v<T, protocol::CancelTimer>) {
+          core_timers_.cancel(a.token);
+        } else if constexpr (std::is_same_v<T, protocol::Execute>) {
+          if (execute_observer_) execute_observer_(a);
+        } else if constexpr (std::is_same_v<T, protocol::MetricsUpdate>) {
+          protocol::apply_metrics_update(metrics_, a);
+        } else {
+          // ChargeCpu: the real CPU already charged itself.
+        }
+      },
+      action);
+}
+
+bool SocketEnv::check_frame_size(const util::Bytes& frame) {
+  // Enforce the receive-side frame ceiling at the SENDER too: an oversized
+  // frame would be flagged as stream desync by every receiver, and each
+  // reconnect would re-send it — a permanent decode-error livelock. Dropping
+  // it here (with a loud one-time diagnostic: this is a config error, e.g.
+  // datablock_requests × payload_size past the frame limit) keeps the
+  // cluster alive.
+  if (frame.size() - kFrameHeaderBytes <= opts_.max_frame_bytes) return true;
+  ++stats_.frames_dropped;
+  if (!oversized_frame_reported_) {
+    oversized_frame_reported_ = true;
+    std::fprintf(stderr,
+                 "leopard/net: dropping %zu-byte frame over the %zu-byte frame limit "
+                 "(lower datablock_requests/batch_size x payload_size)\n",
+                 frame.size(), opts_.max_frame_bytes);
+  }
+  return false;
+}
+
+void SocketEnv::send_frame(sim::NodeId to, util::Bytes frame) {
+  const auto pit = peers_.find(to);
+  if (pit == peers_.end()) {
+    // A destination we neither dial nor currently accept (e.g. an ack to a
+    // spoofed client_id): drop rather than let an attacker-chosen id space
+    // grow the peer map without bound.
+    ++stats_.frames_dropped;
+    return;
+  }
+  auto& peer = pit->second;
+  if (peer.fd >= 0) {
+    const auto it = conns_.find(peer.fd);
+    if (it != conns_.end() && !it->second->connecting) {
+      enqueue_on_conn(*it->second, std::move(frame));
+      return;
+    }
+  }
+  if (!peer.dialable && to >= opts_.n_replicas) {
+    // Disconnected client: only IT can re-establish the link, and it
+    // re-submits unacked requests when it does — nothing to keep.
+    ++stats_.frames_dropped;
+    return;
+  }
+  // Disconnected replica peer (one we re-dial, or one that dials us and
+  // will flush on its Hello): queue bounded, dropping the oldest first.
+  // Leopard tolerates the loss (retrieval, client re-submission,
+  // view-change); the baselines are normal-case-only cores with no
+  // retransmission, so sustained shedding can stall them — see
+  // docs/DEPLOY.md "Differences from a hardened production deployment".
+  if (frame.size() > opts_.peer_buffer_limit) {
+    ++stats_.frames_dropped;  // can never fit: don't purge the queue for it
+    return;
+  }
+  while (peer.pending_bytes + frame.size() > opts_.peer_buffer_limit) {
+    peer.pending_bytes -= peer.pending.front().size();
+    peer.pending.pop_front();
+    ++stats_.frames_dropped;
+  }
+  peer.pending_bytes += frame.size();
+  peer.pending.push_back(std::move(frame));
+}
+
+void SocketEnv::append_frame(Conn& conn, util::Bytes frame) {
+  // Slow peer: shed rather than balloon, oldest first (matching the
+  // disconnected-peer policy — stale frames are the least useful to a BFT
+  // protocol). The queue front is pinned once partially written: a frame
+  // must leave the wire whole or not at all.
+  if (frame.size() > opts_.peer_buffer_limit) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  while (conn.outq_bytes + frame.size() > opts_.peer_buffer_limit) {
+    const std::size_t victim = conn.out_offset > 0 ? 1 : 0;
+    if (victim >= conn.outq.size()) {
+      ++stats_.frames_dropped;  // only the in-flight frame remains: drop the new one
+      return;
+    }
+    conn.outq_bytes -= conn.outq[victim].size();
+    conn.outq.erase(conn.outq.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++stats_.frames_dropped;
+  }
+  conn.outq_bytes += frame.size();
+  conn.outq.push_back(std::move(frame));
+}
+
+void SocketEnv::enqueue_on_conn(Conn& conn, util::Bytes frame) {
+  append_frame(conn, std::move(frame));
+  flush_conn(conn);  // NOTE: may close and destroy `conn` on a fatal error
+}
+
+// ---------------------------------------------------------------------------
+// Listener / dialing
+// ---------------------------------------------------------------------------
+
+void SocketEnv::open_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  util::ensures(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  const bool ok = make_sockaddr(PeerAddr{opts_.listen_host, opts_.listen_port}, addr);
+  util::expects(ok, "listen_host must be an IPv4 dotted quad");
+  int rc = ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  util::ensures(rc == 0, "bind() failed (address in use?)");
+  rc = ::listen(listen_fd_, 128);
+  util::ensures(rc == 0, "listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  set_nonblocking(listen_fd_);
+  loop_.add(listen_fd_, EventLoop::kReadable,
+            [this](std::uint32_t events) { on_listener_ready(events); });
+}
+
+void SocketEnv::on_listener_ready(std::uint32_t) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+          errno == EINTR) {
+        return;  // drained (or transient): wait for the next readiness event
+      }
+      // Persistent failure (EMFILE/ENFILE/...): the level-triggered listener
+      // would re-report readable immediately and busy-spin the loop. Park it
+      // and retry after a beat — fds may have been released by then.
+      loop_.remove(listen_fd_);
+      internal_timers_.arm(kListenerRetryToken, now() + 100 * sim::kMillisecond);
+      return;
+    }
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>(opts_.max_frame_bytes);
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    loop_.add(fd, EventLoop::kReadable,
+              [this, fd](std::uint32_t events) { on_conn_ready(fd, events); });
+    ++stats_.accepts;
+  }
+}
+
+void SocketEnv::dial_peer(sim::NodeId id) {
+  auto& peer = peers_.at(id);
+  if (peer.fd >= 0) return;  // already connected / connecting
+
+  sockaddr_in addr{};
+  if (!make_sockaddr(peer.addr, addr)) return;  // unroutable manifest entry
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    schedule_reconnect(id);
+    return;
+  }
+  set_nodelay(fd);
+
+  auto conn = std::make_unique<Conn>(opts_.max_frame_bytes);
+  conn->fd = fd;
+  conn->dialed = true;
+  conn->bound = true;  // the dialer knows who it dialed
+  conn->peer = id;
+  peer.fd = fd;
+
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    conns_.emplace(fd, std::move(conn));
+    loop_.add(fd, EventLoop::kReadable,
+              [this, fd](std::uint32_t events) { on_conn_ready(fd, events); });
+    finish_connect(*conns_.at(fd));
+  } else if (errno == EINPROGRESS) {
+    conn->connecting = true;
+    conns_.emplace(fd, std::move(conn));
+    loop_.add(fd, EventLoop::kWritable,
+              [this, fd](std::uint32_t events) { on_conn_ready(fd, events); });
+  } else {
+    ::close(fd);
+    peer.fd = -1;
+    schedule_reconnect(id);
+  }
+}
+
+void SocketEnv::schedule_reconnect(sim::NodeId id) {
+  auto& peer = peers_.at(id);
+  internal_timers_.arm(id, now() + peer.backoff);
+  peer.backoff = std::min(peer.backoff * 2, opts_.reconnect_max);
+}
+
+void SocketEnv::finish_connect(Conn& conn) {
+  conn.connecting = false;
+  auto& peer = peers_.at(conn.peer);
+  peer.backoff = opts_.reconnect_min;  // link is good again
+  ++stats_.connects;
+
+  // Identify ourselves first (TCP FIFO: the peer sees Hello before anything
+  // else), then drain everything queued while disconnected. Queue it all
+  // before the single flush: flush_conn may close and destroy `conn` on a
+  // fatal send error, so nothing may touch it afterwards.
+  append_frame(conn, encode_hello_frame(Hello{Hello::kMagic, opts_.self}));
+  while (!peer.pending.empty()) {
+    auto frame = std::move(peer.pending.front());
+    peer.pending.pop_front();
+    peer.pending_bytes -= frame.size();
+    append_frame(conn, std::move(frame));
+  }
+  flush_conn(conn);  // may destroy conn; must be the last use
+}
+
+void SocketEnv::bind_conn_to_peer(Conn& conn, sim::NodeId id) {
+  conn.bound = true;
+  conn.peer = id;
+  auto& peer = peers_[id];
+  if (peer.fd >= 0 && peer.fd != conn.fd) {
+    close_conn(peer.fd, /*reconnect=*/false);  // stale duplicate: latest wins
+  }
+  peer.fd = conn.fd;
+  while (!peer.pending.empty()) {
+    auto frame = std::move(peer.pending.front());
+    peer.pending.pop_front();
+    peer.pending_bytes -= frame.size();
+    append_frame(conn, std::move(frame));
+  }
+  flush_conn(conn);  // may destroy conn; must be the last use
+}
+
+void SocketEnv::close_conn(int fd, bool reconnect) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const auto conn = std::move(it->second);
+  conns_.erase(it);
+  loop_.remove(fd);
+  ::close(fd);
+
+  if (conn->bound) {
+    if (const auto pit = peers_.find(conn->peer); pit != peers_.end() && pit->second.fd == fd) {
+      pit->second.fd = -1;
+      if (pit->second.dialable) {
+        if (reconnect) schedule_reconnect(conn->peer);
+      } else if (conn->peer >= opts_.n_replicas) {
+        // Client slots exist while their connection does: dropping them here
+        // keeps the peer map bounded by the live connection count, not by
+        // the id space clients claim. Replica slots persist (the peer
+        // re-dials us).
+        peers_.erase(pit);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// I/O readiness
+// ---------------------------------------------------------------------------
+
+void SocketEnv::on_conn_ready(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+
+  if (conn.connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if ((events & EventLoop::kError) != 0 || err != 0) {
+      close_conn(fd, /*reconnect=*/true);
+      return;
+    }
+    loop_.modify(fd, EventLoop::kReadable);
+    finish_connect(conn);
+    return;
+  }
+
+  if ((events & EventLoop::kError) != 0) {
+    close_conn(fd, /*reconnect=*/true);
+    return;
+  }
+  if ((events & EventLoop::kWritable) != 0) flush_conn(conn);
+  if (!conns_.contains(fd)) return;  // write error closed it
+  if ((events & EventLoop::kReadable) != 0) read_conn(conn);
+}
+
+void SocketEnv::flush_conn(Conn& conn) {
+  while (!conn.outq.empty()) {
+    const auto& front = conn.outq.front();
+    const auto n = ::send(conn.fd, front.data() + conn.out_offset,
+                          front.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn.fd, /*reconnect=*/true);
+      return;
+    }
+    stats_.bytes_sent += static_cast<std::uint64_t>(n);
+    conn.out_offset += static_cast<std::size_t>(n);
+    if (conn.out_offset < front.size()) break;  // kernel buffer full mid-frame
+    conn.outq_bytes -= front.size();
+    conn.out_offset = 0;
+    conn.outq.pop_front();
+    ++stats_.frames_sent;
+  }
+  update_interest(conn);
+}
+
+void SocketEnv::update_interest(Conn& conn) {
+  const bool want_write = !conn.outq.empty();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  loop_.modify(conn.fd,
+               EventLoop::kReadable | (want_write ? EventLoop::kWritable : 0u));
+}
+
+void SocketEnv::read_conn(Conn& conn) {
+  const int fd = conn.fd;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(fd, /*reconnect=*/true);
+      return;
+    }
+    if (n == 0) {  // orderly shutdown by the peer
+      close_conn(fd, /*reconnect=*/true);
+      return;
+    }
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    conn.reader.feed({buf, static_cast<std::size_t>(n)});
+
+    FrameReader::Frame frame;
+    for (;;) {
+      const auto status = conn.reader.next(frame);
+      if (status == FrameReader::Status::kNeedMore) break;
+      if (status == FrameReader::Status::kError) {
+        ++stats_.decode_errors;
+        close_conn(fd, /*reconnect=*/true);  // desync: resync via reconnect
+        return;
+      }
+      ++stats_.frames_received;
+      deliver_frame(conn, frame);
+      if (!conns_.contains(fd)) return;  // a malformed body closed it
+    }
+    if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // drained the socket
+  }
+}
+
+void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
+  if (frame.type == MsgType::kHello) {
+    const auto hello = decode_hello(frame.body);
+    if (!hello) {
+      ++stats_.decode_errors;
+      close_conn(conn.fd, /*reconnect=*/true);
+      return;
+    }
+    if (!conn.bound) bind_conn_to_peer(conn, hello->node_id);
+    return;  // repeated hellos on a bound connection are ignored
+  }
+  if (!conn.bound) {
+    // Frames before the handshake: protocol violation by the peer.
+    ++stats_.decode_errors;
+    close_conn(conn.fd, /*reconnect=*/false);
+    return;
+  }
+
+  const auto payload = decode_payload(frame.type, frame.body, now());
+  if (payload == nullptr) {
+    ++stats_.decode_errors;
+    close_conn(conn.fd, /*reconnect=*/true);
+    return;
+  }
+
+  const auto from = conn.peer;
+  if (auto cr = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(payload)) {
+    protocol_->on_client_request(*this, from, cr);
+  } else {
+    protocol_->on_message(*this, from, payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------------
+
+void SocketEnv::fire_core_timer(TimerWheel::Token token) { protocol_->on_timer(*this, token); }
+
+void SocketEnv::run(const std::function<bool()>& should_stop) {
+  util::expects(protocol_ != nullptr, "SocketEnv::run without an attached protocol");
+  if (!started_) {
+    started_ = true;
+    protocol_->on_start(*this);
+    for (const auto& [id, peer] : peers_) {
+      if (peer.dialable) dial_peer(id);
+    }
+  }
+
+  // Poll in bounded slices so stop()/should_stop and coarse timers are
+  // honoured even when the sockets are idle.
+  constexpr int kMaxPollMs = 100;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    if (should_stop && should_stop()) break;
+
+    const auto t = now();
+    core_timers_.advance(t, [this](TimerWheel::Token token) { fire_core_timer(token); });
+    internal_timers_.advance(t, [this](TimerWheel::Token token) {
+      if (token == kListenerRetryToken) {
+        loop_.add(listen_fd_, EventLoop::kReadable,
+                  [this](std::uint32_t events) { on_listener_ready(events); });
+        on_listener_ready(EventLoop::kReadable);  // drain the parked backlog
+      } else {
+        dial_peer(static_cast<sim::NodeId>(token));
+      }
+    });
+
+    sim::SimTime wake = core_timers_.next_wake();
+    const auto internal_wake = internal_timers_.next_wake();
+    if (wake < 0 || (internal_wake >= 0 && internal_wake < wake)) wake = internal_wake;
+
+    int timeout_ms = kMaxPollMs;
+    if (wake >= 0) {
+      const auto delta = wake - now();
+      timeout_ms = delta <= 0
+                       ? 0
+                       : static_cast<int>(std::min<sim::SimTime>(
+                             (delta + sim::kMillisecond - 1) / sim::kMillisecond, kMaxPollMs));
+    }
+    loop_.poll(timeout_ms);
+  }
+  stop_requested_.store(false, std::memory_order_relaxed);  // later run() may resume
+}
+
+}  // namespace leopard::net

@@ -1,0 +1,195 @@
+// SocketEnv: the real-wire twin of SimEnv. Hosts an unmodified sans-I/O
+// protocol core (LeopardReplica or either baseline) over nonblocking TCP:
+//
+//   - Send/Broadcast serialize through net/wire.hpp and go out over per-peer
+//     connections with outbound buffering; frames for a disconnected peer
+//     queue (bounded) and flush on (re)connect;
+//   - SetTimer/CancelTimer land in a hierarchical timer wheel keyed by the
+//     core's opaque tokens (re-arm replaces, cancel is O(1));
+//   - Execute feeds the application observer, MetricsUpdate the embedded
+//     ProtocolMetrics, and ChargeCpu is dropped (real CPUs charge
+//     themselves);
+//   - now() is the monotonic clock (ns since construction), costs() is
+//     all-zero.
+//
+// Actions are applied synchronously in emission order, exactly per the Env
+// contract. Everything runs on the single thread that calls run(); stop()
+// is safe from other threads and signal handlers.
+//
+// Connection topology: each node dials the peers in `dial` (by convention a
+// replica dials every lower-id replica and a client dials every replica) and
+// accepts everyone else, so each pair shares exactly one TCP connection
+// carrying traffic both ways. Dialed connections reconnect with exponential
+// backoff; accepted ones are re-established by the dialing side. The dialer
+// identifies itself with a Hello frame; a malformed frame (bad length,
+// unknown tag, undecodable body) drops the connection, and reconnection
+// re-synchronizes at a frame boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/metrics.hpp"
+#include "net/event_loop.hpp"
+#include "net/timer_wheel.hpp"
+#include "net/wire.hpp"
+#include "protocol/protocol.hpp"
+
+namespace leopard::net {
+
+struct PeerAddr {
+  std::string host = "127.0.0.1";  // IPv4 dotted quad
+  std::uint16_t port = 0;
+};
+
+struct SocketEnvOptions {
+  /// This node's transport identity (replicas: 0..n-1; clients: >= n).
+  sim::NodeId self = 0;
+  /// Broadcast target set is replica ids 0..n_replicas-1 (minus self).
+  std::uint32_t n_replicas = 4;
+
+  /// Listening endpoint; port 0 with an empty host disables accepting
+  /// (clients). Port 0 with a host binds an ephemeral port (tests).
+  std::string listen_host;
+  std::uint16_t listen_port = 0;
+
+  /// Peers this node actively dials (and re-dials on disconnect).
+  std::map<sim::NodeId, PeerAddr> dial;
+
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Cap on frames queued for one disconnected/slow peer; beyond it the
+  /// oldest queued frames are dropped (the protocol tolerates loss via
+  /// retrieval and view-change, same as any real network).
+  std::size_t peer_buffer_limit = 64u << 20;
+
+  sim::SimTime reconnect_min = 50 * sim::kMillisecond;
+  sim::SimTime reconnect_max = 2 * sim::kSecond;
+  sim::SimTime timer_tick = sim::kMillisecond;
+};
+
+class SocketEnv final : public protocol::Env {
+ public:
+  explicit SocketEnv(SocketEnvOptions opts);
+  ~SocketEnv() override;
+
+  SocketEnv(const SocketEnv&) = delete;
+  SocketEnv& operator=(const SocketEnv&) = delete;
+
+  /// Binds the protocol core this env hosts (not owned).
+  void attach(protocol::Protocol& protocol) { protocol_ = &protocol; }
+
+  /// Application observer for Execute actions.
+  using ExecuteObserver = std::function<void(const protocol::Execute&)>;
+  void set_execute_observer(ExecuteObserver obs) { execute_observer_ = std::move(obs); }
+
+  /// Actual listening port (after ephemeral bind); 0 if not listening.
+  [[nodiscard]] std::uint16_t listen_port() const { return bound_port_; }
+
+  /// Delivers Start (first call only), then services sockets and timers
+  /// until stop() or `should_stop` returns true (checked every iteration,
+  /// at least every 100 ms).
+  void run(const std::function<bool()>& should_stop = {});
+
+  /// Ends a concurrent or future run(). Thread- and signal-safe.
+  void stop();
+
+  [[nodiscard]] core::ProtocolMetrics& metrics() { return metrics_; }
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t decode_errors = 0;   // malformed frames → dropped connections
+    std::uint64_t frames_dropped = 0;  // peer-buffer overflow
+    std::uint64_t connects = 0;        // successful dials (incl. reconnects)
+    std::uint64_t accepts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // -- protocol::Env ---------------------------------------------------------
+  [[nodiscard]] sim::SimTime now() const override;
+  [[nodiscard]] const sim::CostModel& costs() const override;
+  void apply(protocol::Action action) override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool dialed = false;
+    bool connecting = false;  // nonblocking connect() still in flight
+    bool bound = false;       // peer identity established
+    sim::NodeId peer = 0;     // valid when bound
+    FrameReader reader;
+    std::deque<util::Bytes> outq;
+    std::size_t out_offset = 0;  // written prefix of outq.front()
+    std::size_t outq_bytes = 0;
+    bool want_write = false;
+
+    explicit Conn(std::size_t max_frame) : reader(max_frame) {}
+  };
+
+  /// Internal-wheel token for re-arming a parked listener (peer-id tokens
+  /// are node ids, which never reach this value).
+  static constexpr TimerWheel::Token kListenerRetryToken = ~TimerWheel::Token{0};
+
+  struct Peer {
+    PeerAddr addr;
+    bool dialable = false;
+    int fd = -1;  // live connection, -1 when disconnected
+    std::deque<util::Bytes> pending;  // frames awaiting a connection
+    std::size_t pending_bytes = 0;
+    sim::SimTime backoff = 0;
+  };
+
+  void open_listener();
+  void dial_peer(sim::NodeId id);
+  void schedule_reconnect(sim::NodeId id);
+  void on_listener_ready(std::uint32_t events);
+  void on_conn_ready(int fd, std::uint32_t events);
+  void finish_connect(Conn& conn);
+  void read_conn(Conn& conn);
+  void flush_conn(Conn& conn);
+  void close_conn(int fd, bool reconnect);
+  void bind_conn_to_peer(Conn& conn, sim::NodeId id);
+  void deliver_frame(Conn& conn, const FrameReader::Frame& frame);
+  /// False (and counts a drop) if the frame exceeds the receive-side frame
+  /// ceiling — sending it would livelock every receiver on decode errors.
+  bool check_frame_size(const util::Bytes& frame);
+  void send_frame(sim::NodeId to, util::Bytes frame);
+  /// Queues a frame (bounded) without any I/O; never invalidates `conn`.
+  void append_frame(Conn& conn, util::Bytes frame);
+  /// append_frame + flush; the flush may close and destroy `conn`.
+  void enqueue_on_conn(Conn& conn, util::Bytes frame);
+  void update_interest(Conn& conn);
+  void fire_core_timer(TimerWheel::Token token);
+
+  SocketEnvOptions opts_;
+  protocol::Protocol* protocol_ = nullptr;
+  ExecuteObserver execute_observer_;
+  core::ProtocolMetrics metrics_;
+  Stats stats_;
+
+  EventLoop loop_;
+  TimerWheel core_timers_;      // the protocol's SetTimer/CancelTimer tokens
+  TimerWheel internal_timers_;  // transport housekeeping (reconnect backoff)
+  sim::SimTime epoch_ns_ = 0;   // CLOCK_MONOTONIC at construction
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::map<sim::NodeId, Peer> peers_;
+
+  bool started_ = false;
+  bool oversized_frame_reported_ = false;  // one diagnostic per process
+  // Lock-free atomic: stores are async-signal-safe and cross-thread visible
+  // (a volatile bool would be neither — plain UB as a data race).
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace leopard::net

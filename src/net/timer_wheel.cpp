@@ -1,0 +1,202 @@
+#include "net/timer_wheel.hpp"
+
+#include "util/check.hpp"
+
+namespace leopard::net {
+
+namespace {
+constexpr std::uint32_t kSlotMask = 255;
+}
+
+TimerWheel::TimerWheel(sim::SimTime tick, sim::SimTime start)
+    : tick_(tick), current_tick_(tick_of(start)) {
+  util::expects(tick > 0, "TimerWheel: tick must be positive");
+  // Two extra pseudo-slots at the end, handled uniformly by unlink(): the
+  // already-due (expired) list, and the batch currently being fired (so
+  // cancel()/arm() from fire callbacks stay O(1) and corruption-free).
+  slots_.assign(kLevels * kSlots + 2, kNil);
+  tails_.assign(kLevels * kSlots + 2, kNil);
+}
+
+std::uint32_t TimerWheel::alloc_node() {
+  if (free_head_ != kNil) {
+    const auto idx = free_head_;
+    free_head_ = slab_[idx].next;
+    slab_[idx] = Node{};
+    return idx;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void TimerWheel::free_node(std::uint32_t idx) {
+  slab_[idx].next = free_head_;
+  slab_[idx].slot = kNil;
+  free_head_ = idx;
+}
+
+void TimerWheel::link(std::uint32_t flat_slot, std::uint32_t idx) {
+  Node& n = slab_[idx];
+  n.slot = flat_slot;
+  n.prev = tails_[flat_slot];
+  n.next = kNil;
+  if (tails_[flat_slot] != kNil) {
+    slab_[tails_[flat_slot]].next = idx;
+  } else {
+    slots_[flat_slot] = idx;
+  }
+  tails_[flat_slot] = idx;
+}
+
+void TimerWheel::unlink(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  if (n.slot == kNil) return;
+  if (n.prev != kNil) {
+    slab_[n.prev].next = n.next;
+  } else {
+    slots_[n.slot] = n.next;
+  }
+  if (n.next != kNil) {
+    slab_[n.next].prev = n.prev;
+  } else {
+    tails_[n.slot] = n.prev;
+  }
+  n.prev = n.next = kNil;
+  n.slot = kNil;
+}
+
+void TimerWheel::place(std::uint32_t idx) {
+  const Node& n = slab_[idx];
+  const std::uint64_t ticks = tick_of(n.deadline);
+  if (ticks <= current_tick_) {
+    link(kLevels * kSlots, idx);  // already due: expired pseudo-slot
+    return;
+  }
+  // Innermost level whose higher digits `ticks` shares with the current tick:
+  // there the slot digit resolves the deadline exactly, so level-0 firing is
+  // always exact and cascades only ever move timers inward.
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    const std::uint32_t shift = kLevelBits * (level + 1);
+    if (shift < 64 && (ticks >> shift) != (current_tick_ >> shift)) continue;
+    link(level * kSlots + static_cast<std::uint32_t>((ticks >> (kLevelBits * level)) & kSlotMask),
+         idx);
+    return;
+  }
+  // Beyond the wheel horizon (~2^32 ticks): park in the outermost slot that
+  // cascades last; re-placed (never fired early) on each cascade.
+  const auto top = static_cast<std::uint32_t>(
+      ((current_tick_ >> (kLevelBits * (kLevels - 1))) + kSlots - 1) & kSlotMask);
+  link((kLevels - 1) * kSlots + top, idx);
+}
+
+void TimerWheel::cascade(std::uint32_t flat_slot) {
+  auto idx = slots_[flat_slot];
+  slots_[flat_slot] = kNil;
+  tails_[flat_slot] = kNil;
+  while (idx != kNil) {
+    const auto next = slab_[idx].next;
+    slab_[idx].prev = slab_[idx].next = kNil;
+    slab_[idx].slot = kNil;
+    place(idx);
+    idx = next;
+  }
+}
+
+void TimerWheel::arm(Token token, sim::SimTime deadline) {
+  if (const auto it = by_token_.find(token); it != by_token_.end()) {
+    // Re-arm replaces: move the existing node to the new deadline.
+    const auto idx = it->second;
+    unlink(idx);
+    slab_[idx].deadline = deadline;
+    place(idx);
+    return;
+  }
+  const auto idx = alloc_node();
+  slab_[idx].token = token;
+  slab_[idx].deadline = deadline;
+  by_token_.emplace(token, idx);
+  place(idx);
+}
+
+bool TimerWheel::cancel(Token token) {
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return false;
+  const auto idx = it->second;
+  by_token_.erase(it);
+  unlink(idx);
+  free_node(idx);
+  return true;
+}
+
+std::size_t TimerWheel::advance(sim::SimTime now, const std::function<void(Token)>& fire) {
+  std::size_t fired = 0;
+
+  // Splice the due slot onto the firing pseudo-slot, then head-pop: every
+  // still-pending node stays properly linked (slot field updated), so a fire
+  // callback cancelling a sibling due in the same batch unlinks it cleanly
+  // and it does NOT fire. Timers armed by callbacks land in the expired
+  // pseudo-slot (deadline <= now) or a future slot — never in the batch
+  // being fired — so a 0-delay re-arm loop cannot spin inside one advance().
+  const std::uint32_t firing_slot = kLevels * kSlots + 1;
+  const auto drain = [&](std::uint32_t flat_slot) {
+    slots_[firing_slot] = slots_[flat_slot];
+    tails_[firing_slot] = tails_[flat_slot];
+    slots_[flat_slot] = kNil;
+    tails_[flat_slot] = kNil;
+    for (auto idx = slots_[firing_slot]; idx != kNil; idx = slab_[idx].next) {
+      slab_[idx].slot = firing_slot;
+    }
+    while (slots_[firing_slot] != kNil) {
+      const auto idx = slots_[firing_slot];
+      unlink(idx);
+      const auto token = slab_[idx].token;
+      by_token_.erase(token);
+      free_node(idx);
+      ++fired;
+      fire(token);
+    }
+  };
+
+  drain(kLevels * kSlots);  // timers armed already-due since the last advance
+
+  const std::uint64_t target = tick_of(now);
+  while (current_tick_ < target) {
+    ++current_tick_;
+    bool cascaded = false;
+    for (std::uint32_t level = 1; level < kLevels; ++level) {
+      const std::uint32_t shift = kLevelBits * level;
+      if ((current_tick_ & ((1ull << shift) - 1)) != 0) break;  // not at this boundary
+      cascade(level * kSlots +
+              static_cast<std::uint32_t>((current_tick_ >> shift) & kSlotMask));
+      cascaded = true;
+    }
+    // A cascade re-places timers due exactly NOW into the expired
+    // pseudo-slot; fire them at their own tick, before later slots, so the
+    // cross-tick deadline-order contract holds across boundaries. (Only
+    // after cascades — not every tick — so 0-delay re-arm loops stay
+    // bounded per advance.)
+    if (cascaded && slots_[kLevels * kSlots] != kNil) drain(kLevels * kSlots);
+    drain(static_cast<std::uint32_t>(current_tick_ & kSlotMask));
+  }
+
+  drain(kLevels * kSlots);  // due timers armed by callbacks during this advance
+  return fired;
+}
+
+sim::SimTime TimerWheel::next_wake() const {
+  if (by_token_.empty()) return -1;
+  if (slots_[kLevels * kSlots] != kNil) {
+    return static_cast<sim::SimTime>(current_tick_) * tick_;  // already due
+  }
+  // Level 0 holds exact ticks within the current 256-tick block.
+  for (std::uint64_t t = current_tick_ + 1; (t >> kLevelBits) == (current_tick_ >> kLevelBits);
+       ++t) {
+    if (slots_[t & kSlotMask] != kNil) return static_cast<sim::SimTime>(t) * tick_;
+  }
+  // Something is parked in an outer level: wake at the next cascade boundary
+  // (always at or before its true deadline) and re-query.
+  const std::uint64_t boundary = (current_tick_ | kSlotMask) + 1;
+  return static_cast<sim::SimTime>(boundary) * tick_;
+}
+
+}  // namespace leopard::net

@@ -1,0 +1,93 @@
+// Hierarchical timer wheel keyed by the protocol cores' opaque timer tokens.
+//
+// Four levels of 256 slots at a fixed tick (default 1 ms) cover ~136 years of
+// horizon; a timer lands in the coarsest level whose span still resolves its
+// deadline and cascades inward as the wheel turns, so arming, re-arming, and
+// cancelling are all O(1) and advancing costs O(ticks elapsed + timers due).
+//
+// Env-contract semantics (protocol.hpp): re-arming a pending token replaces
+// it; cancelling an unknown or already-fired token is a no-op. Timers due in
+// different ticks fire in deadline order; timers sharing a tick fire in
+// arming order.
+//
+// Not thread-safe: the event loop owns it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace leopard::net {
+
+class TimerWheel {
+ public:
+  using Token = std::uint64_t;
+
+  /// `tick` is the firing resolution; `start` anchors tick 0 (deadlines are
+  /// absolute times on the same clock).
+  explicit TimerWheel(sim::SimTime tick = sim::kMillisecond, sim::SimTime start = 0);
+
+  /// Arms (or re-arms, replacing) `token` to fire at absolute `deadline`.
+  /// Deadlines at or before the current tick fire on the next advance().
+  void arm(Token token, sim::SimTime deadline);
+
+  /// O(1) cancel; returns false if the token is not armed.
+  bool cancel(Token token);
+
+  [[nodiscard]] bool armed(Token token) const { return by_token_.contains(token); }
+  [[nodiscard]] std::size_t size() const { return by_token_.size(); }
+
+  /// Fires every timer with deadline <= now, in tick order (arming order
+  /// within a tick), invoking `fire(token)` for each. Firing callbacks may
+  /// arm/cancel timers reentrantly. Returns the number fired.
+  std::size_t advance(sim::SimTime now, const std::function<void(Token)>& fire);
+
+  /// Earliest instant by which the owner should call advance() again: the
+  /// exact deadline when the next timer sits in the innermost level, else the
+  /// next cascade boundary (always <= the real deadline, so waking then and
+  /// re-querying is correct). Returns -1 when nothing is armed.
+  [[nodiscard]] sim::SimTime next_wake() const;
+
+ private:
+  static constexpr std::uint32_t kLevelBits = 8;
+  static constexpr std::uint32_t kSlots = 1u << kLevelBits;  // 256
+  static constexpr std::uint32_t kLevels = 4;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    Token token = 0;
+    sim::SimTime deadline = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t slot = kNil;  // flat slot index (level * kSlots + slot), kNil = detached
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(sim::SimTime t) const {
+    return t <= 0 ? 0 : static_cast<std::uint64_t>(t) / static_cast<std::uint64_t>(tick_);
+  }
+
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t idx);
+  void unlink(std::uint32_t idx);
+  void link(std::uint32_t flat_slot, std::uint32_t idx);
+  /// Places `idx` by its deadline relative to current_tick_.
+  void place(std::uint32_t idx);
+  /// Re-places every node of flat slot `s` (cascade one level inward).
+  void cascade(std::uint32_t flat_slot);
+
+  sim::SimTime tick_;
+  std::uint64_t current_tick_;
+
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNil;
+  // kLevels * kSlots wheel slots + 2 pseudo-slots (already-due list, and the
+  // batch being fired), as parallel head/tail lists (FIFO within a slot).
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> tails_;
+  std::unordered_map<Token, std::uint32_t> by_token_;
+};
+
+}  // namespace leopard::net

@@ -49,6 +49,9 @@ Datablock Datablock::decode(util::ByteReader& r) {
   db.maker = r.u32();
   db.counter = r.u64();
   const auto count = r.u32();
+  // Each request occupies at least its fixed header; a count beyond that is
+  // a malformed (or hostile) buffer — reject before reserving.
+  util::expects(count <= r.remaining() / 24, "Datablock count exceeds buffer");
   db.requests.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) db.requests.push_back(Request::decode(r));
   return db;
@@ -77,6 +80,9 @@ BftBlock BftBlock::decode(util::ByteReader& r) {
   b.view = r.u32();
   b.sn = r.u64();
   const auto count = r.u32();
+  // Every link is 32 bytes of the remaining buffer; bound before reserving
+  // (an attacker-controlled count must never drive the allocation).
+  util::expects(count <= r.remaining() / 32, "BftBlock link count exceeds buffer");
   b.links.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     crypto::Sha256::DigestBytes bytes{};
@@ -90,6 +96,13 @@ BftBlock BftBlock::decode(util::ByteReader& r) {
 crypto::Digest BftBlock::digest() const {
   util::ByteWriter w(16 + 32 * links.size());
   encode(w);
+  return crypto::Digest::of(w.bytes());
+}
+
+crypto::Digest BaselineBlockMsg::compute_digest() const {
+  util::ByteWriter w(16 + 32 * batch.size());
+  w.u64(height);
+  for (const auto& r : batch) w.raw(r.digest().bytes());
   return crypto::Digest::of(w.bytes());
 }
 

@@ -42,4 +42,18 @@ SimReplica make_sim_replica(sim::Network& net, core::ProtocolMetrics& metrics,
   return r;
 }
 
+SimClient make_sim_client(sim::Network& net, core::ProtocolMetrics& metrics,
+                          const core::ClientConfig& cfg, sim::NodeId target,
+                          std::uint32_t replica_count, sim::NodeId avoid,
+                          std::uint64_t seed) {
+  SimClient c;
+  c.core = std::make_unique<core::LeopardClient>(cfg, target, replica_count, avoid, seed);
+  c.env = std::make_unique<SimEnv>(net, metrics, replica_count);
+  c.env->attach(*c.core);
+  const auto node_id = net.add_node(c.env.get(), /*metered=*/false);
+  c.core->set_self_id(node_id);
+  c.env->set_node_id(node_id);
+  return c;
+}
+
 }  // namespace leopard::protocol

@@ -10,6 +10,7 @@
 #include "baselines/hotstuff.hpp"
 #include "baselines/pbft.hpp"
 #include "core/byzantine.hpp"
+#include "core/client.hpp"
 #include "core/config.hpp"
 #include "core/replica.hpp"
 #include "protocol/sim_env.hpp"
@@ -48,5 +49,19 @@ struct SimReplica {
 SimReplica make_sim_replica(sim::Network& net, core::ProtocolMetrics& metrics,
                             const ProtocolSpec& spec, const crypto::ThresholdScheme& ts,
                             proto::ReplicaId id);
+
+/// A client core bound to its simulator adapter (clients are unmetered nodes
+/// whose env-level id is assigned by the network at registration).
+struct SimClient {
+  std::unique_ptr<core::LeopardClient> core;
+  std::unique_ptr<SimEnv> env;
+};
+
+/// Builds a LeopardClient core, wraps it in a SimEnv, registers it with
+/// `net` as an unmetered node, and wires the assigned node id into the core.
+SimClient make_sim_client(sim::Network& net, core::ProtocolMetrics& metrics,
+                          const core::ClientConfig& cfg, sim::NodeId target,
+                          std::uint32_t replica_count, sim::NodeId avoid,
+                          std::uint64_t seed);
 
 }  // namespace leopard::protocol

@@ -90,6 +90,7 @@ enum class Metric : std::uint8_t {
   kVcTriggeredAt,   // value: absolute time (SimTime as double)
   kVcCompletedAt,   // value: absolute time (SimTime as double)
   kSafetyViolation, // value ignored
+  kAckLatencySample, // value: one submit→ack latency observation in seconds
 };
 
 /// Point-to-point send to `to`.

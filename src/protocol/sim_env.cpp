@@ -51,6 +51,9 @@ void apply_metrics_update(core::ProtocolMetrics& metrics, const MetricsUpdate& u
     case Metric::kSafetyViolation:
       metrics.safety_violation = true;
       break;
+    case Metric::kAckLatencySample:
+      metrics.record_ack_latency(update.value);
+      break;
   }
 }
 

@@ -25,7 +25,7 @@ struct BaselineCluster {
   core::ProtocolMetrics metrics;
   std::vector<protocol::SimReplica> handles;
   std::vector<Replica*> replicas;  // typed views into `handles`
-  std::unique_ptr<core::LeopardClient> client;
+  protocol::SimClient client;
 
   BaselineCluster(Config cfg, double rate)
       : net(sim, make_net()), ts(cfg.n, cfg.quorum(), 11) {
@@ -39,8 +39,7 @@ struct BaselineCluster {
     ccfg.request_rate = rate;
     ccfg.payload_size = cfg.payload_size;
     ccfg.initial_backlog = 2 * cfg.batch_size;
-    client = std::make_unique<core::LeopardClient>(net, metrics, ccfg, 0, cfg.n, cfg.n, 77);
-    client->set_node_id(net.add_node(client.get(), false));
+    client = protocol::make_sim_client(net, metrics, ccfg, 0, cfg.n, cfg.n, 77);
   }
 
   static sim::NetworkConfig make_net() {

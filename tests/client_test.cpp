@@ -6,6 +6,7 @@
 
 #include "core/client.hpp"
 #include "proto/messages.hpp"
+#include "protocol/factory.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,7 +39,8 @@ struct ClientHarness {
   sim::Network net;
   core::ProtocolMetrics metrics;
   std::vector<std::unique_ptr<RecordingReplica>> replicas;
-  std::unique_ptr<core::LeopardClient> client;
+  protocol::SimClient handle;
+  core::LeopardClient* client = nullptr;
 
   explicit ClientHarness(core::ClientConfig cfg, std::uint32_t replica_count = 4)
       : net(sim, sim::NetworkConfig{}) {
@@ -48,9 +50,9 @@ struct ClientHarness {
       r->self = net.add_node(r.get());
       replicas.push_back(std::move(r));
     }
-    client = std::make_unique<core::LeopardClient>(net, metrics, cfg, /*target=*/0,
-                                                   replica_count, /*avoid=*/1, /*seed=*/5);
-    client->set_node_id(net.add_node(client.get(), /*metered=*/false));
+    handle = protocol::make_sim_client(net, metrics, cfg, /*target=*/0, replica_count,
+                                       /*avoid=*/1, /*seed=*/5);
+    client = handle.core.get();
   }
 
   void run(double seconds) {
@@ -143,6 +145,32 @@ TEST(Client, StopsAtConfiguredTime) {
   const auto received = h.replicas[0]->received.size();
   EXPECT_GT(received, 1000u);
   EXPECT_LT(received, 3000u);  // ~2000 expected in half a second
+}
+
+TEST(Client, ClosedLoopKeepsWindowFullUntilTotal) {
+  core::ClientConfig cfg;
+  cfg.closed_loop_window = 16;
+  cfg.total_requests = 200;
+  ClientHarness h(cfg);
+  h.replicas[0]->auto_ack = true;
+  h.run(2.0);
+  EXPECT_TRUE(h.client->done());
+  EXPECT_EQ(h.client->submitted(), 200u);
+  EXPECT_EQ(h.client->acked(), 200u);
+  EXPECT_EQ(h.client->outstanding(), 0u);
+  // Closed loop never over-submits: the replica saw exactly the total.
+  EXPECT_EQ(h.replicas[0]->received.size(), 200u);
+}
+
+TEST(Client, ClosedLoopWindowBoundsInflight) {
+  core::ClientConfig cfg;
+  cfg.closed_loop_window = 8;
+  cfg.total_requests = 100;
+  ClientHarness h(cfg);  // nobody acks: the window fills and stays put
+  h.run(1.0);
+  EXPECT_EQ(h.client->submitted(), 8u);
+  EXPECT_EQ(h.client->outstanding(), 8u);
+  EXPECT_FALSE(h.client->done());
 }
 
 TEST(Client, BurstBatchingPreservesTotalRate) {

@@ -61,10 +61,8 @@ class LeopardCluster {
       ccfg.initial_backlog = opts_.client_backlog;
       ccfg.submit_copies = opts_.client_submit_copies;
       ccfg.burst = 1;
-      auto client = std::make_unique<core::LeopardClient>(net_, metrics_, ccfg, id, opts_.n,
-                                                          leader, opts_.seed + 100 + id);
-      client->set_node_id(net_.add_node(client.get(), /*metered=*/false));
-      clients_.push_back(std::move(client));
+      clients_.push_back(protocol::make_sim_client(net_, metrics_, ccfg, id, opts_.n, leader,
+                                                   opts_.seed + 100 + id));
     }
   }
 
@@ -85,7 +83,7 @@ class LeopardCluster {
     util::expects(id < traces_.size(), "trace(): cluster built without record_traces");
     return traces_[id];
   }
-  [[nodiscard]] core::LeopardClient& client(std::size_t i) { return *clients_[i]; }
+  [[nodiscard]] core::LeopardClient& client(std::size_t i) { return *clients_[i].core; }
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
   [[nodiscard]] core::ProtocolMetrics& metrics() { return metrics_; }
   [[nodiscard]] sim::Network& network() { return net_; }
@@ -139,7 +137,7 @@ class LeopardCluster {
   core::ProtocolMetrics metrics_;
   std::vector<protocol::Trace> traces_;
   std::vector<protocol::SimReplica> replicas_;
-  std::vector<std::unique_ptr<core::LeopardClient>> clients_;
+  std::vector<protocol::SimClient> clients_;
   bool started_ = false;
 };
 

@@ -1,0 +1,384 @@
+// Wire layer: frame round-trips for every message type, hard-limit and
+// malformed-frame rejection, and partial-read reassembly across split
+// read()s (net/wire.hpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/wire.hpp"
+#include "proto/messages.hpp"
+
+using namespace leopard;
+
+namespace {
+
+crypto::Digest digest_of(std::uint8_t fill) {
+  crypto::Sha256::DigestBytes b{};
+  b.fill(fill);
+  return crypto::Digest(b);
+}
+
+crypto::SignatureShare share_of(std::uint32_t signer, std::uint8_t fill) {
+  crypto::SignatureShare s;
+  s.signer = signer;
+  s.bytes.fill(fill);
+  return s;
+}
+
+crypto::ThresholdSignature tsig_of(std::uint8_t fill) {
+  crypto::ThresholdSignature s;
+  s.bytes.fill(fill);
+  return s;
+}
+
+proto::Request request_of(std::uint64_t client, std::uint64_t seq, bool real_payload) {
+  proto::Request r;
+  r.client_id = client;
+  r.seq = seq;
+  r.payload_size = 48;
+  if (real_payload) {
+    r.payload.assign(48, static_cast<std::uint8_t>(seq));
+  }
+  r.submitted_at = 123456;  // sim-only: must NOT survive the wire
+  return r;
+}
+
+/// Encode → reassemble via FrameReader → decode → re-encode; the re-encoded
+/// frame must be byte-identical (a canonical-encoding round trip).
+sim::PayloadPtr round_trip(const sim::Payload& msg) {
+  const auto frame = net::encode_frame(msg);
+
+  net::FrameReader reader;
+  reader.feed(frame);
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+
+  const auto decoded = net::decode_payload(f.type, f.body, /*local_now=*/777);
+  EXPECT_NE(decoded, nullptr);
+  if (decoded == nullptr) return nullptr;
+
+  EXPECT_EQ(net::encode_frame(*decoded), frame) << "re-encode must be byte-identical";
+  EXPECT_EQ(decoded->component(), msg.component());
+  return decoded;
+}
+
+template <typename T>
+std::shared_ptr<const T> round_trip_as(const T& msg) {
+  auto decoded = std::dynamic_pointer_cast<const T>(round_trip(msg));
+  EXPECT_NE(decoded, nullptr) << "decoded to the wrong dynamic type";
+  return decoded;
+}
+
+}  // namespace
+
+TEST(Wire, ClientRequestRoundTrip) {
+  proto::ClientRequestMsg msg;
+  msg.requests.push_back(request_of(9, 0, true));
+  msg.requests.push_back(request_of(9, 1, false));  // synthetic payload
+  const auto decoded = round_trip_as(msg);
+  ASSERT_EQ(decoded->requests.size(), 2u);
+  EXPECT_EQ(decoded->requests[0].payload, msg.requests[0].payload);
+  EXPECT_EQ(decoded->requests[1].payload_size, 48u);
+  EXPECT_TRUE(decoded->requests[1].payload.empty());
+  // Sim-only metadata is re-stamped with the receiver's clock.
+  EXPECT_EQ(decoded->requests[0].submitted_at, 777);
+  // Identity-bearing fields survive exactly: digests match.
+  EXPECT_EQ(decoded->requests[0].digest(), msg.requests[0].digest());
+}
+
+TEST(Wire, AckRoundTrip) {
+  proto::AckMsg msg;
+  msg.client_id = 42;
+  msg.seqs = {1, 2, 3, 100};
+  const auto decoded = round_trip_as(msg);
+  EXPECT_EQ(decoded->client_id, 42u);
+  EXPECT_EQ(decoded->seqs, msg.seqs);
+}
+
+TEST(Wire, DatablockRoundTripRecomputesDigest) {
+  proto::Datablock db;
+  db.maker = 3;
+  db.counter = 17;
+  db.requests.push_back(request_of(5, 0, true));
+  db.requests.push_back(request_of(5, 1, true));
+  const proto::DatablockMsg msg(std::move(db));
+  const auto decoded = round_trip_as(msg);
+  EXPECT_EQ(decoded->datablock.maker, 3u);
+  EXPECT_EQ(decoded->datablock.counter, 17u);
+  EXPECT_EQ(decoded->cached_digest, msg.cached_digest);  // recomputed, not relayed
+  EXPECT_EQ(decoded->created_at, 777);                   // receiver-stamped
+}
+
+TEST(Wire, ReadyRoundTrip) {
+  proto::ReadyMsg msg;
+  msg.datablock_hashes = {digest_of(1), digest_of(2)};
+  const auto decoded = round_trip_as(msg);
+  EXPECT_EQ(decoded->datablock_hashes, msg.datablock_hashes);
+}
+
+TEST(Wire, BftBlockRoundTrip) {
+  proto::BftBlock block;
+  block.view = 2;
+  block.sn = 99;
+  block.links = {digest_of(7), digest_of(8), digest_of(9)};
+  const proto::BftBlockMsg msg(std::move(block), share_of(1, 0xAB));
+  const auto decoded = round_trip_as(msg);
+  EXPECT_EQ(decoded->block.sn, 99u);
+  EXPECT_EQ(decoded->block.links.size(), 3u);
+  EXPECT_EQ(decoded->leader_share, msg.leader_share);
+  EXPECT_EQ(decoded->cached_digest, msg.cached_digest);
+}
+
+TEST(Wire, VoteAndProofRoundTrip) {
+  proto::VoteMsg vote;
+  vote.round = 2;
+  vote.block_digest = digest_of(0x33);
+  vote.share = share_of(5, 0x44);
+  const auto v = round_trip_as(vote);
+  EXPECT_EQ(v->round, 2);
+  EXPECT_EQ(v->share, vote.share);
+
+  proto::ProofMsg proof;
+  proof.round = 1;
+  proof.block_digest = digest_of(0x55);
+  proof.signature = tsig_of(0x66);
+  const auto p = round_trip_as(proof);
+  EXPECT_EQ(p->signature, proof.signature);
+}
+
+TEST(Wire, QueryAndChunkResponseRoundTrip) {
+  proto::QueryMsg query;
+  query.missing = {digest_of(0x10)};
+  round_trip_as(query);
+
+  proto::ChunkResponseMsg chunk;
+  chunk.datablock_hash = digest_of(0x21);
+  chunk.merkle_root = digest_of(0x22);
+  chunk.chunk_index = 3;
+  chunk.leaf_count = 8;
+  chunk.chunk = {1, 2, 3, 4, 5};
+  chunk.chunk_size = 5;
+  chunk.proof = {digest_of(0x23), digest_of(0x24), digest_of(0x25)};
+  const auto c = round_trip_as(chunk);
+  EXPECT_EQ(c->chunk, chunk.chunk);
+  EXPECT_EQ(c->proof, chunk.proof);
+  EXPECT_EQ(c->leaf_count, 8u);
+}
+
+TEST(Wire, CheckpointRoundTripBothForms) {
+  proto::CheckpointMsg vote;
+  vote.sn = 50;
+  vote.state = digest_of(0x71);
+  vote.share = share_of(2, 0x72);
+  const auto v = round_trip_as(vote);
+  ASSERT_TRUE(v->share.has_value());
+  EXPECT_FALSE(v->signature.has_value());
+  EXPECT_EQ(*v->share, *vote.share);
+
+  proto::CheckpointMsg proof;
+  proof.sn = 50;
+  proof.state = digest_of(0x71);
+  proof.signature = tsig_of(0x73);
+  const auto p = round_trip_as(proof);
+  EXPECT_FALSE(p->share.has_value());
+  ASSERT_TRUE(p->signature.has_value());
+}
+
+TEST(Wire, TimeoutViewChangeNewViewRoundTrip) {
+  proto::TimeoutMsg timeout;
+  timeout.view = 4;
+  timeout.share = share_of(0, 0x81);
+  round_trip_as(timeout);
+
+  proto::ViewChangeMsg vc;
+  vc.new_view = 5;
+  vc.checkpoint_sn = 20;
+  vc.checkpoint_state = digest_of(0x91);
+  vc.checkpoint_proof = tsig_of(0x92);
+  proto::NotarizedBlock nb;
+  nb.block.view = 4;
+  nb.block.sn = 21;
+  nb.block.links = {digest_of(0x93)};
+  nb.notarization = tsig_of(0x94);
+  vc.notarized.push_back(nb);
+  vc.sender_sig = share_of(3, 0x95);
+  vc.sender = 3;
+  const auto v = round_trip_as(vc);
+  ASSERT_EQ(v->notarized.size(), 1u);
+  EXPECT_EQ(v->notarized[0].block.sn, 21u);
+  EXPECT_EQ(v->sender, 3u);
+
+  proto::NewViewMsg nv;
+  nv.new_view = 5;
+  nv.view_changes.push_back(vc);
+  nv.leader_sig = share_of(1, 0x96);
+  const auto n = round_trip_as(nv);
+  ASSERT_EQ(n->view_changes.size(), 1u);
+  EXPECT_EQ(n->view_changes[0].checkpoint_sn, 20u);
+}
+
+TEST(Wire, BaselineMessagesRoundTrip) {
+  proto::BaselineBlockMsg block;
+  block.view = 1;
+  block.height = 12;
+  block.parent = digest_of(0xA1);
+  block.justify_target = digest_of(0xA2);
+  block.justify_sig = tsig_of(0xA3);
+  block.batch.push_back(request_of(7, 0, true));
+  block.cached_digest = block.compute_digest();  // as both proposers do
+  const auto b = round_trip_as(block);
+  EXPECT_EQ(b->cached_digest, block.cached_digest);  // recomputed on decode
+  EXPECT_EQ(b->batch.size(), 1u);
+
+  proto::BaselineVoteMsg vote;
+  vote.phase = 2;
+  vote.view = 1;
+  vote.height = 12;
+  vote.block_digest = block.cached_digest;
+  vote.share = share_of(2, 0xA4);
+  const auto v = round_trip_as(vote);
+  EXPECT_EQ(v->phase, 2);
+  EXPECT_EQ(v->height, 12u);
+}
+
+TEST(Wire, HelloRoundTripAndBadMagic) {
+  const auto frame = net::encode_hello_frame(net::Hello{net::Hello::kMagic, 42});
+  net::FrameReader reader;
+  reader.feed(frame);
+  net::FrameReader::Frame f;
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  ASSERT_EQ(f.type, net::MsgType::kHello);
+  const auto hello = net::decode_hello(f.body);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->node_id, 42u);
+
+  // Hello with the wrong magic is rejected.
+  util::Bytes bad(f.body.begin(), f.body.end());
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(net::decode_hello(bad).has_value());
+  // Hello bodies never decode as payloads.
+  EXPECT_EQ(net::decode_payload(net::MsgType::kHello, f.body, 0), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input rejection
+// ---------------------------------------------------------------------------
+
+TEST(Wire, UnknownTagIsRejected) {
+  proto::AckMsg msg;
+  msg.client_id = 1;
+  auto frame = net::encode_frame(msg);
+  frame[net::kFrameHeaderBytes] = 0xEE;  // stomp the tag
+  net::FrameReader reader;
+  reader.feed(frame);
+  net::FrameReader::Frame f;
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  EXPECT_EQ(net::decode_payload(f.type, f.body, 0), nullptr);
+}
+
+TEST(Wire, TruncatedBodyIsRejected) {
+  proto::ReadyMsg msg;
+  msg.datablock_hashes = {digest_of(1), digest_of(2)};
+  const auto frame = net::encode_frame(msg);
+  // Claimed count = 2 but only one digest present.
+  const std::span<const std::uint8_t> body(frame.data() + net::kFrameHeaderBytes + 1,
+                                           frame.size() - net::kFrameHeaderBytes - 1 - 32);
+  EXPECT_EQ(net::decode_payload(net::MsgType::kReady, body, 0), nullptr);
+}
+
+TEST(Wire, TrailingGarbageIsRejected) {
+  proto::AckMsg msg;
+  msg.client_id = 7;
+  auto frame = net::encode_frame(msg);
+  util::Bytes body(frame.begin() + net::kFrameHeaderBytes + 1, frame.end());
+  body.push_back(0x5A);  // longer than the declared encoding
+  EXPECT_EQ(net::decode_payload(net::MsgType::kAck, body, 0), nullptr);
+}
+
+TEST(Wire, HostileCountFieldIsRejectedWithoutAllocating) {
+  // A Ready frame claiming 2^31 digests in a 40-byte body.
+  util::ByteWriter w;
+  w.u32(0x80000000u);
+  w.raw(digest_of(1).bytes());
+  EXPECT_EQ(net::decode_payload(net::MsgType::kReady, w.bytes(), 0), nullptr);
+
+  // A BftBlock frame claiming 2^32-1 links in a tiny body (exercises the
+  // bound inside proto::BftBlock::decode, reached via kBftBlock frames).
+  util::ByteWriter b;
+  b.u32(1);           // view
+  b.u64(9);           // sn
+  b.u32(0xFFFFFFFFu); // links count
+  b.raw(digest_of(2).bytes());
+  EXPECT_EQ(net::decode_payload(net::MsgType::kBftBlock, b.bytes(), 0), nullptr);
+}
+
+TEST(Wire, OversizedFrameHeaderIsAStickyError) {
+  net::FrameReader reader(/*max_frame=*/1024);
+  util::ByteWriter w;
+  w.u32(2048);  // over the limit
+  w.u8(static_cast<std::uint8_t>(net::MsgType::kAck));
+  reader.feed(w.bytes());
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+  EXPECT_TRUE(reader.errored());
+  // Sticky: more bytes do not clear the desync.
+  reader.feed(net::encode_frame(proto::AckMsg{}));
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+}
+
+TEST(Wire, ZeroLengthFrameIsAnError) {
+  net::FrameReader reader;
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  reader.feed(zeros);
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Partial-read reassembly
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ReassemblesFramesFedOneByteAtATime) {
+  proto::QueryMsg query;
+  query.missing = {digest_of(0xC1), digest_of(0xC2)};
+  const auto frame = net::encode_frame(query);
+
+  net::FrameReader reader;
+  net::FrameReader::Frame f;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(reader.next(f), net::FrameReader::Status::kNeedMore) << "byte " << i;
+    reader.feed({frame.data() + i, 1});
+  }
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  const auto decoded =
+      std::dynamic_pointer_cast<const proto::QueryMsg>(net::decode_payload(f.type, f.body, 0));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->missing, query.missing);
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kNeedMore);
+}
+
+TEST(Wire, DrainsMultipleFramesFromOneFeed) {
+  util::Bytes stream;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    proto::AckMsg msg;
+    msg.client_id = i;
+    msg.seqs = {i};
+    net::encode_frame(msg, stream);
+  }
+  // Split the stream at an arbitrary frame-straddling point.
+  net::FrameReader reader;
+  reader.feed({stream.data(), stream.size() / 2 + 3});
+  reader.feed({stream.data() + stream.size() / 2 + 3, stream.size() - stream.size() / 2 - 3});
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    net::FrameReader::Frame f;
+    ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame) << "frame " << i;
+    const auto decoded =
+        std::dynamic_pointer_cast<const proto::AckMsg>(net::decode_payload(f.type, f.body, 0));
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->client_id, i);  // FIFO frame order
+  }
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}

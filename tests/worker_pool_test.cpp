@@ -173,6 +173,59 @@ TEST(WorkerPool, DecodeRoundTripsPoolEncodedShards) {
   EXPECT_EQ(out, msg);
 }
 
+TEST(WorkerPool, DecodeParityAcrossPoolSizesAndKernels) {
+  PoolGuard guard;
+  auto& pool = lu::WorkerPool::global();
+  const auto prev_kernel = le::Gf256::active_kernel();
+  // Shard width large enough to clear the parallel-dispatch threshold, so
+  // the decode inversion apply actually fans out (same shape as encode).
+  const std::uint32_t k = 8, n = 24;
+  const le::ReedSolomon rs(k, n);
+  const auto msg = random_bytes(64 * 1024 * k - 4, 424242);
+
+  pool.resize(1);
+  le::RsScratch enc_scratch;
+  const auto enc = rs.encode_into(msg, enc_scratch);
+
+  // Mixed survivor set: drop half the data rows so reconstruction needs the
+  // inversion apply (not the systematic memcpy fast path).
+  std::vector<lu::Bytes> stash;
+  std::vector<le::ShardView> survivors;
+  for (std::uint32_t i = k / 2; i < k; ++i) {
+    const auto view = enc.shard(i);
+    stash.emplace_back(view.begin(), view.end());
+  }
+  for (std::uint32_t i = 0; i < k / 2; ++i) {
+    const auto view = enc.shard(k + 2 * i);  // every other parity row
+    stash.emplace_back(view.begin(), view.end());
+  }
+  for (std::size_t i = 0; i < stash.size(); ++i) {
+    const std::uint32_t index =
+        i < k / 2 ? k / 2 + static_cast<std::uint32_t>(i)
+                  : k + 2 * (static_cast<std::uint32_t>(i) - k / 2);
+    survivors.push_back(le::ShardView{index, stash[i]});
+  }
+
+  for (const auto kernel : all_gf_kernels()) {
+    le::Gf256::force_kernel(kernel);
+    pool.resize(1);
+    le::RsScratch serial_scratch;
+    lu::Bytes serial_out;
+    ASSERT_TRUE(rs.decode_into(survivors, serial_scratch, serial_out));
+    ASSERT_EQ(serial_out, msg);
+
+    for (const std::size_t lanes : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      pool.resize(lanes);
+      le::RsScratch scratch;
+      lu::Bytes out;
+      ASSERT_TRUE(rs.decode_into(survivors, scratch, out));
+      EXPECT_EQ(out, serial_out)
+          << "kernel=" << le::Gf256::kernel_name(kernel) << " lanes=" << lanes;
+    }
+  }
+  le::Gf256::force_kernel(prev_kernel);
+}
+
 // The TSan target: hammer dispatch/teardown with verification. Each
 // iteration's result is checked against a serial reduction, so any lost or
 // duplicated chunk (and any data race TSan can see) fails loudly.

@@ -1,0 +1,270 @@
+// leopard_node: run one replica of a real-wire Leopard/HotStuff/PBFT cluster,
+// or a closed-loop client driver, from a cluster manifest (net/manifest.hpp).
+//
+// Replica mode (one process per replica):
+//
+//   leopard_node --manifest cluster.conf --id 2 [--run-for SECONDS]
+//
+// Hosts the protocol core named by the manifest behind a SocketEnv: real
+// nonblocking TCP to every peer, wire framing, timer wheel. Runs until
+// SIGINT/SIGTERM (or --run-for elapses), then prints a key=value report:
+// executed request count, the Execute-stream fold digest (exec_digest, equal
+// across honest replicas), Leopard's state_digest, and transport stats.
+//
+// Client mode (the throughput driver):
+//
+//   leopard_node --manifest cluster.conf --client --id 100 --requests 500
+//                [--window 64] [--payload 128] [--resubmit-ms 1000]
+//                [--timeout SECONDS]
+//
+// Submits a closed-loop window of requests (Leopard: µ(req)-routed to
+// non-leader replicas; baselines: to the leader), waits for every ack, and
+// reports achieved kreq/s plus latency. Exits non-zero if the run times out
+// before all requests are acked.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/replica.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "net/manifest.hpp"
+#include "net/socket_env.hpp"
+#include "protocol/factory.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::string manifest_path;
+  leopard::sim::NodeId id = 0;
+  bool id_set = false;
+  bool client = false;
+  double run_for = -1;        // replica: seconds before voluntary shutdown
+  double timeout = 120;       // client: give-up deadline
+  std::uint64_t requests = 0; // client: total requests to drive
+  std::uint32_t window = 64;  // client: closed-loop window
+  std::uint32_t payload = 0;  // client: payload override (0 = manifest value)
+  std::uint32_t resubmit_ms = 1000;
+  std::string report_path;    // optional: also write the report to a file
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --manifest FILE --id ID [--run-for SEC]\n"
+               "       %s --manifest FILE --id ID --client --requests N [--window W]\n"
+               "          [--payload BYTES] [--resubmit-ms MS] [--timeout SEC]\n"
+               "       (see docs/DEPLOY.md)\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--manifest") {
+      args.manifest_path = next();
+    } else if (arg == "--id") {
+      args.id = static_cast<leopard::sim::NodeId>(std::strtoul(next(), nullptr, 10));
+      args.id_set = true;
+    } else if (arg == "--client") {
+      args.client = true;
+    } else if (arg == "--run-for") {
+      args.run_for = std::strtod(next(), nullptr);
+    } else if (arg == "--timeout") {
+      args.timeout = std::strtod(next(), nullptr);
+    } else if (arg == "--requests") {
+      args.requests = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--window") {
+      args.window = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--payload") {
+      args.payload = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--resubmit-ms") {
+      args.resubmit_ms = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--report") {
+      args.report_path = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", std::string(arg).c_str());
+      usage(argv[0]);
+    }
+  }
+  if (args.manifest_path.empty() || !args.id_set) usage(argv[0]);
+  if (args.client && args.requests == 0) usage(argv[0]);
+  return args;
+}
+
+void emit_report(const Args& args, const std::string& report) {
+  std::fputs(report.c_str(), stdout);
+  std::fflush(stdout);
+  if (!args.report_path.empty()) {
+    std::ofstream out(args.report_path);
+    out << report;
+  }
+}
+
+void print_transport_stats(std::string& report, const leopard::net::SocketEnv& env) {
+  const auto& s = env.stats();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "frames_sent=%llu frames_received=%llu bytes_sent=%llu "
+                "bytes_received=%llu decode_errors=%llu frames_dropped=%llu "
+                "connects=%llu accepts=%llu\n",
+                static_cast<unsigned long long>(s.frames_sent),
+                static_cast<unsigned long long>(s.frames_received),
+                static_cast<unsigned long long>(s.bytes_sent),
+                static_cast<unsigned long long>(s.bytes_received),
+                static_cast<unsigned long long>(s.decode_errors),
+                static_cast<unsigned long long>(s.frames_dropped),
+                static_cast<unsigned long long>(s.connects),
+                static_cast<unsigned long long>(s.accepts));
+  report += buf;
+}
+
+int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
+  namespace lp = leopard;
+
+  const lp::crypto::ThresholdScheme ts(manifest.n, manifest.quorum(), manifest.seed);
+  const auto spec = manifest.spec();
+  const auto core = lp::protocol::make_protocol(spec, ts, args.id);
+
+  lp::net::SocketEnv env(manifest.replica_env_options(args.id));
+  env.attach(*core);
+
+  // Fold every Execute action into a running chain digest: honest replicas
+  // execute the same blocks in the same order, so this digest matches across
+  // the cluster for all three protocols (Leopard additionally reports its
+  // own protocol-level state_digest).
+  lp::crypto::Digest exec_digest;
+  std::uint64_t executed_requests = 0;
+  std::uint64_t executed_blocks = 0;
+  env.set_execute_observer([&](const lp::protocol::Execute& e) {
+    lp::crypto::Digest block_digest;
+    if (const auto* db = dynamic_cast<const lp::proto::DatablockMsg*>(e.block.get())) {
+      block_digest = db->cached_digest;
+    } else if (const auto* bb =
+                   dynamic_cast<const lp::proto::BaselineBlockMsg*>(e.block.get())) {
+      block_digest = bb->cached_digest;
+    }
+    lp::util::ByteWriter w(64);
+    w.raw(exec_digest.bytes());
+    w.raw(block_digest.bytes());
+    exec_digest = lp::crypto::Digest::of(w.bytes());
+    executed_requests += e.requests;
+    ++executed_blocks;
+  });
+
+  const auto deadline =
+      args.run_for >= 0 ? lp::sim::from_seconds(args.run_for) : lp::sim::SimTime{-1};
+  env.run([&] {
+    if (g_stop != 0) return true;
+    return deadline >= 0 && env.now() >= deadline;
+  });
+
+  std::string report;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "role=replica id=%u protocol=%s n=%u\n", args.id,
+                manifest.protocol.c_str(), manifest.n);
+  report += buf;
+  std::snprintf(buf, sizeof(buf), "executed_requests=%llu executed_blocks=%llu\n",
+                static_cast<unsigned long long>(executed_requests),
+                static_cast<unsigned long long>(executed_blocks));
+  report += buf;
+  report += "exec_digest=" + exec_digest.hex() + "\n";
+  if (const auto* replica = dynamic_cast<const lp::core::LeopardReplica*>(core.get())) {
+    report += "state_digest=" + replica->state_digest().hex() + "\n";
+    std::snprintf(buf, sizeof(buf), "view=%u executed_through=%llu\n", replica->view(),
+                  static_cast<unsigned long long>(replica->executed_through()));
+    report += buf;
+  }
+  print_transport_stats(report, env);
+  emit_report(args, report);
+  return 0;
+}
+
+int run_client(const Args& args, const leopard::net::Manifest& manifest) {
+  namespace lp = leopard;
+
+  lp::core::ClientConfig cfg;
+  cfg.payload_size = args.payload != 0 ? args.payload : manifest.payload_size;
+  cfg.real_payload = true;  // a real deployment ships real bytes
+  cfg.closed_loop_window = args.window;
+  cfg.total_requests = args.requests;
+  cfg.resubmit_timeout =
+      static_cast<lp::sim::SimTime>(args.resubmit_ms) * lp::sim::kMillisecond;
+
+  const auto leader = manifest.initial_leader();
+  const bool leopard = manifest.protocol == "leopard";
+  if (leopard) {
+    cfg.route_by_mu = true;  // µ(req) load balancing over non-leader replicas
+  }
+  // Baselines accept client requests only at the leader, so the re-submission
+  // rotation set is just {leader}; Leopard rotates over all non-leader
+  // replicas.
+  lp::core::LeopardClient client(cfg, /*target=*/leader,
+                                 /*replica_count=*/leopard ? manifest.n : 1,
+                                 /*avoid=*/leopard ? leader : manifest.n,
+                                 manifest.seed + args.id);
+  client.set_self_id(args.id);
+
+  lp::net::SocketEnv env(manifest.client_env_options(args.id));
+  env.attach(client);
+
+  const auto deadline = lp::sim::from_seconds(args.timeout);
+  env.run([&] { return g_stop != 0 || client.done() || env.now() >= deadline; });
+  const double elapsed = lp::sim::to_seconds(env.now());
+
+  auto& metrics = env.metrics();
+  std::string report;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "role=client id=%u protocol=%s n=%u\n", args.id,
+                manifest.protocol.c_str(), manifest.n);
+  report += buf;
+  std::snprintf(buf, sizeof(buf),
+                "submitted=%llu acked=%llu elapsed_s=%.3f kreq_s=%.3f\n",
+                static_cast<unsigned long long>(client.submitted()),
+                static_cast<unsigned long long>(client.acked()), elapsed,
+                elapsed > 0 ? static_cast<double>(client.acked()) / elapsed / 1e3 : 0.0);
+  report += buf;
+  std::snprintf(buf, sizeof(buf), "mean_latency_ms=%.2f p50_latency_ms=%.2f\n",
+                metrics.mean_latency_sec() * 1e3, metrics.latency_percentile(0.5) * 1e3);
+  report += buf;
+  print_transport_stats(report, env);
+  emit_report(args, report);
+  return client.done() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    const auto manifest = leopard::net::Manifest::parse_file(args.manifest_path);
+    if (!args.client && args.id >= manifest.n) {
+      std::fprintf(stderr, "replica id %u out of range (n=%u); did you mean --client?\n",
+                   args.id, manifest.n);
+      return 2;
+    }
+    return args.client ? run_client(args, manifest) : run_replica(args, manifest);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "leopard_node: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Launch a 4-node loopback Leopard cluster + closed-loop client, assert every
+# request is acked and that all replicas report the same Execute-fold digest.
+# This is the human-runnable twin of tests/socket_cluster_test.cpp (which is
+# what CI runs, under ASan); see docs/DEPLOY.md.
+#
+# usage: tools/run_local_cluster.sh [BUILD_DIR] [PROTOCOL] [REQUESTS]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+PROTOCOL="${2:-leopard}"
+REQUESTS="${3:-500}"
+NODE_BIN="$BUILD_DIR/leopard_node"
+[ -x "$NODE_BIN" ] || { echo "error: $NODE_BIN not built (cmake --build $BUILD_DIR)"; exit 1; }
+
+WORK="$(mktemp -d /tmp/leopard_cluster.XXXXXX)"
+trap 'kill $(cat "$WORK"/*.pid 2>/dev/null) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+PORT_BASE=$(( 20000 + RANDOM % 20000 ))
+{
+  echo "protocol $PROTOCOL"
+  echo "n 4"
+  echo "seed 7"
+  echo "payload_size 128"
+  echo "datablock_requests 100"
+  echo "bftblock_links 8"
+  echo "datablock_max_wait_ms 20"
+  echo "proposal_max_wait_ms 10"
+  echo "view_timeout_ms 60000"
+  echo "batch_size 100"
+  for id in 0 1 2 3; do echo "node $id 127.0.0.1:$(( PORT_BASE + id ))"; done
+} > "$WORK/cluster.conf"
+
+for id in 0 1 2 3; do
+  "$NODE_BIN" --manifest "$WORK/cluster.conf" --id "$id" > "$WORK/replica$id.out" 2>&1 &
+  echo $! > "$WORK/replica$id.pid"
+done
+
+"$NODE_BIN" --manifest "$WORK/cluster.conf" --client --id 100 \
+  --requests "$REQUESTS" --window 64 --timeout 120 | tee "$WORK/client.out"
+grep -q "acked=$REQUESTS" "$WORK/client.out" || { echo "FAIL: client not fully acked"; exit 1; }
+
+for id in 0 1 2 3; do kill -TERM "$(cat "$WORK/replica$id.pid")"; done
+for id in 0 1 2 3; do wait "$(cat "$WORK/replica$id.pid")" || { echo "FAIL: replica $id unclean exit"; exit 1; }; done
+
+DIGESTS=$(grep -ho "exec_digest=[0-9a-f]*" "$WORK"/replica*.out | sort -u)
+echo "$DIGESTS"
+[ "$(echo "$DIGESTS" | wc -l)" -eq 1 ] || { echo "FAIL: replica digests diverged"; exit 1; }
+echo "OK: $REQUESTS requests committed end to end on $PROTOCOL, digests match"
