@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ready_round.dir/bench/bench_abl_ready_round.cpp.o"
+  "CMakeFiles/bench_abl_ready_round.dir/bench/bench_abl_ready_round.cpp.o.d"
+  "bench_abl_ready_round"
+  "bench_abl_ready_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ready_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_retrieval_strategy.dir/bench/bench_abl_retrieval_strategy.cpp.o"
+  "CMakeFiles/bench_abl_retrieval_strategy.dir/bench/bench_abl_retrieval_strategy.cpp.o.d"
+  "bench_abl_retrieval_strategy"
+  "bench_abl_retrieval_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_retrieval_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

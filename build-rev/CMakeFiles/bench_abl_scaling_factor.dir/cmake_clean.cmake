@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_scaling_factor.dir/bench/bench_abl_scaling_factor.cpp.o"
+  "CMakeFiles/bench_abl_scaling_factor.dir/bench/bench_abl_scaling_factor.cpp.o.d"
+  "bench_abl_scaling_factor"
+  "bench_abl_scaling_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_scaling_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

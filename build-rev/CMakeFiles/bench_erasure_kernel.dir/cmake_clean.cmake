@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_erasure_kernel.dir/bench/bench_erasure_kernel.cpp.o"
+  "CMakeFiles/bench_erasure_kernel.dir/bench/bench_erasure_kernel.cpp.o.d"
+  "bench_erasure_kernel"
+  "bench_erasure_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erasure_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_baseline_scalability.dir/bench/bench_fig01_baseline_scalability.cpp.o"
+  "CMakeFiles/bench_fig01_baseline_scalability.dir/bench/bench_fig01_baseline_scalability.cpp.o.d"
+  "bench_fig01_baseline_scalability"
+  "bench_fig01_baseline_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_baseline_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_leader_bottleneck.dir/bench/bench_fig02_leader_bottleneck.cpp.o"
+  "CMakeFiles/bench_fig02_leader_bottleneck.dir/bench/bench_fig02_leader_bottleneck.cpp.o.d"
+  "bench_fig02_leader_bottleneck"
+  "bench_fig02_leader_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_leader_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scaleup.dir/bench/bench_fig10_scaleup.cpp.o"
+  "CMakeFiles/bench_fig10_scaleup.dir/bench/bench_fig10_scaleup.cpp.o.d"
+  "bench_fig10_scaleup"
+  "bench_fig10_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_leader_bandwidth.dir/bench/bench_fig11_leader_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig11_leader_bandwidth.dir/bench/bench_fig11_leader_bandwidth.cpp.o.d"
+  "bench_fig11_leader_bandwidth"
+  "bench_fig11_leader_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_leader_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

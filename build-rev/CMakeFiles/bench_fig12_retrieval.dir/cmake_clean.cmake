@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_retrieval.dir/bench/bench_fig12_retrieval.cpp.o"
+  "CMakeFiles/bench_fig12_retrieval.dir/bench/bench_fig12_retrieval.cpp.o.d"
+  "bench_fig12_retrieval"
+  "bench_fig12_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

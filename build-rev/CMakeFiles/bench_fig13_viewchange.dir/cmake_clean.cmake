@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_viewchange.dir/bench/bench_fig13_viewchange.cpp.o"
+  "CMakeFiles/bench_fig13_viewchange.dir/bench/bench_fig13_viewchange.cpp.o.d"
+  "bench_fig13_viewchange"
+  "bench_fig13_viewchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_merkle_test.dir/tests/crypto_merkle_test.cpp.o"
+  "CMakeFiles/crypto_merkle_test.dir/tests/crypto_merkle_test.cpp.o.d"
+  "crypto_merkle_test"
+  "crypto_merkle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_merkle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

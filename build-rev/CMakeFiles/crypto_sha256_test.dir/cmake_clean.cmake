@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_sha256_test.dir/tests/crypto_sha256_test.cpp.o"
+  "CMakeFiles/crypto_sha256_test.dir/tests/crypto_sha256_test.cpp.o.d"
+  "crypto_sha256_test"
+  "crypto_sha256_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_sha256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

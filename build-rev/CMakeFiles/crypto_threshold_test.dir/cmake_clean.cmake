@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_threshold_test.dir/tests/crypto_threshold_test.cpp.o"
+  "CMakeFiles/crypto_threshold_test.dir/tests/crypto_threshold_test.cpp.o.d"
+  "crypto_threshold_test"
+  "crypto_threshold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_kernel_test.dir/tests/erasure_kernel_test.cpp.o"
+  "CMakeFiles/erasure_kernel_test.dir/tests/erasure_kernel_test.cpp.o.d"
+  "erasure_kernel_test"
+  "erasure_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

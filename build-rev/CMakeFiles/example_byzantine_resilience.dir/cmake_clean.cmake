@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_byzantine_resilience.dir/examples/byzantine_resilience.cpp.o"
+  "CMakeFiles/example_byzantine_resilience.dir/examples/byzantine_resilience.cpp.o.d"
+  "example_byzantine_resilience"
+  "example_byzantine_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_byzantine_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_store.dir/examples/kv_store.cpp.o"
+  "CMakeFiles/example_kv_store.dir/examples/kv_store.cpp.o.d"
+  "example_kv_store"
+  "example_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

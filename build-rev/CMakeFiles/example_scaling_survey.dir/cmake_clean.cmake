@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scaling_survey.dir/examples/scaling_survey.cpp.o"
+  "CMakeFiles/example_scaling_survey.dir/examples/scaling_survey.cpp.o.d"
+  "example_scaling_survey"
+  "example_scaling_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scaling_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

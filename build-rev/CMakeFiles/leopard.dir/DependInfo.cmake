@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cost_model.cpp" "CMakeFiles/leopard.dir/src/analysis/cost_model.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/analysis/cost_model.cpp.o.d"
+  "/root/repo/src/baselines/hotstuff.cpp" "CMakeFiles/leopard.dir/src/baselines/hotstuff.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/baselines/hotstuff.cpp.o.d"
+  "/root/repo/src/baselines/pbft.cpp" "CMakeFiles/leopard.dir/src/baselines/pbft.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/baselines/pbft.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "CMakeFiles/leopard.dir/src/core/client.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/core/client.cpp.o.d"
+  "/root/repo/src/core/replica.cpp" "CMakeFiles/leopard.dir/src/core/replica.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/core/replica.cpp.o.d"
+  "/root/repo/src/crypto/digest.cpp" "CMakeFiles/leopard.dir/src/crypto/digest.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/crypto/digest.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/leopard.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "CMakeFiles/leopard.dir/src/crypto/merkle.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/leopard.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/threshold_sig.cpp" "CMakeFiles/leopard.dir/src/crypto/threshold_sig.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/crypto/threshold_sig.cpp.o.d"
+  "/root/repo/src/erasure/gf256.cpp" "CMakeFiles/leopard.dir/src/erasure/gf256.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/erasure/gf256.cpp.o.d"
+  "/root/repo/src/erasure/reed_solomon.cpp" "CMakeFiles/leopard.dir/src/erasure/reed_solomon.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/erasure/reed_solomon.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "CMakeFiles/leopard.dir/src/harness/experiment.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/harness/experiment.cpp.o.d"
+  "/root/repo/src/net/event_loop.cpp" "CMakeFiles/leopard.dir/src/net/event_loop.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/net/event_loop.cpp.o.d"
+  "/root/repo/src/net/manifest.cpp" "CMakeFiles/leopard.dir/src/net/manifest.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/net/manifest.cpp.o.d"
+  "/root/repo/src/net/socket_env.cpp" "CMakeFiles/leopard.dir/src/net/socket_env.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/net/socket_env.cpp.o.d"
+  "/root/repo/src/net/timer_wheel.cpp" "CMakeFiles/leopard.dir/src/net/timer_wheel.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/net/timer_wheel.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "CMakeFiles/leopard.dir/src/net/wire.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/net/wire.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "CMakeFiles/leopard.dir/src/proto/messages.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/proto/messages.cpp.o.d"
+  "/root/repo/src/protocol/factory.cpp" "CMakeFiles/leopard.dir/src/protocol/factory.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/protocol/factory.cpp.o.d"
+  "/root/repo/src/protocol/protocol.cpp" "CMakeFiles/leopard.dir/src/protocol/protocol.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/protocol/protocol.cpp.o.d"
+  "/root/repo/src/protocol/replay.cpp" "CMakeFiles/leopard.dir/src/protocol/replay.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/protocol/replay.cpp.o.d"
+  "/root/repo/src/protocol/sim_env.cpp" "CMakeFiles/leopard.dir/src/protocol/sim_env.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/protocol/sim_env.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/leopard.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/leopard.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/leopard.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "CMakeFiles/leopard.dir/src/sim/traffic.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/sim/traffic.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "CMakeFiles/leopard.dir/src/util/bytes.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/util/bytes.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "CMakeFiles/leopard.dir/src/util/hex.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/util/hex.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/leopard.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/worker_pool.cpp" "CMakeFiles/leopard.dir/src/util/worker_pool.cpp.o" "gcc" "CMakeFiles/leopard.dir/src/util/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

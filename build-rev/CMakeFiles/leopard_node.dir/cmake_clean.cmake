@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_node.dir/tools/leopard_node.cpp.o"
+  "CMakeFiles/leopard_node.dir/tools/leopard_node.cpp.o.d"
+  "leopard_node"
+  "leopard_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_api_test.dir/tests/protocol_api_test.cpp.o"
+  "CMakeFiles/protocol_api_test.dir/tests/protocol_api_test.cpp.o.d"
+  "protocol_api_test"
+  "protocol_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

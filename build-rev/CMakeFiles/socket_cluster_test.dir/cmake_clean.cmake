@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_cluster_test.dir/tests/socket_cluster_test.cpp.o"
+  "CMakeFiles/socket_cluster_test.dir/tests/socket_cluster_test.cpp.o.d"
+  "socket_cluster_test"
+  "socket_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
