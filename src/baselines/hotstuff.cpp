@@ -185,7 +185,7 @@ void HotStuffReplica::execute_through(SeqNum height) {
     const auto reqs = block->batch.size();
     charge(costs().execute_per_request * static_cast<sim::SimTime>(reqs));
     executed_requests_ += reqs;
-    env().execute(block, reqs);
+    env().execute(block, reqs, executed_ + 1, 0);
 
     if (is_leader()) {
       // The leader is the observer and the clients' contact point.

@@ -159,7 +159,7 @@ void PbftReplica::execute_ready() {
     charge(costs().execute_per_request * static_cast<sim::SimTime>(reqs));
     executed_requests_ += reqs;
     inst.executed = true;
-    env().execute(inst.block, reqs);
+    env().execute(inst.block, reqs, executed_ + 1, 0);
 
     if (is_leader()) {
       env().metric(Metric::kExecutedRequests, static_cast<double>(reqs));

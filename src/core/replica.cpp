@@ -633,12 +633,13 @@ void LeopardReplica::execute_block(Instance& inst) {
   const auto at = now();
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> acks_by_client;
 
-  for (const auto& link : inst.block.links) {
+  for (std::size_t li = 0; li < inst.block.links.size(); ++li) {
+    const auto& link = inst.block.links[li];
     const auto& db = pool_.at(link);
     const auto reqs = db->datablock.requests.size();
     charge(costs().execute_per_request * static_cast<sim::SimTime>(reqs));
     executed_request_count_ += reqs;
-    env().execute(db, reqs);
+    env().execute(db, reqs, inst.block.sn, static_cast<std::uint32_t>(li));
     if (execution_handler_) {
       for (const auto& r : db->datablock.requests) execution_handler_(r);
     }

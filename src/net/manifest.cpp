@@ -52,6 +52,7 @@ Manifest Manifest::parse(std::string_view text) {
   std::string line;
   std::size_t line_no = 0;
   bool saw_n = false;
+  std::map<std::string, sim::NodeId> seen_addrs;  // "host:port" -> node id
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -98,7 +99,14 @@ Manifest Manifest::parse(std::string_view text) {
       std::string addr;
       if (!(fields >> addr)) fail(line_no, "node line is missing host:port");
       if (m.nodes.contains(id)) fail(line_no, "duplicate node id");
-      m.nodes.emplace(id, parse_addr(addr, line_no));
+      const auto parsed = parse_addr(addr, line_no);
+      // Key on the parsed form so "host:01234" and "host:1234" collide.
+      const auto addr_key = parsed.host + ":" + std::to_string(parsed.port);
+      if (const auto [it, inserted] = seen_addrs.emplace(addr_key, id); !inserted) {
+        fail(line_no, "duplicate address " + addr_key + " (already used by node " +
+                          std::to_string(it->second) + ")");
+      }
+      m.nodes.emplace(id, parsed);
     } else {
       fail(line_no, "unknown key '" + key + "'");
     }

@@ -75,6 +75,7 @@ SocketEnv::SocketEnv(SocketEnvOptions opts)
     : opts_(std::move(opts)),
       core_timers_(opts_.timer_tick),
       internal_timers_(opts_.timer_tick),
+      aux_timers_(opts_.timer_tick),
       epoch_ns_(monotonic_ns()) {
   for (const auto& [id, addr] : opts_.dial) {
     Peer peer;
@@ -333,7 +334,14 @@ void SocketEnv::dial_peer(sim::NodeId id) {
 
 void SocketEnv::schedule_reconnect(sim::NodeId id) {
   auto& peer = peers_.at(id);
-  internal_timers_.arm(id, now() + peer.backoff);
+  // ±25% deterministic jitter keyed by (self, peer, attempt): a cluster
+  // restarted in lockstep (or a downed peer everyone redials) decorrelates
+  // its reconnect storms instead of thundering in phase every backoff step.
+  const std::uint64_t key = (static_cast<std::uint64_t>(opts_.self) << 40) ^
+                            (static_cast<std::uint64_t>(id) << 16) ^
+                            peer.reconnect_attempts;
+  ++peer.reconnect_attempts;
+  internal_timers_.arm(id, now() + jittered(peer.backoff, key));
   peer.backoff = std::min(peer.backoff * 2, opts_.reconnect_max);
 }
 
@@ -341,6 +349,7 @@ void SocketEnv::finish_connect(Conn& conn) {
   conn.connecting = false;
   auto& peer = peers_.at(conn.peer);
   peer.backoff = opts_.reconnect_min;  // link is good again
+  peer.reconnect_attempts = 0;
   ++stats_.connects;
 
   // Identify ourselves first (TCP FIFO: the peer sees Hello before anything
@@ -518,6 +527,7 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
   }
 
   const auto from = conn.peer;
+  if (payload_interceptor_ && payload_interceptor_(from, payload)) return;
   if (auto cr = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(payload)) {
     protocol_->on_client_request(*this, from, cr);
   } else {
@@ -530,6 +540,12 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
 // ---------------------------------------------------------------------------
 
 void SocketEnv::fire_core_timer(TimerWheel::Token token) { protocol_->on_timer(*this, token); }
+
+void SocketEnv::arm_aux_timer(std::uint64_t token, sim::SimTime delay) {
+  aux_timers_.arm(token, now() + std::max<sim::SimTime>(delay, 0));
+}
+
+void SocketEnv::cancel_aux_timer(std::uint64_t token) { aux_timers_.cancel(token); }
 
 void SocketEnv::run(const std::function<bool()>& should_stop) {
   util::expects(protocol_ != nullptr, "SocketEnv::run without an attached protocol");
@@ -549,6 +565,9 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
 
     const auto t = now();
     core_timers_.advance(t, [this](TimerWheel::Token token) { fire_core_timer(token); });
+    aux_timers_.advance(t, [this](TimerWheel::Token token) {
+      if (aux_timer_handler_) aux_timer_handler_(token);
+    });
     internal_timers_.advance(t, [this](TimerWheel::Token token) {
       if (token == kListenerRetryToken) {
         loop_.add(listen_fd_, EventLoop::kReadable,
@@ -562,6 +581,8 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
     sim::SimTime wake = core_timers_.next_wake();
     const auto internal_wake = internal_timers_.next_wake();
     if (wake < 0 || (internal_wake >= 0 && internal_wake < wake)) wake = internal_wake;
+    const auto aux_wake = aux_timers_.next_wake();
+    if (wake < 0 || (aux_wake >= 0 && aux_wake < wake)) wake = aux_wake;
 
     int timeout_ms = kMaxPollMs;
     if (wake >= 0) {

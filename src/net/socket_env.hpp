@@ -88,6 +88,26 @@ class SocketEnv final : public protocol::Env {
   using ExecuteObserver = std::function<void(const protocol::Execute&)>;
   void set_execute_observer(ExecuteObserver obs) { execute_observer_ = std::move(obs); }
 
+  /// Deployment-layer tap on inbound payloads, called after decode and
+  /// before the core sees the message. Return true to consume the payload
+  /// (it is NOT delivered to the core) — how node-level subsystems like
+  /// state transfer speak on the replica connections without the sans-I/O
+  /// core knowing their message types.
+  using PayloadInterceptor = std::function<bool(sim::NodeId from, const sim::PayloadPtr&)>;
+  void set_payload_interceptor(PayloadInterceptor tap) {
+    payload_interceptor_ = std::move(tap);
+  }
+
+  /// Auxiliary timers for deployment-layer subsystems: a third wheel whose
+  /// tokens are private to the aux handler, so they can never collide with
+  /// the core's SetTimer tokens. `delay` is relative to now(); re-arming a
+  /// token replaces it.
+  void set_aux_timer_handler(std::function<void(std::uint64_t)> handler) {
+    aux_timer_handler_ = std::move(handler);
+  }
+  void arm_aux_timer(std::uint64_t token, sim::SimTime delay);
+  void cancel_aux_timer(std::uint64_t token);
+
   /// Actual listening port (after ephemeral bind); 0 if not listening.
   [[nodiscard]] std::uint16_t listen_port() const { return bound_port_; }
 
@@ -145,6 +165,7 @@ class SocketEnv final : public protocol::Env {
     std::deque<util::Bytes> pending;  // frames awaiting a connection
     std::size_t pending_bytes = 0;
     sim::SimTime backoff = 0;
+    std::uint64_t reconnect_attempts = 0;  // jitter key; resets on connect
   };
 
   void open_listener();
@@ -172,12 +193,15 @@ class SocketEnv final : public protocol::Env {
   SocketEnvOptions opts_;
   protocol::Protocol* protocol_ = nullptr;
   ExecuteObserver execute_observer_;
+  PayloadInterceptor payload_interceptor_;
+  std::function<void(std::uint64_t)> aux_timer_handler_;
   core::ProtocolMetrics metrics_;
   Stats stats_;
 
   EventLoop loop_;
   TimerWheel core_timers_;      // the protocol's SetTimer/CancelTimer tokens
   TimerWheel internal_timers_;  // transport housekeeping (reconnect backoff)
+  TimerWheel aux_timers_;       // deployment-layer subsystems (state sync)
   sim::SimTime epoch_ns_ = 0;   // CLOCK_MONOTONIC at construction
 
   int listen_fd_ = -1;

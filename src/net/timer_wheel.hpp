@@ -22,6 +22,22 @@
 
 namespace leopard::net {
 
+/// Deterministic ±25% jitter for retry/backoff delays: scales `nominal` by a
+/// factor in [0.75, 1.25) drawn from a splitmix64 hash of `key`. Same key,
+/// same result — reconnect storms decorrelate across (node, peer, attempt)
+/// keys while tests and replays stay reproducible. Zero/negative delays pass
+/// through unchanged.
+[[nodiscard]] constexpr sim::SimTime jittered(sim::SimTime nominal, std::uint64_t key) {
+  if (nominal <= 0) return nominal;
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  // [0.75, 1.25) in 1/4096 steps: nominal * (3072 + z mod 2048) / 4096.
+  const auto num = static_cast<double>(nominal) * static_cast<double>(3072 + (z & 2047));
+  return static_cast<sim::SimTime>(num / 4096.0);
+}
+
 class TimerWheel {
  public:
   using Token = std::uint64_t;

@@ -171,6 +171,25 @@ void encode_body(ByteWriter& w, const proto::BaselineVoteMsg& m) {
   write_share(w, m.share);
 }
 
+void encode_body(ByteWriter& w, const proto::StateOfferMsg& m) {
+  w.u8(m.kind);
+  w.u64(m.transfer_id);
+  w.u64(m.from_index);
+  w.u64(m.until_index);
+  write_digest(w, m.exec_digest);
+}
+
+void encode_body(ByteWriter& w, const proto::StateChunkMsg& m) {
+  w.u64(m.transfer_id);
+  w.u64(m.from_index);
+  w.u64(m.until_index);
+  write_digest(w, m.exec_digest);
+  w.u32(m.chunk_index);
+  w.u32(m.data_shards);
+  w.u32(m.total_shards);
+  w.blob(m.chunk);
+}
+
 // --- per-type body decoders --------------------------------------------------
 
 sim::PayloadPtr decode_client_request(ByteReader& r, sim::SimTime now) {
@@ -336,6 +355,31 @@ sim::PayloadPtr decode_baseline_vote(ByteReader& r) {
   return m;
 }
 
+sim::PayloadPtr decode_state_offer(ByteReader& r) {
+  auto m = std::make_shared<proto::StateOfferMsg>();
+  m->kind = r.u8();
+  if (m->kind > proto::StateOfferMsg::kPull) return nullptr;
+  m->transfer_id = r.u64();
+  m->from_index = r.u64();
+  m->until_index = r.u64();
+  m->exec_digest = read_digest(r);
+  return m;
+}
+
+sim::PayloadPtr decode_state_chunk(ByteReader& r) {
+  auto m = std::make_shared<proto::StateChunkMsg>();
+  m->transfer_id = r.u64();
+  m->from_index = r.u64();
+  m->until_index = r.u64();
+  m->exec_digest = read_digest(r);
+  m->chunk_index = r.u32();
+  m->data_shards = r.u32();
+  m->total_shards = r.u32();
+  const auto chunk = r.blob();
+  m->chunk.assign(chunk.begin(), chunk.end());
+  return m;
+}
+
 }  // namespace
 
 namespace {
@@ -388,6 +432,10 @@ std::optional<MsgType> type_of(const sim::Payload& payload) {
       return check_is<proto::ViewChangeMsg>(payload, MsgType::kViewChange);
     case sim::Component::kNewView:
       return check_is<proto::NewViewMsg>(payload, MsgType::kNewView);
+    case sim::Component::kStateOffer:
+      return check_is<proto::StateOfferMsg>(payload, MsgType::kStateOffer);
+    case sim::Component::kStateChunk:
+      return check_is<proto::StateChunkMsg>(payload, MsgType::kStateChunk);
     default:
       return std::nullopt;  // kMisc / application-defined payloads: no wire form
   }
@@ -444,6 +492,12 @@ bool encode_frame(const sim::Payload& payload, util::Bytes& out) {
       break;
     case MsgType::kBaselineVote:
       encode_body(w, static_cast<const proto::BaselineVoteMsg&>(payload));
+      break;
+    case MsgType::kStateOffer:
+      encode_body(w, static_cast<const proto::StateOfferMsg&>(payload));
+      break;
+    case MsgType::kStateChunk:
+      encode_body(w, static_cast<const proto::StateChunkMsg&>(payload));
       break;
     case MsgType::kHello:
       return false;  // unreachable: Hello is not a Payload
@@ -540,6 +594,12 @@ sim::PayloadPtr decode_payload(MsgType type, std::span<const std::uint8_t> body,
         break;
       case MsgType::kBaselineVote:
         msg = decode_baseline_vote(r);
+        break;
+      case MsgType::kStateOffer:
+        msg = decode_state_offer(r);
+        break;
+      case MsgType::kStateChunk:
+        msg = decode_state_chunk(r);
         break;
       case MsgType::kHello:
         return nullptr;  // handshake frames are handled by the connection layer

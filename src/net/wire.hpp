@@ -50,6 +50,8 @@ enum class MsgType : std::uint8_t {
   kNewView = 14,
   kBaselineBlock = 15,
   kBaselineVote = 16,
+  kStateOffer = 17,
+  kStateChunk = 18,
 };
 
 /// Default ceiling on `length` (tag + body). A Leopard datablock of 4000

@@ -121,9 +121,18 @@ struct CancelTimer {
 /// replicated state machine. `block` is the carrying message (a DatablockMsg
 /// for Leopard, a BaselineBlockMsg for the baselines); the Env forwards it to
 /// the application-level observer, if any.
+///
+/// (seq, ordinal) is the block's coordinate in the total order: the consensus
+/// sequence number (BFTblock sn / baseline height) and the block's position
+/// within that sequence entry (a Leopard BFTblock links several datablocks,
+/// executed in link order). Strictly increasing across the Execute stream —
+/// the durable-commit identity the persistence layer keys on, letting a
+/// recovered replica tell a replayed block from a new one.
 struct Execute {
   sim::PayloadPtr block;
   std::uint64_t requests = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t ordinal = 0;
 };
 
 /// Update one run-wide metric (see Metric for the per-id semantics).
@@ -165,8 +174,9 @@ class Env {
   void broadcast(sim::PayloadPtr payload) { apply(Broadcast{std::move(payload)}); }
   void set_timer(TimerToken token, sim::SimTime delay) { apply(SetTimer{token, delay}); }
   void cancel_timer(TimerToken token) { apply(CancelTimer{token}); }
-  void execute(sim::PayloadPtr block, std::uint64_t requests) {
-    apply(Execute{std::move(block), requests});
+  void execute(sim::PayloadPtr block, std::uint64_t requests, std::uint64_t seq = 0,
+               std::uint32_t ordinal = 0) {
+    apply(Execute{std::move(block), requests, seq, ordinal});
   }
   void metric(Metric m, double value) { apply(MetricsUpdate{m, value}); }
   void charge(sim::SimTime cost) { apply(ChargeCpu{cost}); }

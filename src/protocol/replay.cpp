@@ -91,6 +91,21 @@ std::uint64_t payload_fingerprint(const sim::Payload& payload) {
     w.u64(m->height);
     w.raw(m->block_digest.bytes());
     fold_share(w, m->share);
+  } else if (const auto* m = dynamic_cast<const proto::StateOfferMsg*>(&payload)) {
+    w.u8(m->kind);
+    w.u64(m->transfer_id);
+    w.u64(m->from_index);
+    w.u64(m->until_index);
+    w.raw(m->exec_digest.bytes());
+  } else if (const auto* m = dynamic_cast<const proto::StateChunkMsg*>(&payload)) {
+    w.u64(m->transfer_id);
+    w.u64(m->from_index);
+    w.u64(m->until_index);
+    w.raw(m->exec_digest.bytes());
+    w.u32(m->chunk_index);
+    w.u32(m->data_shards);
+    w.u32(m->total_shards);
+    w.blob(m->chunk);
   }
   return crypto::Digest::of(w.bytes()).prefix64();
 }
@@ -140,6 +155,8 @@ void serialize_action(util::ByteWriter& w, const Action& action) {
         } else if constexpr (std::is_same_v<T, Execute>) {
           w.u8(4);
           w.u64(a.requests);
+          w.u64(a.seq);
+          w.u32(a.ordinal);
           w.u64(payload_fingerprint(*a.block));
         } else if constexpr (std::is_same_v<T, MetricsUpdate>) {
           w.u8(5);

@@ -27,6 +27,8 @@ enum class Component : std::uint8_t {
   kViewChange,     // view-change messages
   kNewView,        // new-view messages
   kAck,            // replica → client acknowledgements
+  kStateOffer,     // state-transfer probes/offers/pulls (node-level recovery)
+  kStateChunk,     // state-transfer erasure-coded log chunks
   kMisc,
   kCount,
 };

@@ -19,6 +19,8 @@ const char* component_name(Component c) {
     case Component::kViewChange: return "ViewChange";
     case Component::kNewView: return "NewView";
     case Component::kAck: return "Ack";
+    case Component::kStateOffer: return "StateOffer";
+    case Component::kStateChunk: return "StateChunk";
     case Component::kMisc: return "Miscellaneous";
     case Component::kCount: break;
   }

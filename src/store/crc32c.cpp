@@ -1,0 +1,60 @@
+#include "store/crc32c.hpp"
+
+#include <array>
+
+namespace leopard::store {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+struct Tables {
+  // table[0] is the classic byte-at-a-time table; tables 1..7 extend it so
+  // eight bytes fold in one step (slice-by-8).
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tbl;
+  return tbl;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& t = tables().t;
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(data[i]) |
+                                    static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                                    static_cast<std::uint32_t>(data[i + 2]) << 16 |
+                                    static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][data[i + 4]] ^ t[2][data[i + 5]] ^ t[1][data[i + 6]] ^
+          t[0][data[i + 7]];
+  }
+  for (; i < data.size(); ++i) {
+    crc = t[0][(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace leopard::store

@@ -1,0 +1,108 @@
+#include "store/store_io.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace leopard::store {
+
+namespace {
+
+class SystemIo final : public StoreIo {
+ public:
+  int open_rw(const std::string& path) override {
+    return ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  }
+
+  std::int64_t append(int fd, std::span<const std::uint8_t> data) override {
+    // O_APPEND is deliberately not used: recovery may ftruncate a torn tail
+    // and the next append must land at the (new) end as lseek reports it.
+    const auto end = ::lseek(fd, 0, SEEK_END);
+    if (end < 0) return -1;
+    return ::write(fd, data.data(), data.size());
+  }
+
+  bool pread_exact(int fd, std::uint64_t offset, std::span<std::uint8_t> buf) override {
+    std::size_t done = 0;
+    while (done < buf.size()) {
+      const auto n = ::pread(fd, buf.data() + done, buf.size() - done,
+                             static_cast<off_t>(offset + done));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool fsync(int fd) override { return ::fsync(fd) == 0; }
+
+  bool ftruncate(int fd, std::uint64_t size) override {
+    return ::ftruncate(fd, static_cast<off_t>(size)) == 0;
+  }
+
+  std::int64_t file_size(int fd) override {
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) return -1;
+    return st.st_size;
+  }
+
+  void close(int fd) override { ::close(fd); }
+
+  bool rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0;
+  }
+
+  bool unlink(const std::string& path) override { return ::unlink(path.c_str()) == 0; }
+
+  bool mkdirs(const std::string& path) override {
+    // Create each prefix in turn; EEXIST (including a pre-existing full path)
+    // is success.
+    std::string prefix;
+    prefix.reserve(path.size());
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+      if (i < path.size() && path[i] != '/') {
+        prefix.push_back(path[i]);
+        continue;
+      }
+      if (i < path.size()) prefix.push_back('/');
+      if (prefix.empty() || prefix == "/") continue;
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+    }
+    return true;
+  }
+
+  bool fsync_dir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+  }
+
+  std::vector<std::string> list_dir(const std::string& path) override {
+    std::vector<std::string> names;
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return names;
+    while (const dirent* ent = ::readdir(dir)) {
+      const std::string name = ent->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(dir);
+    return names;
+  }
+};
+
+}  // namespace
+
+StoreIo& StoreIo::system() {
+  static SystemIo io;
+  return io;
+}
+
+}  // namespace leopard::store

@@ -1,0 +1,56 @@
+// StoreIo: the syscall seam between the persistence layer and the disk.
+//
+// ReplicaStore performs every filesystem operation through this interface so
+// tests can inject the failures real disks produce — short writes, ENOSPC,
+// fsync errors, crashes between a write and its rename — without mocking the
+// store itself. Production uses the process-wide system() singleton, which is
+// a thin veneer over POSIX fds.
+//
+// Error convention: operations return false / -1 and leave the POSIX error in
+// `errno` (fault injectors set errno explicitly), matching the syscalls they
+// wrap. Paths are plain absolute or cwd-relative strings; no path math
+// happens behind the seam.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace leopard::store {
+
+class StoreIo {
+ public:
+  virtual ~StoreIo() = default;
+
+  /// Opens (creating if needed) a file for appending + reading. Returns an
+  /// opaque fd (>= 0) or -1.
+  virtual int open_rw(const std::string& path) = 0;
+
+  /// Appends `data` at the current end of file. Returns the number of bytes
+  /// actually written (a SHORT count models a torn write; the caller must
+  /// retry or roll back), or -1 on error.
+  virtual std::int64_t append(int fd, std::span<const std::uint8_t> data) = 0;
+
+  /// Reads exactly `buf.size()` bytes at `offset`; false on error/EOF-short.
+  virtual bool pread_exact(int fd, std::uint64_t offset, std::span<std::uint8_t> buf) = 0;
+
+  virtual bool fsync(int fd) = 0;
+  virtual bool ftruncate(int fd, std::uint64_t size) = 0;
+  [[nodiscard]] virtual std::int64_t file_size(int fd) = 0;
+  virtual void close(int fd) = 0;
+
+  /// Atomic replace (POSIX rename semantics). The caller fsyncs the parent
+  /// directory afterwards via fsync_dir for crash durability.
+  virtual bool rename(const std::string& from, const std::string& to) = 0;
+  virtual bool unlink(const std::string& path) = 0;
+  virtual bool mkdirs(const std::string& path) = 0;
+  virtual bool fsync_dir(const std::string& path) = 0;
+  /// Names (not paths) of directory entries, unsorted; empty on error.
+  [[nodiscard]] virtual std::vector<std::string> list_dir(const std::string& path) = 0;
+
+  /// The real-POSIX implementation; process-wide singleton.
+  static StoreIo& system();
+};
+
+}  // namespace leopard::store

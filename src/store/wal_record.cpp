@@ -1,0 +1,102 @@
+#include "store/wal_record.hpp"
+
+#include <cstring>
+
+#include "store/crc32c.hpp"
+#include "util/check.hpp"
+
+namespace leopard::store {
+
+namespace {
+
+crypto::Digest read_digest(util::ByteReader& r) {
+  crypto::Sha256::DigestBytes bytes{};
+  const auto view = r.raw(crypto::Digest::kSize);
+  std::memcpy(bytes.data(), view.data(), bytes.size());
+  return crypto::Digest(bytes);
+}
+
+}  // namespace
+
+void encode_entry(util::ByteWriter& w, const WalEntry& entry) {
+  w.u64(entry.index);
+  w.u64(entry.seq);
+  w.u32(entry.ordinal);
+  w.u64(entry.requests);
+  w.raw(entry.block_digest.bytes());
+  w.raw(entry.post_digest.bytes());
+  w.blob(entry.frame);
+}
+
+std::optional<WalEntry> decode_entry(util::ByteReader& r) {
+  try {
+    WalEntry e;
+    e.index = r.u64();
+    e.seq = r.u64();
+    e.ordinal = r.u32();
+    e.requests = r.u64();
+    e.block_digest = read_digest(r);
+    e.post_digest = read_digest(r);
+    const auto frame = r.blob();
+    e.frame.assign(frame.begin(), frame.end());
+    return e;
+  } catch (const util::ContractViolation&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes frame_record(std::span<const std::uint8_t> payload) {
+  util::expects(payload.size() <= kMaxRecordPayloadBytes, "record payload too large");
+  util::ByteWriter w(kRecordHeaderBytes + payload.size());
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32c(payload));
+  w.raw(payload);
+  return w.take();
+}
+
+RecordScan scan_record(std::span<const std::uint8_t> data, std::uint64_t offset) {
+  RecordScan out;
+  if (offset >= data.size()) {
+    out.status = RecordScan::Status::kEnd;
+    out.next_offset = offset;
+    return out;
+  }
+  const auto avail = data.size() - offset;
+  if (avail < kRecordHeaderBytes) {
+    out.status = RecordScan::Status::kTorn;
+    return out;
+  }
+  util::ByteReader r(data.subspan(offset, kRecordHeaderBytes));
+  const auto len = r.u32();
+  const auto crc = r.u32();
+  if (len > kMaxRecordPayloadBytes) {
+    // An absurd length is indistinguishable from a bit flip in the length
+    // field itself; either way the record is complete garbage, not a tail
+    // the process died writing.
+    out.status = RecordScan::Status::kCorrupt;
+    return out;
+  }
+  if (avail - kRecordHeaderBytes < len) {
+    out.status = RecordScan::Status::kTorn;
+    return out;
+  }
+  const auto payload = data.subspan(offset + kRecordHeaderBytes, len);
+  if (crc32c(payload) != crc) {
+    out.status = RecordScan::Status::kCorrupt;
+    return out;
+  }
+  out.status = RecordScan::Status::kRecord;
+  out.payload = payload;
+  out.next_offset = offset + kRecordHeaderBytes + len;
+  return out;
+}
+
+crypto::Digest fold_exec_digest(const crypto::Digest& prev,
+                                const crypto::Digest& block_digest) {
+  util::ByteWriter w(2 * crypto::Digest::kSize);
+  w.raw(prev.bytes());
+  w.raw(block_digest.bytes());
+  return crypto::Digest::of(w.bytes());
+}
+
+}  // namespace leopard::store

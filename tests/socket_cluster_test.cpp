@@ -133,12 +133,20 @@ struct ReplicaSet {
     }
   }
 
-  void start(std::size_t id, const std::string& manifest, const std::string& dir) {
+  /// `data_dir` non-empty enables the durable store (and boot recovery when
+  /// the directory already holds a WAL from a previous incarnation).
+  void start(std::size_t id, const std::string& manifest, const std::string& dir,
+             const std::string& data_dir = "") {
     outs.resize(std::max(outs.size(), id + 1));
     pids.resize(std::max(pids.size(), id + 1), -1);
     outs[id] = dir + "/replica" + std::to_string(id) + "_" +
                std::to_string(::getpid()) + "_" + std::to_string(next_out_++) + ".out";
-    pids[id] = spawn_node(manifest, outs[id], {"--id", std::to_string(id)});
+    std::vector<std::string> args = {"--id", std::to_string(id)};
+    if (!data_dir.empty()) {
+      args.push_back("--data-dir");
+      args.push_back(data_dir);
+    }
+    pids[id] = spawn_node(manifest, outs[id], std::move(args));
   }
 
   /// SIGTERM + reap: the daemon prints its report on the way out.
@@ -174,7 +182,11 @@ void expect_cluster_commits(const std::string& protocol) {
   const auto manifest = write_manifest(dir, protocol, ports);
 
   ReplicaSet cluster;
-  for (std::size_t id = 0; id < 4; ++id) cluster.start(id, manifest, dir);
+  for (std::size_t id = 0; id < 4; ++id) {
+    // Every replica persists: the commit path runs through the WAL in all
+    // protocol specs, not just the crash-recovery test.
+    cluster.start(id, manifest, dir, dir + "/data" + std::to_string(id));
+  }
 
   const auto client_out = dir + "/client.out";
   ASSERT_EQ(run_client(manifest, client_out, 100, 300), 0)
@@ -199,6 +211,10 @@ void expect_cluster_commits(const std::string& protocol) {
         << "replica " << id << " diverged (" << protocol << ")";
     EXPECT_GE(std::stoull(reports[id].at("executed_requests")), 300u) << "replica " << id;
     EXPECT_EQ(reports[id].at("decode_errors"), "0") << "replica " << id;
+    // The WAL recorded the executed stream, cleanly.
+    EXPECT_GT(std::stoull(reports[id].at("store_entries")), 0u) << "replica " << id;
+    EXPECT_EQ(reports[id].at("store_append_errors"), "0") << "replica " << id;
+    EXPECT_EQ(reports[id].at("sync_live"), "1") << "replica " << id;
   }
   if (protocol == "leopard") {
     for (std::size_t id = 1; id < 4; ++id) {
@@ -220,37 +236,56 @@ TEST(SocketCluster, LeopardSurvivesKilledAndRestartedFollower) {
   const auto ports = pick_free_ports(4);
   const auto manifest = write_manifest(dir, "leopard", ports);
 
+  const auto data_dir = [&](std::size_t id) { return dir + "/data" + std::to_string(id); };
   ReplicaSet cluster;
-  for (std::size_t id = 0; id < 4; ++id) cluster.start(id, manifest, dir);
+  for (std::size_t id = 0; id < 4; ++id) cluster.start(id, manifest, dir, data_dir(id));
 
   // Phase 1: healthy cluster commits.
   ASSERT_EQ(run_client(manifest, dir + "/client1.out", 100, 150), 0);
 
-  // Phase 2: kill follower 3 outright (the leader of view 1 is replica 1).
+  // Phase 2: SIGKILL follower 3 outright (the leader of view 1 is replica 1).
   // µ(req) keeps routing a quarter of the load at the dead replica; the
   // client's re-submission rotation carries those requests to live ones.
   cluster.kill_hard(3);
   ASSERT_EQ(run_client(manifest, dir + "/client2.out", 101, 150, /*resubmit_ms=*/500), 0)
       << "cluster must keep committing with one dead follower";
 
-  // Phase 3: restart the follower (fresh state); the survivors keep serving.
-  cluster.start(3, manifest, dir);
+  // Phase 3: restart the follower on its ORIGINAL data dir. It must recover
+  // the phase-1 prefix from its WAL, pull the phase-2 suffix from peers via
+  // state transfer, and go live — while the survivors keep serving.
+  cluster.start(3, manifest, dir, data_dir(3));
   ASSERT_EQ(run_client(manifest, dir + "/client3.out", 102, 100, /*resubmit_ms=*/500), 0)
       << "cluster must keep committing after the follower rejoined";
 
-  // The three never-killed replicas agree on the executed prefix. (The
-  // restarted follower rejoined with empty state and no persistence; its
-  // digest legitimately differs.) Settle first, as in expect_cluster_commits.
-  ::usleep(500 * 1000);
+  // Settle long enough for the follower's final catch-up round after the
+  // load quiesces (probe/pull cycles run at network speed once offers land).
+  ::usleep(2000 * 1000);
   std::vector<std::map<std::string, std::string>> reports;
   for (std::size_t id = 0; id < 4; ++id) {
     EXPECT_EQ(cluster.stop(id), 0) << "replica " << id;
     reports.push_back(parse_report(cluster.outs[id]));
   }
-  for (std::size_t id = 1; id < 3; ++id) {
+  // ALL FOUR replicas — including the killed-and-restarted one — agree on
+  // the executed stream. This is the acceptance bar for durable state: the
+  // follower's digest now folds phase 1 (recovered), phase 2 (transferred),
+  // and phase 3 (lived) into the same chain as the survivors'.
+  for (std::size_t id = 1; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
     EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
-        << "surviving replica " << id << " diverged";
+        << "replica " << id << " diverged";
+    EXPECT_EQ(reports[id].at("executed_blocks"), reports[0].at("executed_blocks"))
+        << "replica " << id;
   }
   EXPECT_GE(std::stoull(reports[0].at("executed_requests")), 400u);
   EXPECT_EQ(reports[0].at("decode_errors"), "0");
+
+  // The follower actually exercised both recovery paths: a non-empty WAL
+  // prefix reloaded at boot, and entries pulled from peers.
+  const auto& follower = reports[3];
+  EXPECT_GT(std::stoull(follower.at("store_recovered_entries")), 0u)
+      << "restart did not recover from the WAL";
+  EXPECT_GT(std::stoull(follower.at("sync_entries")), 0u)
+      << "restart did not use state transfer to fill the gap";
+  EXPECT_EQ(follower.at("sync_live"), "1");
+  EXPECT_EQ(follower.at("sync_verify_failures"), "0");
 }

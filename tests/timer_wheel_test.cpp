@@ -3,6 +3,7 @@
 // contract (net/timer_wheel.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <utility>
 #include <vector>
@@ -229,4 +230,37 @@ TEST(TimerWheel, ManyTimersStressAgainstReferenceModel) {
     (void)token;
     EXPECT_GE(at, 0);
   }
+}
+
+TEST(Jitter, StaysWithinQuarterBandAndIsDeterministic) {
+  const sim::SimTime nominal = 200 * sim::kMillisecond;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    const auto j = net::jittered(nominal, key);
+    EXPECT_GE(j, nominal * 3 / 4) << "key " << key;
+    EXPECT_LT(j, nominal * 5 / 4) << "key " << key;
+    EXPECT_EQ(j, net::jittered(nominal, key)) << "same key must be reproducible";
+  }
+}
+
+TEST(Jitter, SpreadsAcrossTheBand) {
+  // Different keys must not collapse to one value (the whole point is
+  // decorrelating simultaneous reconnect storms).
+  const sim::SimTime nominal = 1 * sim::kSecond;
+  std::map<sim::SimTime, int> buckets;
+  sim::SimTime lo = nominal * 2;
+  sim::SimTime hi = 0;
+  for (std::uint64_t key = 0; key < 1024; ++key) {
+    const auto j = net::jittered(nominal, key);
+    lo = std::min(lo, j);
+    hi = std::max(hi, j);
+    ++buckets[j / (nominal / 16)];  // 16 coarse buckets over [0.75, 1.25)
+  }
+  EXPECT_GE(buckets.size(), 4u) << "jitter collapsed into too few buckets";
+  EXPECT_LT(lo, nominal * 85 / 100) << "low end of the band never reached";
+  EXPECT_GT(hi, nominal * 115 / 100) << "high end of the band never reached";
+}
+
+TEST(Jitter, ZeroAndNegativePassThrough) {
+  EXPECT_EQ(net::jittered(0, 123), 0);
+  EXPECT_EQ(net::jittered(-5, 123), -5);
 }

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 
+#include "net/manifest.hpp"
 #include "net/wire.hpp"
 #include "proto/messages.hpp"
+#include "util/check.hpp"
 
 using namespace leopard;
 
@@ -381,4 +384,105 @@ TEST(Wire, DrainsMultipleFramesFromOneFeed) {
   net::FrameReader::Frame f;
   EXPECT_EQ(reader.next(f), net::FrameReader::Status::kNeedMore);
   EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Wire, StateOfferRoundTripAllKinds) {
+  for (const auto kind : {proto::StateOfferMsg::kProbe, proto::StateOfferMsg::kOffer,
+                          proto::StateOfferMsg::kPull}) {
+    proto::StateOfferMsg msg;
+    msg.kind = kind;
+    msg.transfer_id = 0xABCD1234u;
+    msg.from_index = 17;
+    msg.until_index = 42;
+    msg.exec_digest = digest_of(0x5A);
+    const auto decoded = round_trip_as(msg);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->kind, kind);
+    EXPECT_EQ(decoded->transfer_id, msg.transfer_id);
+    EXPECT_EQ(decoded->from_index, 17u);
+    EXPECT_EQ(decoded->until_index, 42u);
+    EXPECT_EQ(decoded->exec_digest, msg.exec_digest);
+  }
+}
+
+TEST(Wire, StateOfferUnknownKindIsRejected) {
+  proto::StateOfferMsg msg;
+  msg.kind = 7;  // not a Kind
+  const auto frame = net::encode_frame(msg);
+  net::FrameReader reader;
+  reader.feed(frame);
+  net::FrameReader::Frame f;
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  EXPECT_EQ(net::decode_payload(f.type, f.body, 0), nullptr);
+}
+
+TEST(Wire, StateChunkRoundTrip) {
+  proto::StateChunkMsg msg;
+  msg.transfer_id = 99;
+  msg.from_index = 3;
+  msg.until_index = 9;
+  msg.exec_digest = digest_of(0xC3);
+  msg.chunk_index = 2;
+  msg.data_shards = 2;
+  msg.total_shards = 4;
+  msg.chunk = {1, 2, 3, 4, 5};
+  const auto decoded = round_trip_as(msg);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->transfer_id, 99u);
+  EXPECT_EQ(decoded->from_index, 3u);
+  EXPECT_EQ(decoded->until_index, 9u);
+  EXPECT_EQ(decoded->exec_digest, msg.exec_digest);
+  EXPECT_EQ(decoded->chunk_index, 2u);
+  EXPECT_EQ(decoded->data_shards, 2u);
+  EXPECT_EQ(decoded->total_shards, 4u);
+  EXPECT_EQ(decoded->chunk, msg.chunk);
+}
+
+TEST(Wire, StateChunkTruncatedBodyIsRejected) {
+  proto::StateChunkMsg msg;
+  msg.chunk = {9, 9, 9};
+  const auto frame = net::encode_frame(msg);
+  net::FrameReader reader;
+  reader.feed({frame.data(), frame.size() - 2});  // drop chunk tail
+  // The reader still waits for the declared length; decode the truncated
+  // body directly instead.
+  const auto body = std::span<const std::uint8_t>{frame}.subspan(5, frame.size() - 7);
+  EXPECT_EQ(net::decode_payload(net::MsgType::kStateChunk, body, 0), nullptr);
+}
+
+TEST(Manifest, RejectsDuplicateAddress) {
+  const char* text =
+      "protocol leopard\n"
+      "n 2\n"
+      "node 0 127.0.0.1:7000\n"
+      "node 1 127.0.0.1:7000\n";
+  EXPECT_THROW((void)net::Manifest::parse(text), util::ContractViolation);
+}
+
+TEST(Manifest, DuplicateAddressDiagnosticNamesBothNodes) {
+  const char* text =
+      "protocol leopard\n"
+      "n 3\n"
+      "node 0 127.0.0.1:7000\n"
+      "node 1 127.0.0.1:7001\n"
+      "node 2 127.0.0.1:7000\n";
+  try {
+    (void)net::Manifest::parse(text);
+    FAIL() << "duplicate address must be rejected";
+  } catch (const util::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("127.0.0.1:7000"), std::string::npos) << what;
+    EXPECT_NE(what.find("node 0"), std::string::npos) << what;
+  }
+}
+
+TEST(Manifest, DistinctAddressesStillParse) {
+  const char* text =
+      "protocol leopard\n"
+      "n 2\n"
+      "node 0 127.0.0.1:7000\n"
+      "node 1 127.0.0.2:7000\n";  // same port, different host: fine
+  const auto m = net::Manifest::parse(text);
+  EXPECT_EQ(m.nodes.at(0).port, m.nodes.at(1).port);
 }

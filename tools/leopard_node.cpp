@@ -34,7 +34,10 @@
 #include "crypto/threshold_sig.hpp"
 #include "net/manifest.hpp"
 #include "net/socket_env.hpp"
+#include "net/wire.hpp"
 #include "protocol/factory.hpp"
+#include "store/replica_store.hpp"
+#include "store/state_sync.hpp"
 #include "util/bytes.hpp"
 
 namespace {
@@ -55,11 +58,21 @@ struct Args {
   std::uint32_t payload = 0;  // client: payload override (0 = manifest value)
   std::uint32_t resubmit_ms = 1000;
   std::string report_path;    // optional: also write the report to a file
+
+  // Durability (replica mode; empty data_dir = run without persistence).
+  std::string data_dir;
+  leopard::store::RecoverMode recover = leopard::store::RecoverMode::kStrict;
+  leopard::store::FsyncPolicy fsync = leopard::store::FsyncPolicy::kAlways;
+  std::uint32_t fsync_interval_ms = 50;
+  std::uint64_t snapshot_every = 4096;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --manifest FILE --id ID [--run-for SEC]\n"
+               "          [--data-dir DIR] [--recover strict|truncate]\n"
+               "          [--fsync always|interval|none] [--fsync-interval-ms MS]\n"
+               "          [--snapshot-every N]\n"
                "       %s --manifest FILE --id ID --client --requests N [--window W]\n"
                "          [--payload BYTES] [--resubmit-ms MS] [--timeout SEC]\n"
                "       (see docs/DEPLOY.md)\n",
@@ -96,6 +109,34 @@ Args parse_args(int argc, char** argv) {
       args.resubmit_ms = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--report") {
       args.report_path = next();
+    } else if (arg == "--data-dir") {
+      args.data_dir = next();
+    } else if (arg == "--recover") {
+      const std::string_view mode = next();
+      if (mode == "strict") {
+        args.recover = leopard::store::RecoverMode::kStrict;
+      } else if (mode == "truncate") {
+        args.recover = leopard::store::RecoverMode::kTruncate;
+      } else {
+        std::fprintf(stderr, "--recover must be strict or truncate\n");
+        usage(argv[0]);
+      }
+    } else if (arg == "--fsync") {
+      const std::string_view policy = next();
+      if (policy == "always") {
+        args.fsync = leopard::store::FsyncPolicy::kAlways;
+      } else if (policy == "interval") {
+        args.fsync = leopard::store::FsyncPolicy::kInterval;
+      } else if (policy == "none") {
+        args.fsync = leopard::store::FsyncPolicy::kNever;
+      } else {
+        std::fprintf(stderr, "--fsync must be always, interval, or none\n");
+        usage(argv[0]);
+      }
+    } else if (arg == "--fsync-interval-ms") {
+      args.fsync_interval_ms = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--snapshot-every") {
+      args.snapshot_every = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", std::string(arg).c_str());
       usage(argv[0]);
@@ -133,6 +174,32 @@ void print_transport_stats(std::string& report, const leopard::net::SocketEnv& e
   report += buf;
 }
 
+/// Recomputes a block's canonical digest from its wire frame, mirroring the
+/// execute-observer fold below: the cached_digest of a Datablock/Baseline
+/// block, the zero digest for anything else, nullopt if the frame is
+/// malformed. StateSync uses this to verify transferred entries.
+std::optional<leopard::crypto::Digest> digest_of_frame(
+    std::span<const std::uint8_t> frame) {
+  namespace lp = leopard;
+  if (frame.size() < lp::net::kFrameHeaderBytes + 1) return std::nullopt;
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(frame[i]) << (8 * i);
+  }
+  if (len == 0 || len + lp::net::kFrameHeaderBytes != frame.size()) return std::nullopt;
+  const auto type = static_cast<lp::net::MsgType>(frame[4]);
+  const auto payload =
+      lp::net::decode_payload(type, frame.subspan(lp::net::kFrameHeaderBytes + 1), 0);
+  if (payload == nullptr) return std::nullopt;
+  if (const auto* db = dynamic_cast<const lp::proto::DatablockMsg*>(payload.get())) {
+    return db->cached_digest;
+  }
+  if (const auto* bb = dynamic_cast<const lp::proto::BaselineBlockMsg*>(payload.get())) {
+    return bb->cached_digest;
+  }
+  return lp::crypto::Digest{};
+}
+
 int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   namespace lp = leopard;
 
@@ -143,13 +210,46 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   lp::net::SocketEnv env(manifest.replica_env_options(args.id));
   env.attach(*core);
 
-  // Fold every Execute action into a running chain digest: honest replicas
-  // execute the same blocks in the same order, so this digest matches across
-  // the cluster for all three protocols (Leopard additionally reports its
-  // own protocol-level state_digest).
-  lp::crypto::Digest exec_digest;
-  std::uint64_t executed_requests = 0;
-  std::uint64_t executed_blocks = 0;
+  // Durable state: recover the WAL + snapshot before touching the network.
+  // A corrupt store refuses to start under --recover=strict — restarting on
+  // silently damaged state is how a replica ends up voting against its past.
+  std::unique_ptr<lp::store::ReplicaStore> rstore;
+  lp::store::RecoveryResult recovery;
+  if (!args.data_dir.empty()) {
+    lp::store::StoreOptions sopts;
+    sopts.dir = args.data_dir;
+    sopts.fsync_policy = args.fsync;
+    sopts.fsync_interval =
+        static_cast<lp::sim::SimTime>(args.fsync_interval_ms) * lp::sim::kMillisecond;
+    sopts.snapshot_every = args.snapshot_every;
+    rstore = std::make_unique<lp::store::ReplicaStore>(sopts);
+    recovery = rstore->open(args.recover);
+    if (!recovery.ok()) {
+      std::fprintf(stderr, "leopard_node: data dir '%s' unusable: %s\n",
+                   args.data_dir.c_str(), recovery.detail.c_str());
+      return 3;
+    }
+  }
+
+  // StateSync owns the node-level Execute stream: the exec_digest fold (equal
+  // across honest replicas for all three protocols), durable appends, and
+  // catch-up from peers after a restart. The consensus core stays unaware.
+  const std::uint32_t f = (manifest.n - 1) / 3;
+  lp::store::StateSyncOptions syncopts;
+  syncopts.frame_digest = digest_of_frame;
+  lp::store::StateSync sync(args.id, manifest.n, f, rstore.get(), syncopts);
+  sync.init_from_recovery(recovery);
+  sync.set_send([&](lp::sim::NodeId to, lp::sim::PayloadPtr payload) {
+    env.apply(lp::protocol::Send{to, std::move(payload)});
+  });
+  sync.set_timer_hooks(
+      [&](std::uint64_t token, lp::sim::SimTime delay) { env.arm_aux_timer(token, delay); },
+      [&](std::uint64_t token) { env.cancel_aux_timer(token); });
+  env.set_aux_timer_handler([&](std::uint64_t token) { sync.on_timer(token, env.now()); });
+  env.set_payload_interceptor([&](lp::sim::NodeId from, const lp::sim::PayloadPtr& payload) {
+    return sync.on_payload(from, payload, env.now());
+  });
+
   env.set_execute_observer([&](const lp::protocol::Execute& e) {
     lp::crypto::Digest block_digest;
     if (const auto* db = dynamic_cast<const lp::proto::DatablockMsg*>(e.block.get())) {
@@ -158,13 +258,14 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
                    dynamic_cast<const lp::proto::BaselineBlockMsg*>(e.block.get())) {
       block_digest = bb->cached_digest;
     }
-    lp::util::ByteWriter w(64);
-    w.raw(exec_digest.bytes());
-    w.raw(block_digest.bytes());
-    exec_digest = lp::crypto::Digest::of(w.bytes());
-    executed_requests += e.requests;
-    ++executed_blocks;
+    // The frame only matters when it can be persisted or buffered for later
+    // persistence; skip the re-serialization when running ephemeral + live.
+    lp::util::Bytes frame;
+    if (rstore != nullptr || !sync.live()) frame = lp::net::encode_frame(*e.block);
+    sync.on_execute(e.seq, e.ordinal, block_digest, e.requests, frame, env.now());
   });
+
+  sync.start(env.now());
 
   const auto deadline =
       args.run_for >= 0 ? lp::sim::from_seconds(args.run_for) : lp::sim::SimTime{-1};
@@ -173,20 +274,59 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
     return deadline >= 0 && env.now() >= deadline;
   });
 
+  if (rstore != nullptr) rstore->flush();
+
   std::string report;
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf), "role=replica id=%u protocol=%s n=%u\n", args.id,
                 manifest.protocol.c_str(), manifest.n);
   report += buf;
   std::snprintf(buf, sizeof(buf), "executed_requests=%llu executed_blocks=%llu\n",
-                static_cast<unsigned long long>(executed_requests),
-                static_cast<unsigned long long>(executed_blocks));
+                static_cast<unsigned long long>(sync.executed_requests()),
+                static_cast<unsigned long long>(sync.executed_blocks()));
   report += buf;
-  report += "exec_digest=" + exec_digest.hex() + "\n";
+  report += "exec_digest=" + sync.exec_digest().hex() + "\n";
   if (const auto* replica = dynamic_cast<const lp::core::LeopardReplica*>(core.get())) {
     report += "state_digest=" + replica->state_digest().hex() + "\n";
     std::snprintf(buf, sizeof(buf), "view=%u executed_through=%llu\n", replica->view(),
                   static_cast<unsigned long long>(replica->executed_through()));
+    report += buf;
+  }
+  if (rstore != nullptr) {
+    const auto& st = rstore->stats();
+    std::snprintf(buf, sizeof(buf),
+                  "store_entries=%llu store_recovered_entries=%llu "
+                  "store_snapshot_index=%llu store_torn_bytes=%llu "
+                  "store_corrupt_dropped=%llu\n",
+                  static_cast<unsigned long long>(rstore->entries()),
+                  static_cast<unsigned long long>(recovery.entries),
+                  static_cast<unsigned long long>(recovery.snapshot_index),
+                  static_cast<unsigned long long>(recovery.torn_bytes),
+                  static_cast<unsigned long long>(recovery.corrupt_dropped));
+    report += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "store_appends=%llu store_append_errors=%llu store_fsyncs=%llu "
+                  "store_fsync_errors=%llu store_snapshots=%llu\n",
+                  static_cast<unsigned long long>(st.appends),
+                  static_cast<unsigned long long>(st.append_errors),
+                  static_cast<unsigned long long>(st.fsyncs),
+                  static_cast<unsigned long long>(st.fsync_errors),
+                  static_cast<unsigned long long>(st.snapshots_written));
+    report += buf;
+  }
+  {
+    const auto& ss = sync.stats();
+    std::snprintf(buf, sizeof(buf),
+                  "sync_live=%d sync_rounds=%llu sync_entries=%llu "
+                  "sync_duplicates=%llu sync_probes=%llu sync_pulls_served=%llu "
+                  "sync_verify_failures=%llu\n",
+                  sync.live() ? 1 : 0,
+                  static_cast<unsigned long long>(ss.rounds_completed),
+                  static_cast<unsigned long long>(ss.entries_transferred),
+                  static_cast<unsigned long long>(ss.duplicates_dropped),
+                  static_cast<unsigned long long>(ss.probes_sent),
+                  static_cast<unsigned long long>(ss.pulls_served),
+                  static_cast<unsigned long long>(ss.verify_failures));
     report += buf;
   }
   print_transport_stats(report, env);
