@@ -1,0 +1,80 @@
+// Safety oracles for the adversarial scenario engine.
+//
+// Every chaos scenario — sim-side trace mutation and wire-side byzantine
+// clusters alike — asserts the same three invariants the ICDCS threat model
+// promises under f faults:
+//
+//   1. monotonic commit: a replica's Execute stream advances strictly in
+//      (seq, ordinal) order — no rollback, no duplicate coordinate;
+//   2. no conflicting commit ("no fork"): any coordinate executed by two
+//      replicas carries the same block. Checkpoint adoption may legitimately
+//      SKIP coordinates on a lagging replica, so the oracle is a join on
+//      coordinates present in both streams, not prefix equality;
+//   3. confirmed-log agreement: per-sn confirmed digests never differ across
+//      replicas.
+//
+// Oracles never throw; they accumulate human-readable violations so a fuzz
+// sweep can report every breakage of one mutated trace at once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "protocol/replay.hpp"
+
+namespace leopard::chaos {
+
+/// One Execute action, reduced to its order-and-content identity.
+struct ExecRecord {
+  std::uint64_t seq = 0;
+  std::uint32_t ordinal = 0;
+  std::uint64_t fingerprint = 0;  // payload_fingerprint of the executed block
+  std::uint64_t requests = 0;
+
+  [[nodiscard]] friend auto operator<=>(const ExecRecord&, const ExecRecord&) = default;
+};
+
+/// Accumulated oracle verdict; empty violations == all invariants hold.
+struct OracleResult {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  void merge(OracleResult other);
+  /// All violations joined with newlines (for test failure messages).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Extracts the Execute actions of a trace in emission order.
+[[nodiscard]] std::vector<ExecRecord> execute_stream(const protocol::Trace& trace);
+
+/// Order-sensitive fold over an execute stream: the sim-side analogue of the
+/// deployment report's exec_digest, so cross-replica equality means the same
+/// blocks in the same order.
+[[nodiscard]] crypto::Digest fold_digest(const std::vector<ExecRecord>& stream);
+
+/// Invariant 1: coordinates strictly increase along the stream.
+[[nodiscard]] OracleResult check_monotonic_commit(const std::vector<ExecRecord>& stream,
+                                                  const std::string& label);
+
+/// Invariant 2: every coordinate present in both streams carries the same
+/// block fingerprint and request count.
+[[nodiscard]] OracleResult check_no_conflict(const std::vector<ExecRecord>& a,
+                                             const std::string& label_a,
+                                             const std::vector<ExecRecord>& b,
+                                             const std::string& label_b);
+
+/// Invariants 1+2 across a whole cluster: each stream monotonic, every pair
+/// conflict-free. Labels default to "replica <i>".
+[[nodiscard]] OracleResult check_cross_replica_consistency(
+    const std::vector<std::vector<ExecRecord>>& streams);
+
+/// Invariant 3: per-sn confirmed digests agree across replicas (keys may
+/// differ — replicas confirm at different speeds — but a shared sn must map
+/// to one digest).
+[[nodiscard]] OracleResult check_confirmed_logs(
+    const std::vector<std::map<std::uint64_t, crypto::Digest>>& logs);
+
+}  // namespace leopard::chaos

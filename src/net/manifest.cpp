@@ -94,6 +94,15 @@ Manifest Manifest::parse(std::string_view text) {
       m.mempool_capacity = static_cast<std::uint32_t>(parse_u64(value, line_no));
     } else if (key == "batch_size") {
       m.batch_size = static_cast<std::uint32_t>(parse_u64(value, line_no));
+    } else if (key == "peer_buffer_bytes") {
+      m.peer_buffer_bytes = parse_u64(value, line_no);
+      if (m.peer_buffer_bytes == 0) fail(line_no, "peer_buffer_bytes must be > 0");
+    } else if (key == "proxy") {
+      const auto id = static_cast<sim::NodeId>(parse_u64(value, line_no));
+      std::string addr;
+      if (!(fields >> addr)) fail(line_no, "proxy line is missing host:port");
+      if (m.proxies.contains(id)) fail(line_no, "duplicate proxy id");
+      m.proxies.emplace(id, parse_addr(addr, line_no));
     } else if (key == "node") {
       const auto id = static_cast<sim::NodeId>(parse_u64(value, line_no));
       std::string addr;
@@ -126,6 +135,13 @@ Manifest Manifest::parse(std::string_view text) {
   for (const auto& [id, addr] : m.nodes) {
     if (id >= m.n) {
       throw util::ContractViolation("manifest: node id " + std::to_string(id) +
+                                    " out of range for n");
+    }
+    (void)addr;
+  }
+  for (const auto& [id, addr] : m.proxies) {
+    if (id >= m.n) {
+      throw util::ContractViolation("manifest: proxy id " + std::to_string(id) +
                                     " out of range for n");
     }
     (void)addr;
@@ -176,6 +192,11 @@ protocol::ProtocolSpec Manifest::spec() const {
   return spec;
 }
 
+const PeerAddr& Manifest::dial_addr(sim::NodeId id) const {
+  const auto it = proxies.find(id);
+  return it != proxies.end() ? it->second : nodes.at(id);
+}
+
 SocketEnvOptions Manifest::replica_env_options(sim::NodeId id) const {
   util::expects(id < n, "replica id out of manifest range");
   SocketEnvOptions opts;
@@ -186,7 +207,8 @@ SocketEnvOptions Manifest::replica_env_options(sim::NodeId id) const {
   opts.listen_port = self_addr.port;
   // The higher id dials: each replica pair shares exactly one connection,
   // and a restarted replica re-establishes every link it is responsible for.
-  for (sim::NodeId peer = 0; peer < id; ++peer) opts.dial.emplace(peer, nodes.at(peer));
+  for (sim::NodeId peer = 0; peer < id; ++peer) opts.dial.emplace(peer, dial_addr(peer));
+  opts.peer_buffer_limit = peer_buffer_bytes;
   return opts;
 }
 
@@ -195,7 +217,8 @@ SocketEnvOptions Manifest::client_env_options(sim::NodeId self) const {
   SocketEnvOptions opts;
   opts.self = self;
   opts.n_replicas = n;
-  for (const auto& [id, addr] : nodes) opts.dial.emplace(id, addr);
+  for (const auto& [id, addr] : nodes) opts.dial.emplace(id, dial_addr(id));
+  opts.peer_buffer_limit = peer_buffer_bytes;
   return opts;
 }
 

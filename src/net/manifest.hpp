@@ -20,6 +20,8 @@
 //   node 0 127.0.0.1:4100       # one line per replica id 0..n-1
 //   node 1 127.0.0.1:4101
 //   ...
+//   proxy 3 127.0.0.1:5103      # optional: dial replica 3 via this address
+//   peer_buffer_bytes 67108864  # optional: per-peer outbound buffer cap
 //
 // Unknown keys are rejected (a typo must not silently fall back to a
 // default). Parsing throws util::ContractViolation with a line diagnostic.
@@ -56,6 +58,16 @@ struct Manifest {
   /// Replica listen addresses, keyed by replica id (must cover 0..n-1).
   std::map<sim::NodeId, PeerAddr> nodes;
 
+  /// Dial-address overrides: `proxy <id> <host:port>` makes THIS node reach
+  /// replica <id> through that address (a chaos proxy / NAT hop) instead of
+  /// its listen address. Listen addresses are unaffected, so per-node
+  /// manifests can interpose a proxy on selected links only.
+  std::map<sim::NodeId, PeerAddr> proxies;
+
+  /// Per-peer outbound buffer cap (SocketEnvOptions::peer_buffer_limit).
+  /// Lower it to make shedding observable under chaos-proxy bandwidth caps.
+  std::uint64_t peer_buffer_bytes = 64u << 20;
+
   /// Parses manifest text / a manifest file; throws util::ContractViolation
   /// with a line diagnostic on malformed or incomplete input.
   static Manifest parse(std::string_view text);
@@ -82,6 +94,11 @@ struct Manifest {
   [[nodiscard]] sim::NodeId initial_leader() const {
     return protocol == "leopard" ? 1 % n : 0;
   }
+
+ private:
+  /// The address this node should dial to reach `id` (proxy override or the
+  /// replica's listen address).
+  [[nodiscard]] const PeerAddr& dial_addr(sim::NodeId id) const;
 };
 
 }  // namespace leopard::net

@@ -177,6 +177,7 @@ void SocketEnv::send_frame(sim::NodeId to, util::Bytes frame) {
     // spoofed client_id): drop rather than let an attacker-chosen id space
     // grow the peer map without bound.
     ++stats_.frames_dropped;
+    ++peer_counters_[to].shed_frames;
     return;
   }
   auto& peer = pit->second;
@@ -191,6 +192,7 @@ void SocketEnv::send_frame(sim::NodeId to, util::Bytes frame) {
     // Disconnected client: only IT can re-establish the link, and it
     // re-submits unacked requests when it does — nothing to keep.
     ++stats_.frames_dropped;
+    ++peer_counters_[to].shed_frames;
     return;
   }
   // Disconnected replica peer (one we re-dial, or one that dials us and
@@ -201,12 +203,14 @@ void SocketEnv::send_frame(sim::NodeId to, util::Bytes frame) {
   // docs/DEPLOY.md "Differences from a hardened production deployment".
   if (frame.size() > opts_.peer_buffer_limit) {
     ++stats_.frames_dropped;  // can never fit: don't purge the queue for it
+    ++peer_counters_[to].shed_frames;
     return;
   }
   while (peer.pending_bytes + frame.size() > opts_.peer_buffer_limit) {
     peer.pending_bytes -= peer.pending.front().size();
     peer.pending.pop_front();
     ++stats_.frames_dropped;
+    ++peer_counters_[to].shed_frames;
   }
   peer.pending_bytes += frame.size();
   peer.pending.push_back(std::move(frame));
@@ -219,17 +223,20 @@ void SocketEnv::append_frame(Conn& conn, util::Bytes frame) {
   // must leave the wire whole or not at all.
   if (frame.size() > opts_.peer_buffer_limit) {
     ++stats_.frames_dropped;
+    if (conn.bound) ++peer_counters_[conn.peer].shed_frames;
     return;
   }
   while (conn.outq_bytes + frame.size() > opts_.peer_buffer_limit) {
     const std::size_t victim = conn.out_offset > 0 ? 1 : 0;
     if (victim >= conn.outq.size()) {
       ++stats_.frames_dropped;  // only the in-flight frame remains: drop the new one
+      if (conn.bound) ++peer_counters_[conn.peer].shed_frames;
       return;
     }
     conn.outq_bytes -= conn.outq[victim].size();
     conn.outq.erase(conn.outq.begin() + static_cast<std::ptrdiff_t>(victim));
     ++stats_.frames_dropped;
+    if (conn.bound) ++peer_counters_[conn.peer].shed_frames;
   }
   conn.outq_bytes += frame.size();
   conn.outq.push_back(std::move(frame));
@@ -341,6 +348,7 @@ void SocketEnv::schedule_reconnect(sim::NodeId id) {
                             (static_cast<std::uint64_t>(id) << 16) ^
                             peer.reconnect_attempts;
   ++peer.reconnect_attempts;
+  ++peer_counters_[id].reconnect_attempts;
   internal_timers_.arm(id, now() + jittered(peer.backoff, key));
   peer.backoff = std::min(peer.backoff * 2, opts_.reconnect_max);
 }

@@ -133,6 +133,18 @@ class SocketEnv final : public protocol::Env {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Per-peer attribution of the aggregate counters above: which links shed
+  /// frames under pressure and which links flapped. Chaos tests assert these
+  /// are nonzero on attacked links; the SIGTERM report prints them so
+  /// oldest-first shedding is never silent.
+  struct PeerCounters {
+    std::uint64_t shed_frames = 0;        // frames dropped toward this peer
+    std::uint64_t reconnect_attempts = 0; // dial retries scheduled
+  };
+  [[nodiscard]] const std::map<sim::NodeId, PeerCounters>& peer_counters() const {
+    return peer_counters_;
+  }
+
   // -- protocol::Env ---------------------------------------------------------
   [[nodiscard]] sim::SimTime now() const override;
   [[nodiscard]] const sim::CostModel& costs() const override;
@@ -208,6 +220,7 @@ class SocketEnv final : public protocol::Env {
   std::uint16_t bound_port_ = 0;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   std::map<sim::NodeId, Peer> peers_;
+  std::map<sim::NodeId, PeerCounters> peer_counters_;
 
   bool started_ = false;
   bool oversized_frame_reported_ = false;  // one diagnostic per process

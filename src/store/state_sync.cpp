@@ -61,6 +61,19 @@ void StateSync::on_execute(std::uint64_t seq, std::uint32_t ordinal,
     return;
   }
   if (mode_ == Mode::kLive) {
+    // A jump past tail_seq_ + 1 means the core adopted a checkpoint and
+    // skipped Execute actions we never saw (a healed partition does exactly
+    // this): appending the new coordinate would fold a divergent exec_digest
+    // forever. Buffer it and re-enter catch-up to pull the gap from peers.
+    // Checkpoints land on whole-sn boundaries, so a gap always shows up as a
+    // skipped seq, never as a skipped ordinal within a seq.
+    if (seq > tail_seq_ + 1 && enabled_ && n_ > 1 && store_open()) {
+      pending_.push_back(PendingEntry{seq, ordinal, block_digest, requests,
+                                      util::Bytes(frame.begin(), frame.end())});
+      stats_.pending_peak = std::max<std::uint64_t>(stats_.pending_peak, pending_.size());
+      begin_probe(now, /*backed_off=*/false);
+      return;
+    }
     apply_entry(seq, ordinal, block_digest, requests, frame, now);
     return;
   }
@@ -141,7 +154,8 @@ void StateSync::begin_probe(sim::SimTime now, bool backed_off) {
 
 void StateSync::on_offer(sim::NodeId from, const proto::StateOfferMsg& msg,
                          sim::SimTime now) {
-  if (mode_ != Mode::kProbing || msg.transfer_id != transfer_id_) return;
+  if (msg.transfer_id != transfer_id_) return;
+  if (mode_ != Mode::kProbing) return;
   offers_[from] = msg.until_index;
   ++stats_.offers_received;
   const std::uint32_t need = n_ - 1 - std::min(f_, n_ - 1);
@@ -202,8 +216,13 @@ void StateSync::begin_pull(std::uint64_t target, sim::SimTime now) {
   pull->transfer_id = transfer_id_;
   pull->from_index = pull_from_;
   pull->until_index = target;
-  for (const auto& [peer, until] : offers_) {
-    if (until < target) continue;
+  // Ask EVERY peer, not just the offers seen at decide time: a server whose
+  // offer is still in flight can cover the range too, and each extra distinct
+  // shard widens the subset search that defeats a lying server. Peers that
+  // cannot cover the range ignore the request (or cut it shorter, forking
+  // their own harmless group).
+  for (sim::NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == id_) continue;
     send_(peer, pull);
     ++stats_.pulls_sent;
   }
@@ -286,16 +305,44 @@ void StateSync::on_chunk(sim::NodeId from, const proto::StateChunkMsg& msg,
   if (group.chunks.size() >= group.data_shards) {
     if (try_complete(group, now)) return;  // groups_ reset by the round restart
     ++stats_.verify_failures;
-    groups_.erase({msg.until_index, msg.exec_digest.prefix64()});
+    // A lying server's shard is indistinguishable inside the RS decode, so a
+    // failed attempt keeps the group: the next honest shard may complete an
+    // untainted subset. Hopeless only once every possible server answered.
+    if (group.chunks.size() + 1 >= n_) {
+      groups_.erase({msg.until_index, msg.exec_digest.prefix64()});
+    }
   }
 }
 
 bool StateSync::try_complete(ChunkGroup& group, sim::SimTime now) {
-  std::vector<erasure::ShardView> views;
-  views.reserve(group.chunks.size());
+  // A byzantine server can contribute a garbled shard that decodes into a
+  // blob failing the digest chain below, and RS alone cannot attribute the
+  // fault — so try every data_shards-sized subset of what arrived until one
+  // verifies (C(n-1, f+1) stays tiny for deployment-sized n).
+  std::vector<erasure::ShardView> all;
+  all.reserve(group.chunks.size());
   for (const auto& [index, data] : group.chunks) {
-    views.push_back(erasure::ShardView{index, data});
+    all.push_back(erasure::ShardView{index, data});
   }
+  const std::size_t k = group.data_shards;
+  std::vector<std::size_t> pick(k);
+  for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+  for (;;) {
+    std::vector<erasure::ShardView> views;
+    views.reserve(k);
+    for (const auto i : pick) views.push_back(all[i]);
+    if (try_subset(group, views, now)) return true;
+    // Advance to the next k-combination of [0, all.size()).
+    std::size_t i = k;
+    while (i > 0 && pick[i - 1] == i - 1 + all.size() - k) --i;
+    if (i == 0) return false;
+    ++pick[i - 1];
+    for (std::size_t j = i; j < k; ++j) pick[j] = pick[j - 1] + 1;
+  }
+}
+
+bool StateSync::try_subset(const ChunkGroup& group,
+                           const std::vector<erasure::ShardView>& views, sim::SimTime now) {
   const erasure::ReedSolomon rs(group.data_shards, n_);
   util::Bytes blob;
   if (!rs.decode_into(views, rs_scratch_, blob)) return false;

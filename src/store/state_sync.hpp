@@ -175,8 +175,14 @@ class StateSync {
   void serve_pull(sim::NodeId from, const proto::StateOfferMsg& msg);
   void on_offer(sim::NodeId from, const proto::StateOfferMsg& msg, sim::SimTime now);
   void on_chunk(sim::NodeId from, const proto::StateChunkMsg& msg, sim::SimTime now);
-  /// Decodes + fully re-verifies one complete group; applies on success.
+  /// Tries every data_shards-sized subset of a complete group until one
+  /// decodes and fully re-verifies; applies on success. Subset search is what
+  /// makes the pull robust to a lying server: its garbled shard fails the
+  /// digest chain, but an untainted subset of the same group still completes.
   bool try_complete(ChunkGroup& group, sim::SimTime now);
+  /// Decodes + fully re-verifies one shard subset; applies on success.
+  bool try_subset(const ChunkGroup& group, const std::vector<erasure::ShardView>& views,
+                  sim::SimTime now);
   /// Appends one verified entry (store best-effort) and advances reporting.
   void apply_entry(std::uint64_t seq, std::uint32_t ordinal,
                    const crypto::Digest& block_digest, std::uint64_t requests,

@@ -1,0 +1,288 @@
+// Adversarial scenario engine, sim side: seeded coverage-guided trace
+// mutation sweeps over every protocol core, with the chaos oracles asserting
+// the ICDCS safety invariants on each mutated replay, plus known-bad
+// self-tests proving the oracles actually detect violations.
+//
+// Sweep size and seed are runtime knobs so CI can turn the same binary into a
+// long fuzz job and a failure is reproducible outside the sweep:
+//
+//   chaos_sim_test --chaos-seed N     (or env CHAOS_SEED)
+//   chaos_sim_test --chaos-traces N   (or env CHAOS_TRACES; per protocol)
+//
+// Every oracle failure prints the sweep seed, the case seed, and the decoded
+// mutation plan; re-running with --chaos-seed reproduces the exact sweep.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/hotstuff.hpp"
+#include "baselines/pbft.hpp"
+#include "chaos/mutator.hpp"
+#include "chaos/oracles.hpp"
+#include "cluster_fixture.hpp"
+#include "protocol/factory.hpp"
+#include "protocol/replay.hpp"
+
+using namespace leopard;
+using test::ClusterOptions;
+using test::LeopardCluster;
+
+namespace {
+
+std::uint64_t g_sweep_seed = 1;
+std::uint64_t g_traces = 200;  // mutated traces per protocol
+
+ClusterOptions leopard_opts() {
+  ClusterOptions o;
+  o.n = 4;
+  o.protocol.datablock_requests = 50;
+  o.protocol.bftblock_links = 2;
+  o.protocol.datablock_max_wait = 100 * sim::kMillisecond;
+  o.protocol.proposal_max_wait = 50 * sim::kMillisecond;
+  o.protocol.view_timeout = 30 * sim::kSecond;
+  o.client_rate_per_replica = 2000;
+  o.payload_size = 64;
+  o.seed = 21;
+  o.record_traces = true;
+  return o;
+}
+
+/// Minimal recording cluster for the baselines (cluster_fixture is
+/// Leopard-shaped); mirrors baselines_test's BaselineCluster plus recorders.
+template <typename Config>
+struct RecordedBaseline {
+  sim::Simulator sim;
+  sim::Network net;
+  crypto::ThresholdScheme ts;
+  core::ProtocolMetrics metrics;
+  Config cfg;
+  std::vector<protocol::Trace> traces;
+  std::vector<protocol::SimReplica> handles;
+  protocol::SimClient client;
+
+  RecordedBaseline(Config c, double rate)
+      : net(sim, make_net()), ts(c.n, c.quorum(), 11), cfg(c), traces(c.n) {
+    for (std::uint32_t id = 0; id < cfg.n; ++id) {
+      protocol::ProtocolSpec spec;
+      spec.config = cfg;
+      handles.push_back(protocol::make_sim_replica(net, metrics, spec, ts, id));
+      handles.back().env->set_recorder(&traces[id]);
+    }
+    core::ClientConfig ccfg;
+    ccfg.request_rate = rate;
+    ccfg.payload_size = cfg.payload_size;
+    ccfg.initial_backlog = 2 * cfg.batch_size;
+    client = protocol::make_sim_client(net, metrics, ccfg, 0, cfg.n, cfg.n, 77);
+  }
+
+  static sim::NetworkConfig make_net() {
+    sim::NetworkConfig c;
+    c.propagation_delay = 100 * sim::kMicrosecond;
+    return c;
+  }
+
+  void run_for(double seconds) {
+    net.start_all();
+    sim.run_until(sim.now() + sim::from_seconds(seconds));
+  }
+};
+
+/// One full mutation sweep against a recorded base trace. `make_fresh` builds
+/// a core configured exactly like the recorded replica; `honest` is the
+/// unmutated execute stream the no-conflict oracle joins against.
+template <typename MakeFresh>
+void run_sweep(const char* label, const protocol::Trace& base,
+               const std::vector<chaos::ExecRecord>& honest, std::uint32_t n,
+               MakeFresh make_fresh) {
+  ASSERT_GT(base.steps.size(), 100u) << label << ": base trace is trivial";
+  ASSERT_FALSE(honest.empty()) << label << ": honest run executed nothing";
+
+  chaos::TraceMutator mutator(g_sweep_seed, n);
+  std::array<std::uint64_t, chaos::kMutationClassCount> class_uses{};
+  for (std::uint64_t case_seed = 1; case_seed <= g_traces; ++case_seed) {
+    const auto plan = mutator.plan(case_seed, base);
+    for (const auto& op : plan.ops) ++class_uses[static_cast<std::size_t>(op.cls)];
+
+    const auto input = mutator.mutated_input(plan, base);
+    protocol::ReplayEnv env;
+    if (auto filter = mutator.make_filter(plan)) env.set_event_filter(std::move(filter));
+    auto fresh = make_fresh();
+    const auto replayed = env.replay(*fresh, input);
+
+    const auto stream = chaos::execute_stream(replayed);
+    auto verdict = chaos::check_monotonic_commit(stream, "mutated replica");
+    verdict.merge(chaos::check_no_conflict(stream, "mutated replica", honest, "honest run"));
+    ASSERT_TRUE(verdict.ok())
+        << label << ": safety violation under mutation\n"
+        << "  sweep seed " << g_sweep_seed << ", case seed " << case_seed << ", "
+        << plan.describe() << "\n"
+        << "  reproduce: chaos_sim_test --chaos-seed " << g_sweep_seed << "\n"
+        << verdict.summary();
+    mutator.record_coverage(plan, replayed);
+  }
+
+  // Coverage guidance must have engaged, and (on a full-size sweep) every
+  // mutation class must have fired at least once.
+  EXPECT_GT(mutator.feature_count(), 0u) << label;
+  EXPECT_GE(mutator.corpus_size(), 1u) << label;
+  if (g_traces >= 50) {
+    for (std::uint32_t cls = 0; cls < chaos::kMutationClassCount; ++cls) {
+      EXPECT_GT(class_uses[cls], 0u)
+          << label << ": mutation class "
+          << chaos::mutation_class_name(static_cast<chaos::MutationClass>(cls))
+          << " never exercised";
+    }
+  }
+}
+
+}  // namespace
+
+// --- oracle self-tests: seeded violations MUST be caught ---------------------
+
+TEST(ChaosOracles, PassOnHonestCluster) {
+  LeopardCluster cluster(leopard_opts());
+  cluster.run_for(1.0);
+  ASSERT_GT(cluster.metrics().executed_requests, 100u);
+
+  std::vector<std::vector<chaos::ExecRecord>> streams;
+  std::vector<std::map<std::uint64_t, crypto::Digest>> logs;
+  for (std::uint32_t id = 0; id < 4; ++id) {
+    streams.push_back(chaos::execute_stream(cluster.trace(id)));
+    EXPECT_FALSE(streams.back().empty()) << "replica " << id;
+    std::map<std::uint64_t, crypto::Digest> log;
+    for (const auto& [sn, digest] : cluster.replica(id).confirmed_log()) log.emplace(sn, digest);
+    logs.push_back(std::move(log));
+  }
+  EXPECT_TRUE(chaos::check_cross_replica_consistency(streams).ok())
+      << chaos::check_cross_replica_consistency(streams).summary();
+  EXPECT_TRUE(chaos::check_confirmed_logs(logs).ok());
+
+  // Identical streams fold to identical digests; a tampered one must not.
+  const auto honest_fold = chaos::fold_digest(streams[0]);
+  auto tampered = streams[0];
+  tampered.back().fingerprint ^= 1;
+  EXPECT_NE(chaos::fold_digest(tampered), honest_fold);
+}
+
+TEST(ChaosOracles, CatchForkedCommit) {
+  // Known-bad input: two replicas execute the same coordinate with different
+  // blocks. The no-conflict oracle must flag it — this is the self-test that
+  // keeps the sweep's green light meaningful.
+  LeopardCluster cluster(leopard_opts());
+  cluster.run_for(1.0);
+  auto a = chaos::execute_stream(cluster.trace(0));
+  ASSERT_GT(a.size(), 3u);
+  auto b = a;
+  b[b.size() / 2].fingerprint ^= 0xDEADBEEF;
+
+  const auto verdict = chaos::check_no_conflict(a, "replica A", b, "replica B");
+  EXPECT_FALSE(verdict.ok()) << "forked commit not detected";
+  EXPECT_FALSE(chaos::check_cross_replica_consistency({a, b}).ok());
+
+  // Divergent request counts at a shared coordinate are a fork too.
+  auto c = a;
+  c.front().requests += 1;
+  EXPECT_FALSE(chaos::check_no_conflict(a, "replica A", c, "replica C").ok());
+}
+
+TEST(ChaosOracles, CatchNonMonotonicCommit) {
+  LeopardCluster cluster(leopard_opts());
+  cluster.run_for(1.0);
+  auto stream = chaos::execute_stream(cluster.trace(0));
+  ASSERT_GT(stream.size(), 3u);
+  EXPECT_TRUE(chaos::check_monotonic_commit(stream, "honest").ok());
+
+  // Rollback: re-execute an earlier coordinate at the tail.
+  auto rollback = stream;
+  rollback.push_back(rollback.front());
+  EXPECT_FALSE(chaos::check_monotonic_commit(rollback, "rollback").ok());
+
+  // Duplicate: the same coordinate twice in a row.
+  auto dup = stream;
+  dup.insert(dup.begin() + 1, dup[1]);
+  EXPECT_FALSE(chaos::check_monotonic_commit(dup, "duplicate").ok());
+}
+
+TEST(ChaosOracles, CatchConflictingConfirmedLogs) {
+  LeopardCluster cluster(leopard_opts());
+  cluster.run_for(1.0);
+  std::map<std::uint64_t, crypto::Digest> log_a;
+  for (const auto& [sn, digest] : cluster.replica(0).confirmed_log()) log_a.emplace(sn, digest);
+  ASSERT_GT(log_a.size(), 2u);
+
+  auto log_b = log_a;
+  const util::Bytes poison{0x66, 0x6F, 0x72, 0x6B};
+  log_b.begin()->second = crypto::Digest::of(poison);
+  EXPECT_TRUE(chaos::check_confirmed_logs({log_a, log_a}).ok());
+  EXPECT_FALSE(chaos::check_confirmed_logs({log_a, log_b}).ok());
+}
+
+// --- mutation sweeps: >= g_traces mutated replays per protocol ---------------
+
+TEST(ChaosSweep, LeopardSurvivesMutatedTraces) {
+  LeopardCluster cluster(leopard_opts());
+  cluster.run_for(1.0);
+  ASSERT_GT(cluster.metrics().executed_requests, 100u);
+
+  const auto& base = cluster.trace(0);
+  run_sweep("leopard", base, chaos::execute_stream(base), 4, [&] {
+    protocol::ProtocolSpec spec;
+    spec.config = cluster.protocol_config();
+    return protocol::make_protocol(spec, cluster.scheme(), 0);
+  });
+}
+
+TEST(ChaosSweep, HotStuffSurvivesMutatedTraces) {
+  baselines::HotStuffConfig cfg;
+  cfg.n = 4;
+  cfg.batch_size = 100;
+  RecordedBaseline<baselines::HotStuffConfig> cluster(cfg, 20000);
+  cluster.run_for(1.0);
+  ASSERT_GT(cluster.metrics.executed_requests, 1000u);
+
+  const auto& base = cluster.traces[0];
+  run_sweep("hotstuff", base, chaos::execute_stream(base), cfg.n, [&] {
+    protocol::ProtocolSpec spec;
+    spec.config = cfg;
+    return protocol::make_protocol(spec, cluster.ts, 0);
+  });
+}
+
+TEST(ChaosSweep, PbftSurvivesMutatedTraces) {
+  baselines::PbftConfig cfg;
+  cfg.n = 4;
+  cfg.batch_size = 100;
+  RecordedBaseline<baselines::PbftConfig> cluster(cfg, 20000);
+  cluster.run_for(1.0);
+  ASSERT_GT(cluster.metrics.executed_requests, 1000u);
+
+  const auto& base = cluster.traces[0];
+  run_sweep("pbft", base, chaos::execute_stream(base), cfg.n, [&] {
+    protocol::ProtocolSpec spec;
+    spec.config = cfg;
+    return protocol::make_protocol(spec, cluster.ts, 0);
+  });
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (const char* env = std::getenv("CHAOS_SEED")) g_sweep_seed = std::strtoull(env, nullptr, 10);
+  if (const char* env = std::getenv("CHAOS_TRACES")) g_traces = std::strtoull(env, nullptr, 10);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--chaos-seed" && i + 1 < argc) {
+      g_sweep_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--chaos-traces" && i + 1 < argc) {
+      g_traces = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (g_traces == 0) g_traces = 1;
+  std::printf("[chaos] sweep seed=%llu traces per protocol=%llu\n",
+              static_cast<unsigned long long>(g_sweep_seed),
+              static_cast<unsigned long long>(g_traces));
+  return RUN_ALL_TESTS();
+}

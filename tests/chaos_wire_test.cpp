@@ -1,0 +1,506 @@
+// Adversarial scenario engine, wire side: forks real leopard_node clusters on
+// 127.0.0.1 with one replica running a --byzantine interposer mode, and real
+// chaos_proxy processes interposed on selected links with deterministic
+// partition/heal schedules. Safety acceptance is the deployment analogue of
+// the sim oracles: identical exec_digest folds across (honest) replicas plus
+// client liveness; the per-peer shed/reconnect counters in the SIGTERM report
+// prove the attacked links actually degraded.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef LEOPARD_NODE_BIN
+#error "CMake must define LEOPARD_NODE_BIN (path to the leopard_node binary)"
+#endif
+#ifndef CHAOS_PROXY_BIN
+#error "CMake must define CHAOS_PROXY_BIN (path to the chaos_proxy binary)"
+#endif
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::uint16_t> pick_free_ports(std::size_t count) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports.push_back(ntohs(addr.sin_port));
+    fds.push_back(fd);
+  }
+  for (const int fd : fds) ::close(fd);
+  return ports;
+}
+
+std::string temp_dir() {
+  char tmpl[] = "/tmp/leopard_chaos_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+struct ManifestOpts {
+  std::uint32_t view_timeout_ms = 60000;  // generous: no spurious view changes under ASan
+  std::uint32_t max_parallel_instances = 40;
+  std::vector<std::string> extra;  // proxy overrides, peer_buffer_bytes, ...
+};
+
+/// Per-node manifests differ only in the extra lines (proxy dial overrides,
+/// buffer caps), so each variant gets its own file name in the shared dir.
+std::string write_manifest(const std::string& dir, const std::string& name,
+                           const std::vector<std::uint16_t>& ports, const ManifestOpts& opts) {
+  const auto path = dir + "/" + name;
+  std::ofstream out(path);
+  out << "protocol leopard\n"
+      << "n " << ports.size() << "\n"
+      << "seed 7\n"
+      << "payload_size 64\n"
+      << "datablock_requests 50\n"
+      << "bftblock_links 4\n"
+      << "max_parallel_instances " << opts.max_parallel_instances << "\n"
+      << "datablock_max_wait_ms 20\n"
+      << "proposal_max_wait_ms 10\n"
+      << "retrieval_timeout_ms 20\n"
+      << "view_timeout_ms " << opts.view_timeout_ms << "\n"
+      << "batch_size 50\n";
+  for (std::size_t id = 0; id < ports.size(); ++id) {
+    out << "node " << id << " 127.0.0.1:" << ports[id] << "\n";
+  }
+  for (const auto& line : opts.extra) out << line << "\n";
+  return path;
+}
+
+pid_t spawn_process(const char* bin, const std::string& out_path,
+                    std::vector<std::string> args) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ::dup2(fd, 1);
+  ::dup2(fd, 2);
+  ::close(fd);
+  std::vector<std::string> full = {bin};
+  for (auto& a : args) full.push_back(std::move(a));
+  std::vector<char*> argv;
+  argv.reserve(full.size() + 1);
+  for (auto& a : full) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(bin, argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+std::map<std::string, std::string> parse_report(const std::string& path) {
+  std::ifstream in(path);
+  std::map<std::string, std::string> kv;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+/// True if an "id:count,id:count" per-peer counter line has an entry for
+/// `peer` ("-" means no nonzero entries).
+bool has_peer_entry(const std::string& line, std::uint32_t peer) {
+  std::stringstream ss(line);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon != std::string::npos && item.substr(0, colon) == std::to_string(peer)) return true;
+  }
+  return false;
+}
+
+struct ReplicaSet {
+  std::vector<pid_t> pids;
+  std::vector<std::string> outs;
+
+  ~ReplicaSet() {
+    for (const auto pid : pids) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (const auto pid : pids) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  void start(std::size_t id, const std::string& manifest, const std::string& dir,
+             const std::string& data_dir = "", std::vector<std::string> extra = {}) {
+    outs.resize(std::max(outs.size(), id + 1));
+    pids.resize(std::max(pids.size(), id + 1), -1);
+    outs[id] = dir + "/replica" + std::to_string(id) + "_" + std::to_string(::getpid()) +
+               "_" + std::to_string(next_out_++) + ".out";
+    std::vector<std::string> args = {"--manifest", manifest, "--id", std::to_string(id)};
+    if (!data_dir.empty()) {
+      args.push_back("--data-dir");
+      args.push_back(data_dir);
+    }
+    for (auto& a : extra) args.push_back(std::move(a));
+    pids[id] = spawn_process(LEOPARD_NODE_BIN, outs[id], std::move(args));
+  }
+
+  int stop(std::size_t id) {
+    ::kill(pids[id], SIGTERM);
+    const int rc = wait_exit(pids[id]);
+    pids[id] = -1;
+    return rc;
+  }
+
+  void kill_hard(std::size_t id) {
+    ::kill(pids[id], SIGKILL);
+    ::waitpid(pids[id], nullptr, 0);
+    pids[id] = -1;
+  }
+
+ private:
+  int next_out_ = 0;
+};
+
+/// Kills the proxy on scope exit so a failed ASSERT cannot leak it.
+struct ProxyHandle {
+  pid_t pid = -1;
+  std::string out;
+
+  ~ProxyHandle() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  std::map<std::string, std::string> stop() {
+    ::kill(pid, SIGTERM);
+    EXPECT_EQ(wait_exit(pid), 0) << "chaos_proxy did not exit cleanly";
+    pid = -1;
+    return parse_report(out);
+  }
+};
+
+int run_client(const std::string& manifest, const std::string& out_path, std::uint32_t id,
+               std::uint32_t requests, std::uint32_t resubmit_ms = 1000) {
+  const pid_t pid = spawn_process(
+      LEOPARD_NODE_BIN, out_path,
+      {"--manifest", manifest, "--client", "--id", std::to_string(id), "--requests",
+       std::to_string(requests), "--window", "32", "--timeout", "90", "--resubmit-ms",
+       std::to_string(resubmit_ms)});
+  return wait_exit(pid);
+}
+
+void sleep_until_ms(Clock::time_point t0, std::uint64_t ms) {
+  std::this_thread::sleep_until(t0 + std::chrono::milliseconds(ms));
+}
+
+std::vector<std::map<std::string, std::string>> stop_all(ReplicaSet& cluster, std::size_t n) {
+  std::vector<std::map<std::string, std::string>> reports;
+  for (std::size_t id = 0; id < n; ++id) {
+    EXPECT_EQ(cluster.stop(id), 0) << "replica " << id << " did not exit cleanly";
+    reports.push_back(parse_report(cluster.outs[id]));
+  }
+  return reports;
+}
+
+}  // namespace
+
+// --- byzantine interposer modes ----------------------------------------------
+
+TEST(ChaosWire, EquivocatingLeaderIsContained) {
+  // The view-1 leader (replica 1) splits every proposal into two conflicting
+  // twins. Neither twin can reach quorum, so the honest replicas must
+  // view-change away and keep committing — with no fork between them.
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  ManifestOpts mopts;
+  mopts.view_timeout_ms = 1500;  // recover from the poisoned view quickly
+  const auto manifest = write_manifest(dir, "cluster.conf", ports, mopts);
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    std::vector<std::string> extra;
+    if (id == 1) extra = {"--byzantine", "equivocate"};
+    cluster.start(id, manifest, dir, "", std::move(extra));
+  }
+
+  ASSERT_EQ(run_client(manifest, dir + "/client.out", 100, 300, 500), 0)
+      << "cluster lost liveness under an equivocating leader";
+  EXPECT_EQ(parse_report(dir + "/client.out").at("acked"), "300");
+  ::usleep(500 * 1000);
+
+  const auto reports = stop_all(cluster, 4);
+  const std::vector<std::size_t> honest = {0, 2, 3};
+  for (const auto id : honest) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+        << "honest replicas forked under equivocation (replica " << id << ")";
+    EXPECT_EQ(reports[id].at("state_digest"), reports[0].at("state_digest")) << id;
+    EXPECT_GE(std::stoul(reports[id].at("view")), 2u)
+        << "replica " << id << " never left the equivocator's view";
+  }
+  EXPECT_EQ(reports[1].at("byzantine"), "equivocate");
+  EXPECT_GT(std::stoull(reports[1].at("byz_equivocations")), 0u)
+      << "the byzantine leader never actually equivocated";
+}
+
+TEST(ChaosWire, SelectiveSilenceTowardVictimStaysSafeAndLive) {
+  // Replica 3 suppresses every frame toward the f victim replicas (replica 0
+  // here). The victim must still execute the full stream — datablock
+  // retrieval and the remaining 2f honest links carry it — and no honest
+  // pair may diverge.
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  const auto manifest = write_manifest(dir, "cluster.conf", ports, {});
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    std::vector<std::string> extra;
+    if (id == 3) extra = {"--byzantine", "silence"};
+    cluster.start(id, manifest, dir, "", std::move(extra));
+  }
+
+  ASSERT_EQ(run_client(manifest, dir + "/client.out", 100, 300, 500), 0)
+      << "cluster lost liveness under selective silence";
+  ::usleep(500 * 1000);
+
+  const auto reports = stop_all(cluster, 4);
+  for (const std::size_t id : {0u, 1u, 2u}) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest")) << id;
+    EXPECT_EQ(reports[id].at("state_digest"), reports[0].at("state_digest")) << id;
+  }
+  EXPECT_GE(std::stoull(reports[0].at("executed_requests")), 300u)
+      << "the silenced victim fell behind the executed stream";
+  EXPECT_GT(std::stoull(reports[3].at("byz_suppressed")), 0u)
+      << "the byzantine replica never actually suppressed a frame";
+}
+
+TEST(ChaosWire, GarbageSharesCannotPoisonStateTransfer) {
+  // Replica 3 corrupts every chunk it serves (retrieval and state-transfer
+  // shares). A crashed-and-restarted replica 0 must still catch up: the
+  // subset-robust pull decode discards the garbled shard and completes from
+  // the honest servers.
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  const auto manifest = write_manifest(dir, "cluster.conf", ports, {});
+  const auto data_dir = [&](std::size_t id) { return dir + "/data" + std::to_string(id); };
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    std::vector<std::string> extra;
+    if (id == 3) extra = {"--byzantine", "garbage-shares"};
+    cluster.start(id, manifest, dir, data_dir(id), std::move(extra));
+  }
+
+  ASSERT_EQ(run_client(manifest, dir + "/client1.out", 100, 150), 0);
+  cluster.kill_hard(0);
+  ASSERT_EQ(run_client(manifest, dir + "/client2.out", 101, 150, 500), 0);
+  cluster.start(0, manifest, dir, data_dir(0));
+  ASSERT_EQ(run_client(manifest, dir + "/client3.out", 102, 100, 500), 0);
+  ::usleep(3000 * 1000);  // final catch-up rounds after the load quiesces
+
+  const auto reports = stop_all(cluster, 4);
+  for (std::size_t id = 1; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+        << "replica " << id << " diverged";
+  }
+  const auto& restarted = reports[0];
+  EXPECT_GT(std::stoull(restarted.at("store_recovered_entries")), 0u)
+      << "restart did not recover from the WAL";
+  EXPECT_GT(std::stoull(restarted.at("sync_entries")), 0u)
+      << "restart did not use state transfer to fill the gap";
+  EXPECT_EQ(restarted.at("sync_live"), "1");
+  EXPECT_GT(std::stoull(reports[3].at("byz_corrupted")), 0u)
+      << "the byzantine replica never actually served a corrupted chunk";
+}
+
+TEST(ChaosWire, LaggardLeaderDelaysEveryFrameButClusterCommits) {
+  // FnF-style laggard: the leader holds every outbound frame for 150 ms. No
+  // view change should fire (the generous timeout absorbs the lag), commits
+  // just arrive late — and all four replicas fold the same stream.
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  const auto manifest = write_manifest(dir, "cluster.conf", ports, {});
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    std::vector<std::string> extra;
+    if (id == 1) extra = {"--byzantine", "laggard", "--byzantine-lag-ms", "150"};
+    cluster.start(id, manifest, dir, "", std::move(extra));
+  }
+
+  ASSERT_EQ(run_client(manifest, dir + "/client.out", 100, 300, 1000), 0)
+      << "cluster lost liveness under a laggard leader";
+  ::usleep(800 * 1000);  // let the last held frames flush
+
+  const auto reports = stop_all(cluster, 4);
+  for (std::size_t id = 1; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest")) << id;
+  }
+  for (const std::size_t id : {0u, 2u, 3u}) {
+    EXPECT_EQ(reports[id].at("view"), "1")
+        << "a 150 ms laggard should not force a view change (replica " << id << ")";
+  }
+  EXPECT_GT(std::stoull(reports[1].at("byz_delayed")), 0u)
+      << "the laggard never actually delayed a frame";
+}
+
+// --- chaos proxy partition schedules -----------------------------------------
+
+namespace {
+
+struct PartitionWindow {
+  std::uint64_t start_ms = 0;
+  std::uint64_t duration_ms = 0;
+};
+
+/// Runs a 4-replica cluster where replica 3 reaches peers 0..2 only through a
+/// chaos_proxy, severs those links on `windows`, and drives client load
+/// before, during, and after. Asserts digest convergence (including the
+/// partitioned replica), client progress in every phase, and that the
+/// attacked links actually flapped. `expect_gap_pull` additionally asserts
+/// the long-outage machinery engaged: replica 3 filled its checkpoint gap
+/// via state transfer, and the small-buffered replica 2 visibly shed frames
+/// toward it. (Short flapping windows are meant to heal through the live
+/// path, where neither necessarily triggers.)
+void run_partition_scenario(const std::vector<PartitionWindow>& windows,
+                            std::uint64_t resume_ms, std::uint64_t during_requests,
+                            bool expect_gap_pull) {
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(7);  // 4 node ports + 3 proxy listen ports
+  const std::vector<std::uint16_t> node_ports(ports.begin(), ports.begin() + 4);
+
+  // A low parallel-instance cap makes checkpoints land every 4 sequence
+  // numbers, so the post-heal phase reliably crosses a checkpoint boundary
+  // and replica 3 exercises adopt-checkpoint + gap pull.
+  ManifestOpts base;
+  base.max_parallel_instances = 8;
+  const auto manifest = write_manifest(dir, "cluster.conf", node_ports, base);
+
+  // Replica 2 runs a deliberately small per-peer buffer so its frames toward
+  // the unreachable replica 3 visibly shed (the others keep the default and
+  // carry the state-transfer shards).
+  ManifestOpts small = base;
+  small.extra = {"peer_buffer_bytes 6144"};
+  const auto manifest_small = write_manifest(dir, "cluster_small.conf", node_ports, small);
+
+  // Replica 3 dials every peer through the proxy.
+  ManifestOpts proxied = base;
+  for (std::size_t peer = 0; peer < 3; ++peer) {
+    proxied.extra.push_back("proxy " + std::to_string(peer) + " 127.0.0.1:" +
+                            std::to_string(ports[4 + peer]));
+  }
+  const auto manifest_proxy = write_manifest(dir, "cluster_proxy.conf", node_ports, proxied);
+
+  // Proxy: one route per link, every route partitioned on the same schedule.
+  std::vector<std::string> proxy_args;
+  for (std::size_t peer = 0; peer < 3; ++peer) {
+    proxy_args.push_back("--route");
+    proxy_args.push_back(std::to_string(ports[4 + peer]) + ":127.0.0.1:" +
+                         std::to_string(node_ports[peer]));
+  }
+  for (const auto& w : windows) {
+    for (std::size_t peer = 0; peer < 3; ++peer) {
+      proxy_args.push_back("--partition");
+      proxy_args.push_back(std::to_string(ports[4 + peer]) + "@" +
+                           std::to_string(w.start_ms) + "+" + std::to_string(w.duration_ms));
+    }
+  }
+  ProxyHandle proxy;
+  proxy.out = dir + "/proxy.out";
+  const auto t0 = Clock::now();  // partition schedule is relative to proxy start
+  proxy.pid = spawn_process(CHAOS_PROXY_BIN, proxy.out, proxy_args);
+
+  const auto data_dir = [&](std::size_t id) { return dir + "/data" + std::to_string(id); };
+  ReplicaSet cluster;
+  cluster.start(0, manifest, dir, data_dir(0));
+  cluster.start(1, manifest, dir, data_dir(1));
+  cluster.start(2, manifest_small, dir, data_dir(2));
+  cluster.start(3, manifest_proxy, dir, data_dir(3));
+
+  // Phase 1: healthy traffic before the first window.
+  ASSERT_EQ(run_client(manifest, dir + "/client1.out", 100, 150, 500), 0)
+      << "no progress before the partition";
+
+  // Phase 2: heavy traffic while replica 3 is cut off. The client still dials
+  // replica 3 directly; its requests there stall and rotate to live replicas.
+  sleep_until_ms(t0, windows.front().start_ms + 500);
+  ASSERT_EQ(run_client(manifest, dir + "/client2.out", 101, during_requests, 500), 0)
+      << "quorum of connected replicas lost progress during the partition";
+
+  // Phase 3: post-heal traffic that crosses a checkpoint boundary, forcing
+  // the partitioned replica through adopt-checkpoint and the gap pull.
+  sleep_until_ms(t0, resume_ms);
+  ASSERT_EQ(run_client(manifest, dir + "/client3.out", 102, 200, 500), 0)
+      << "no progress after the partition healed";
+  ::usleep(3000 * 1000);  // catch-up rounds for replica 3
+
+  const auto reports = stop_all(cluster, 4);
+  const auto proxy_report = proxy.stop();
+
+  for (std::size_t id = 1; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+        << "replica " << id << " diverged after partition heal";
+  }
+  EXPECT_EQ(reports[3].at("sync_live"), "1");
+  // The partitioned replica's broken proxy dials were retried...
+  EXPECT_TRUE(has_peer_entry(reports[3].at("peer_reconnects"), 0) ||
+              has_peer_entry(reports[3].at("peer_reconnects"), 1) ||
+              has_peer_entry(reports[3].at("peer_reconnects"), 2))
+      << "replica 3 reported no reconnect attempts: " << reports[3].at("peer_reconnects");
+  if (expect_gap_pull) {
+    // ...it rejoined through adopt-checkpoint + state transfer...
+    EXPECT_GT(std::stoull(reports[3].at("sync_entries")), 0u)
+        << "replica 3 never pulled the partition gap";
+    // ...and the small-buffered honest replica shed frames toward it.
+    EXPECT_TRUE(has_peer_entry(reports[2].at("peer_shed"), 3))
+        << "replica 2 reported no shed frames toward the partitioned peer: "
+        << reports[2].at("peer_shed");
+  }
+
+  const auto expected_partitions = 3 * windows.size();
+  EXPECT_EQ(std::stoull(proxy_report.at("partitions_started")), expected_partitions);
+  EXPECT_EQ(std::stoull(proxy_report.at("partitions_healed")), expected_partitions);
+  EXPECT_GT(std::stoull(proxy_report.at("links_opened")), 0u);
+  EXPECT_GT(std::stoull(proxy_report.at("chunks_forwarded")), 0u);
+}
+
+}  // namespace
+
+TEST(ChaosWire, ProxySingleLongPartitionHealsToAgreement) {
+  run_partition_scenario({{2500, 6000}}, /*resume_ms=*/9200, /*during_requests=*/600,
+                         /*expect_gap_pull=*/true);
+}
+
+TEST(ChaosWire, ProxyFlappingPartitionsHealToAgreement) {
+  run_partition_scenario({{2500, 1500}, {5500, 1500}}, /*resume_ms=*/7500,
+                         /*during_requests=*/400, /*expect_gap_pull=*/false);
+}

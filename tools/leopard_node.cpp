@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "chaos/interposer.hpp"
 #include "core/client.hpp"
 #include "core/replica.hpp"
 #include "crypto/threshold_sig.hpp"
@@ -59,6 +60,10 @@ struct Args {
   std::uint32_t resubmit_ms = 1000;
   std::string report_path;    // optional: also write the report to a file
 
+  // Byzantine behaviour (replica mode; empty = honest).
+  std::string byzantine;
+  std::uint32_t byzantine_lag_ms = 150;
+
   // Durability (replica mode; empty data_dir = run without persistence).
   std::string data_dir;
   leopard::store::RecoverMode recover = leopard::store::RecoverMode::kStrict;
@@ -70,6 +75,8 @@ struct Args {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --manifest FILE --id ID [--run-for SEC]\n"
+               "          [--byzantine equivocate|silence|garbage-shares|laggard]\n"
+               "          [--byzantine-lag-ms MS]\n"
                "          [--data-dir DIR] [--recover strict|truncate]\n"
                "          [--fsync always|interval|none] [--fsync-interval-ms MS]\n"
                "          [--snapshot-every N]\n"
@@ -109,6 +116,14 @@ Args parse_args(int argc, char** argv) {
       args.resubmit_ms = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--report") {
       args.report_path = next();
+    } else if (arg == "--byzantine") {
+      args.byzantine = next();
+      if (!leopard::chaos::parse_wire_attack(args.byzantine)) {
+        std::fprintf(stderr, "unknown --byzantine mode '%s'\n", args.byzantine.c_str());
+        usage(argv[0]);
+      }
+    } else if (arg == "--byzantine-lag-ms") {
+      args.byzantine_lag_ms = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--data-dir") {
       args.data_dir = next();
     } else if (arg == "--recover") {
@@ -172,6 +187,23 @@ void print_transport_stats(std::string& report, const leopard::net::SocketEnv& e
                 static_cast<unsigned long long>(s.connects),
                 static_cast<unsigned long long>(s.accepts));
   report += buf;
+
+  // Per-peer attribution of shed frames and reconnect churn ("id:count"
+  // pairs, "-" when clean) so attack-load shedding is visible per link.
+  std::string shed;
+  std::string reconnects;
+  for (const auto& [peer, counters] : env.peer_counters()) {
+    if (counters.shed_frames > 0) {
+      if (!shed.empty()) shed += ',';
+      shed += std::to_string(peer) + ":" + std::to_string(counters.shed_frames);
+    }
+    if (counters.reconnect_attempts > 0) {
+      if (!reconnects.empty()) reconnects += ',';
+      reconnects += std::to_string(peer) + ":" + std::to_string(counters.reconnect_attempts);
+    }
+  }
+  report += "peer_shed=" + (shed.empty() ? "-" : shed) + "\n";
+  report += "peer_reconnects=" + (reconnects.empty() ? "-" : reconnects) + "\n";
 }
 
 /// Recomputes a block's canonical digest from its wire frame, mirroring the
@@ -205,10 +237,28 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
 
   const lp::crypto::ThresholdScheme ts(manifest.n, manifest.quorum(), manifest.seed);
   const auto spec = manifest.spec();
-  const auto core = lp::protocol::make_protocol(spec, ts, args.id);
+
+  // The hosted protocol is either the honest core or, under --byzantine, the
+  // unmodified core wrapped in the attack interposer (chaos/interposer.hpp).
+  // `inner_core` always points at the consensus core for report accessors.
+  std::unique_ptr<lp::protocol::Protocol> hosted = lp::protocol::make_protocol(spec, ts, args.id);
+  const lp::protocol::Protocol* inner_core = hosted.get();
+  lp::chaos::ByzantineInterposer* byz = nullptr;
+  if (!args.byzantine.empty()) {
+    lp::chaos::InterposerOptions bopts;
+    bopts.attack = *lp::chaos::parse_wire_attack(args.byzantine);
+    bopts.n = manifest.n;
+    bopts.f = (manifest.n - 1) / 3;
+    bopts.lag =
+        static_cast<lp::sim::SimTime>(args.byzantine_lag_ms) * lp::sim::kMillisecond;
+    auto wrapped =
+        std::make_unique<lp::chaos::ByzantineInterposer>(std::move(hosted), ts, bopts);
+    byz = wrapped.get();
+    hosted = std::move(wrapped);
+  }
 
   lp::net::SocketEnv env(manifest.replica_env_options(args.id));
-  env.attach(*core);
+  env.attach(*hosted);
 
   // Durable state: recover the WAL + snapshot before touching the network.
   // A corrupt store refuses to start under --recover=strict — restarting on
@@ -240,6 +290,12 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   lp::store::StateSync sync(args.id, manifest.n, f, rstore.get(), syncopts);
   sync.init_from_recovery(recovery);
   sync.set_send([&](lp::sim::NodeId to, lp::sim::PayloadPtr payload) {
+    // State-sync traffic bypasses the protocol core, so the byzantine
+    // interposer taps it here to keep the attack covering every byte sent.
+    if (byz != nullptr) {
+      payload = byz->filter_deployment_send(to, std::move(payload));
+      if (payload == nullptr) return;
+    }
     env.apply(lp::protocol::Send{to, std::move(payload)});
   });
   sync.set_timer_hooks(
@@ -286,7 +342,19 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
                 static_cast<unsigned long long>(sync.executed_blocks()));
   report += buf;
   report += "exec_digest=" + sync.exec_digest().hex() + "\n";
-  if (const auto* replica = dynamic_cast<const lp::core::LeopardReplica*>(core.get())) {
+  if (byz != nullptr) {
+    const auto& bs = byz->stats();
+    std::snprintf(buf, sizeof(buf),
+                  "byzantine=%s byz_equivocations=%llu byz_suppressed=%llu "
+                  "byz_corrupted=%llu byz_delayed=%llu\n",
+                  args.byzantine.c_str(),
+                  static_cast<unsigned long long>(bs.equivocations),
+                  static_cast<unsigned long long>(bs.suppressed),
+                  static_cast<unsigned long long>(bs.corrupted),
+                  static_cast<unsigned long long>(bs.delayed));
+    report += buf;
+  }
+  if (const auto* replica = dynamic_cast<const lp::core::LeopardReplica*>(inner_core)) {
     report += "state_digest=" + replica->state_digest().hex() + "\n";
     std::snprintf(buf, sizeof(buf), "view=%u executed_through=%llu\n", replica->view(),
                   static_cast<unsigned long long>(replica->executed_through()));
