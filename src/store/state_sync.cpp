@@ -113,6 +113,7 @@ void StateSync::go_live(sim::SimTime now) {
   }
   offers_.clear();
   groups_.clear();
+  group_creates_.clear();
   // Drain the live entries buffered while syncing. The go-live rule
   // guarantees no gap below them: >= n-1-f peers reported nothing beyond our
   // applied count, and any committed-but-unseen entry would put >= f+1
@@ -135,6 +136,7 @@ void StateSync::begin_probe(sim::SimTime now, bool backed_off) {
   transfer_id_ = (static_cast<std::uint64_t>(id_) << 32) | probe_round_;
   offers_.clear();
   groups_.clear();
+  group_creates_.clear();
 
   auto probe = std::make_shared<proto::StateOfferMsg>();
   probe->kind = proto::StateOfferMsg::kProbe;
@@ -209,6 +211,7 @@ void StateSync::begin_pull(std::uint64_t target, sim::SimTime now) {
   pull_from_ = applied_count_;
   pull_until_ = target;
   groups_.clear();
+  group_creates_.clear();
   probe_backoff_ = opts_.probe_timeout;  // progress resets the backoff
 
   auto pull = std::make_shared<proto::StateOfferMsg>();
@@ -285,59 +288,91 @@ void StateSync::serve_pull(sim::NodeId from, const proto::StateOfferMsg& msg) {
 
 void StateSync::on_chunk(sim::NodeId from, const proto::StateChunkMsg& msg,
                          sim::SimTime now) {
-  (void)from;
   if (mode_ != Mode::kPulling || msg.transfer_id != transfer_id_) return;
   ++stats_.chunks_received;
   if (msg.data_shards != f_ + 1 || msg.total_shards != n_ || msg.chunk_index >= n_) {
     return;
   }
+  // An honest server only ever sends its OWN shard (serve_pull sets
+  // chunk_index = id_), so a chunk claiming someone else's index is forged.
+  // Without this check a fast byzantine peer could squat every shard index
+  // with garbage before honest answers land, leaving no untainted subset.
+  if (msg.chunk_index != from) return;
   if (msg.from_index != pull_from_ || msg.until_index <= pull_from_ ||
       msg.until_index > pull_until_) {
     return;
   }
 
-  auto& group = groups_[{msg.until_index, msg.exec_digest.prefix64()}];
+  const std::pair<std::uint64_t, std::uint64_t> key{msg.until_index,
+                                                    msg.exec_digest.prefix64()};
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    if (group_creates_[from] >= kMaxGroupsPerSender) return;
+    ++group_creates_[from];
+    it = groups_.emplace(key, ChunkGroup{}).first;
+  }
+  auto& group = it->second;
   group.until = msg.until_index;
   group.digest = msg.exec_digest;
   group.data_shards = msg.data_shards;
-  group.chunks.emplace(msg.chunk_index, msg.chunk);  // first write wins
+  if (!group.chunks.emplace(msg.chunk_index, msg.chunk).second) {
+    return;  // retransmit of a shard already held — nothing new to try
+  }
 
   if (group.chunks.size() >= group.data_shards) {
-    if (try_complete(group, now)) return;  // groups_ reset by the round restart
+    // groups_ is reset by the round restart on success.
+    if (try_complete(group, msg.chunk_index, now)) return;
     ++stats_.verify_failures;
     // A lying server's shard is indistinguishable inside the RS decode, so a
     // failed attempt keeps the group: the next honest shard may complete an
-    // untainted subset. Hopeless only once every possible server answered.
-    if (group.chunks.size() + 1 >= n_) {
-      groups_.erase({msg.until_index, msg.exec_digest.prefix64()});
+    // untainted subset. Hopeless once every possible server answered (the
+    // requester's own index never arrives) or the decode budget is spent.
+    if (group.chunks.size() + 1 >= n_ || group.attempts >= opts_.max_decode_attempts) {
+      groups_.erase(key);
     }
   }
 }
 
-bool StateSync::try_complete(ChunkGroup& group, sim::SimTime now) {
+bool StateSync::try_complete(ChunkGroup& group, std::uint32_t new_index,
+                             sim::SimTime now) {
   // A byzantine server can contribute a garbled shard that decodes into a
   // blob failing the digest chain below, and RS alone cannot attribute the
-  // fault — so try every data_shards-sized subset of what arrived until one
-  // verifies (C(n-1, f+1) stays tiny for deployment-sized n).
-  std::vector<erasure::ShardView> all;
-  all.reserve(group.chunks.size());
+  // fault — so search data_shards-sized subsets of what arrived until one
+  // verifies. Only subsets CONTAINING the just-inserted shard are tried:
+  // every other subset already failed when its own last member arrived, so
+  // this is exact memoization and each subset is attempted at most once per
+  // group. C(m-1, f) stays tiny for deployment-sized n; group.attempts caps
+  // the pathological large-n case (the caller abandons a spent group).
+  std::vector<erasure::ShardView> others;
+  others.reserve(group.chunks.size() - 1);
+  const util::Bytes* fresh = nullptr;
   for (const auto& [index, data] : group.chunks) {
-    all.push_back(erasure::ShardView{index, data});
+    if (index == new_index) {
+      fresh = &data;
+    } else {
+      others.push_back(erasure::ShardView{index, data});
+    }
   }
-  const std::size_t k = group.data_shards;
-  std::vector<std::size_t> pick(k);
-  for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+  const std::size_t k = group.data_shards;  // >= 1 (f+1)
+  if (fresh == nullptr || others.size() + 1 < k) return false;
+  const std::size_t m = k - 1;  // companions drawn from `others`
+  std::vector<std::size_t> pick(m);
+  for (std::size_t i = 0; i < m; ++i) pick[i] = i;
+  std::vector<erasure::ShardView> views;
   for (;;) {
-    std::vector<erasure::ShardView> views;
+    if (group.attempts >= opts_.max_decode_attempts) return false;
+    ++group.attempts;
+    views.clear();
     views.reserve(k);
-    for (const auto i : pick) views.push_back(all[i]);
+    for (const auto i : pick) views.push_back(others[i]);
+    views.push_back(erasure::ShardView{new_index, *fresh});
     if (try_subset(group, views, now)) return true;
-    // Advance to the next k-combination of [0, all.size()).
-    std::size_t i = k;
-    while (i > 0 && pick[i - 1] == i - 1 + all.size() - k) --i;
+    // Advance to the next m-combination of [0, others.size()).
+    std::size_t i = m;
+    while (i > 0 && pick[i - 1] == i - 1 + others.size() - m) --i;
     if (i == 0) return false;
     ++pick[i - 1];
-    for (std::size_t j = i; j < k; ++j) pick[j] = pick[j - 1] + 1;
+    for (std::size_t j = i; j < m; ++j) pick[j] = pick[j - 1] + 1;
   }
 }
 
@@ -423,6 +458,7 @@ void StateSync::on_timer(std::uint64_t token, sim::SimTime now) {
     if (mode_ != Mode::kPulling) return;
     // Not enough chunks in time: abandon the round and start over.
     groups_.clear();
+    group_creates_.clear();
     begin_probe(now, /*backed_off=*/false);
   }
 }

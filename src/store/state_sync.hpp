@@ -20,7 +20,9 @@
 //            (chunk_index == its replica id) — Algorithm 3's retrieval-
 //            committee shape applied to catch-up, so a range of α bytes
 //            costs each server ≈ α/(f+1).
-//   verify — any k distinct shards reconstruct the blob; the requester
+//   verify — any k distinct shards reconstruct the blob; a chunk claiming a
+//            shard index other than its sender's id is rejected outright, so
+//            each peer contributes at most its own shard. The requester
 //            re-validates everything (entry decode, index continuity, coord
 //            monotonicity, per-frame block digest, the exec_digest fold
 //            chain, and the final digest against the group's claim) before
@@ -74,6 +76,12 @@ struct StateSyncOptions {
   /// the range at the same deterministic byte boundary so their shards
   /// describe the same blob.
   std::uint64_t max_round_bytes = 8u << 20;
+  /// Per-group budget of RS decode+verify attempts. The subset search is
+  /// C(m-1, f) per new shard — tiny for deployment-sized n but combinatorial
+  /// at the GF(2^8) limit, so a garbled shard must not buy an attacker
+  /// unbounded CPU: past the budget the group is abandoned (the round timer
+  /// or a sibling group finishes the round).
+  std::uint64_t max_decode_attempts = 2048;
   /// Recomputes a block's canonical digest from its wire frame (nullopt =
   /// frame malformed). Supplied by the node so the store layer stays
   /// transport-agnostic; unset skips per-frame verification (tests).
@@ -159,8 +167,15 @@ class StateSync {
     std::uint64_t until = 0;
     crypto::Digest digest;
     std::uint32_t data_shards = 0;
+    std::uint64_t attempts = 0;  // decode+verify attempts spent on this group
     std::map<std::uint32_t, util::Bytes> chunks;  // chunk_index -> shard
   };
+
+  /// A byzantine server can mint one ChunkGroup per forged (until, digest)
+  /// pair; capping creations per sender bounds group memory at
+  /// kMaxGroupsPerSender * (n-1) without letting an attacker crowd out groups
+  /// honest servers have yet to open.
+  static constexpr std::uint32_t kMaxGroupsPerSender = 3;
 
   [[nodiscard]] bool store_open() const { return store_ != nullptr && store_->is_open(); }
   [[nodiscard]] std::pair<std::uint64_t, std::uint32_t> tail() const {
@@ -175,11 +190,14 @@ class StateSync {
   void serve_pull(sim::NodeId from, const proto::StateOfferMsg& msg);
   void on_offer(sim::NodeId from, const proto::StateOfferMsg& msg, sim::SimTime now);
   void on_chunk(sim::NodeId from, const proto::StateChunkMsg& msg, sim::SimTime now);
-  /// Tries every data_shards-sized subset of a complete group until one
-  /// decodes and fully re-verifies; applies on success. Subset search is what
-  /// makes the pull robust to a lying server: its garbled shard fails the
-  /// digest chain, but an untainted subset of the same group still completes.
-  bool try_complete(ChunkGroup& group, sim::SimTime now);
+  /// Tries every data_shards-sized subset of the group that contains the
+  /// just-inserted shard `new_index` until one decodes and fully re-verifies;
+  /// applies on success. Subset search is what makes the pull robust to a
+  /// lying server: its garbled shard fails the digest chain, but an untainted
+  /// subset of the same group still completes. Restricting to subsets through
+  /// the new shard is exact memoization — every other subset already failed
+  /// when its own last member arrived.
+  bool try_complete(ChunkGroup& group, std::uint32_t new_index, sim::SimTime now);
   /// Decodes + fully re-verifies one shard subset; applies on success.
   bool try_subset(const ChunkGroup& group, const std::vector<erasure::ShardView>& views,
                   sim::SimTime now);
@@ -218,6 +236,8 @@ class StateSync {
   // Keyed by (served until_index, digest prefix): a lying server forks its
   // own group instead of poisoning the honest one.
   std::map<std::pair<std::uint64_t, std::uint64_t>, ChunkGroup> groups_;
+  // Groups created by each sender this round (see kMaxGroupsPerSender).
+  std::map<sim::NodeId, std::uint32_t> group_creates_;
 
   std::deque<PendingEntry> pending_;
   erasure::RsScratch rs_scratch_;

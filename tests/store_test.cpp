@@ -9,11 +9,15 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "proto/messages.hpp"
 #include "store/replica_store.hpp"
+#include "store/state_sync.hpp"
 #include "store/store_io.hpp"
 #include "store/wal_record.hpp"
 #include "util/bytes.hpp"
@@ -583,4 +587,182 @@ TEST(Store, SnapshotRenameFailureLeavesStoreHealthy) {
   ASSERT_TRUE(reopened.open(RecoverMode::kStrict).ok());
   EXPECT_EQ(reopened.entries(), 4u);
   EXPECT_EQ(reopened.exec_digest(), expect);
+}
+
+// ---------------------------------------------------------------------------
+// StateSync under a byzantine serving peer, driven message by message.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One node's store + StateSync with outbound payloads captured for manual
+/// delivery (timers are no-ops; the test drives every step by hand).
+struct SyncNode {
+  std::string dir = temp_dir();
+  std::unique_ptr<ReplicaStore> store;
+  std::unique_ptr<store::StateSync> sync;
+  std::vector<std::pair<sim::NodeId, sim::PayloadPtr>> out;
+
+  SyncNode(sim::NodeId id, std::uint32_t n, std::uint32_t f) {
+    store = std::make_unique<ReplicaStore>(options(dir));
+    EXPECT_TRUE(store->open(RecoverMode::kStrict).ok());
+    sync = std::make_unique<store::StateSync>(id, n, f, store.get(),
+                                              store::StateSyncOptions{});
+    sync->set_send([this](sim::NodeId to, sim::PayloadPtr p) {
+      out.emplace_back(to, std::move(p));
+    });
+    sync->set_timer_hooks([](std::uint64_t, sim::SimTime) {}, [](std::uint64_t) {});
+  }
+
+  std::vector<std::pair<sim::NodeId, sim::PayloadPtr>> drain() {
+    return std::exchange(out, {});
+  }
+};
+
+/// Drives node 0 (empty store) through probe -> offer -> pull against honest
+/// servers 1 and 2, injecting `attack(honest_chunk_template)` payloads from
+/// byzantine peer 3 BEFORE any honest chunk is delivered. Returns the client.
+std::unique_ptr<SyncNode> run_sync_under_attack(
+    const std::function<std::vector<sim::PayloadPtr>(const proto::StateChunkMsg&)>&
+        attack,
+    crypto::Digest* expect_out) {
+  constexpr std::uint32_t n = 4;
+  constexpr std::uint32_t f = 1;
+  auto client = std::make_unique<SyncNode>(0, n, f);
+  std::vector<std::unique_ptr<SyncNode>> servers;
+  for (sim::NodeId id = 1; id <= 3; ++id) {
+    servers.push_back(std::make_unique<SyncNode>(id, n, f));
+    *expect_out = append_entries(*servers.back()->store, 6, 1, crypto::Digest{});
+  }
+  auto* s1 = servers[0].get();
+  auto* s2 = servers[1].get();
+
+  client->sync->start(0);
+  auto probes = client->drain();
+  EXPECT_EQ(probes.size(), 3u);
+  // Peer 3 never answers honestly; servers 1 and 2 offer, which is enough
+  // (n-1-f = 2) for the client to decide and broadcast a pull.
+  for (auto& [to, p] : probes) {
+    if (to == 1) s1->sync->on_payload(0, p, 0);
+    if (to == 2) s2->sync->on_payload(0, p, 0);
+  }
+  for (auto& [to, p] : s1->drain()) client->sync->on_payload(1, p, 0);
+  for (auto& [to, p] : s2->drain()) client->sync->on_payload(2, p, 0);
+  auto pulls = client->drain();
+  EXPECT_EQ(pulls.size(), 3u) << "pull must broadcast to every peer";
+  for (auto& [to, p] : pulls) {
+    if (to == 1) s1->sync->on_payload(0, p, 0);
+    if (to == 2) s2->sync->on_payload(0, p, 0);
+  }
+  auto c1 = s1->drain();
+  auto c2 = s2->drain();
+  EXPECT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c2.size(), 1u);
+  const auto* honest =
+      dynamic_cast<const proto::StateChunkMsg*>(c1.front().second.get());
+  EXPECT_NE(honest, nullptr);
+
+  // The byzantine peer races its forgeries in before any honest answer.
+  for (auto& forged : attack(*honest)) {
+    client->sync->on_payload(3, forged, 0);
+  }
+  EXPECT_FALSE(client->sync->live());
+
+  // Honest chunks land last; the round must still complete, after which the
+  // client re-probes and the matching offers take it live.
+  client->sync->on_payload(1, c1.front().second, 0);
+  client->sync->on_payload(2, c2.front().second, 0);
+  auto reprobes = client->drain();
+  for (auto& [to, p] : reprobes) {
+    if (to == 1) s1->sync->on_payload(0, p, 0);
+    if (to == 2) s2->sync->on_payload(0, p, 0);
+  }
+  for (auto& [to, p] : s1->drain()) client->sync->on_payload(1, p, 0);
+  for (auto& [to, p] : s2->drain()) client->sync->on_payload(2, p, 0);
+  return client;
+}
+
+}  // namespace
+
+TEST(StateSyncByzantine, SpoofedShardIndicesCannotSquatHonestSlots) {
+  // The attack REVIEW.md flagged: a byzantine peer answers fastest and squats
+  // the honest servers' shard indices with garbage under the honest group
+  // key. With first-write-wins and no sender check the honest shards arriving
+  // later would be discarded, every decodable subset would contain garbage,
+  // and the pull would stall until the round timer forever. Chunks claiming
+  // an index other than the sender's id must be rejected outright.
+  crypto::Digest expect;
+  auto client = run_sync_under_attack(
+      [](const proto::StateChunkMsg& honest) {
+        std::vector<sim::PayloadPtr> forged;
+        for (std::uint32_t idx = 1; idx <= 2; ++idx) {
+          auto m = std::make_shared<proto::StateChunkMsg>(honest);
+          m->chunk_index = idx;  // someone else's shard slot
+          for (auto& b : m->chunk) b ^= 0xA5;
+          forged.push_back(std::move(m));
+        }
+        return forged;
+      },
+      &expect);
+
+  EXPECT_TRUE(client->sync->live());
+  EXPECT_EQ(client->sync->executed_blocks(), 6u);
+  EXPECT_EQ(client->sync->exec_digest(), expect);
+  EXPECT_EQ(client->store->entries(), 6u);
+  const auto& st = client->sync->stats();
+  EXPECT_EQ(st.rounds_completed, 1u);
+  EXPECT_EQ(st.entries_transferred, 6u);
+  // The forgeries never enter a group, so the honest pair decodes first try.
+  EXPECT_EQ(st.verify_failures, 0u);
+}
+
+TEST(StateSyncByzantine, GarbledOwnShardWastesOnlyItsOwnSlot) {
+  // Sim-level twin of the wire `garbage-shares` mode: the byzantine peer
+  // serves a garbled shard under its OWN index and the honest group key. It
+  // occupies one slot, costs exactly one failed decode attempt, and the
+  // untainted honest subset still completes the round.
+  crypto::Digest expect;
+  auto client = run_sync_under_attack(
+      [](const proto::StateChunkMsg& honest) {
+        auto m = std::make_shared<proto::StateChunkMsg>(honest);
+        m->chunk_index = 3;
+        for (auto& b : m->chunk) b ^= 0xA5;
+        return std::vector<sim::PayloadPtr>{std::move(m)};
+      },
+      &expect);
+
+  EXPECT_TRUE(client->sync->live());
+  EXPECT_EQ(client->sync->executed_blocks(), 6u);
+  EXPECT_EQ(client->sync->exec_digest(), expect);
+  const auto& st = client->sync->stats();
+  EXPECT_EQ(st.rounds_completed, 1u);
+  // One tainted subset ({garbage, first honest shard}) fails before the
+  // honest pair verifies; the incremental search never retries it.
+  EXPECT_EQ(st.verify_failures, 1u);
+}
+
+TEST(StateSyncByzantine, ForgedGroupFloodIsBoundedAndHarmless) {
+  // A byzantine peer minting a distinct (until, digest) group per message is
+  // capped per sender, and none of it blocks the honest group from forming.
+  crypto::Digest expect;
+  auto client = run_sync_under_attack(
+      [](const proto::StateChunkMsg& honest) {
+        std::vector<sim::PayloadPtr> forged;
+        for (std::uint8_t i = 0; i < 16; ++i) {
+          auto m = std::make_shared<proto::StateChunkMsg>(honest);
+          m->chunk_index = 3;
+          m->exec_digest = digest_of(i);  // 16 distinct forged group keys
+          for (auto& b : m->chunk) b ^= 0xA5;
+          forged.push_back(std::move(m));
+        }
+        return forged;
+      },
+      &expect);
+
+  EXPECT_TRUE(client->sync->live());
+  EXPECT_EQ(client->sync->executed_blocks(), 6u);
+  EXPECT_EQ(client->sync->exec_digest(), expect);
+  // Single-chunk forged groups never reach f+1 shards, so no decode was even
+  // attempted against them.
+  EXPECT_EQ(client->sync->stats().verify_failures, 0u);
 }
