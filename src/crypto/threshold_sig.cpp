@@ -6,6 +6,7 @@
 #include "crypto/hmac.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/worker_pool.hpp"
 
 namespace leopard::crypto {
 
@@ -78,44 +79,65 @@ void ThresholdScheme::evaluate_batch(const HmacContext* const* ctxs, std::size_t
 
 std::optional<ThresholdSignature> ThresholdScheme::combine(
     std::span<const std::uint8_t> message, std::span<const SignatureShare> shares) const {
-  // Count distinct signers with valid shares. Verification is batched:
-  // groups of up to wide_lanes() shares are evaluated as one cross-keyed
-  // n-lane batch instead of one full evaluate() per share (see
-  // evaluate_batch). Distinctness is a signer bitmap, not a linear scan —
-  // the scan was O(quorum²) at n >= 100.
-  std::vector<std::uint64_t> seen_mask((n_ + 63) / 64, 0);
-  std::uint32_t distinct_valid = 0;
-  const auto admit = [&](const SignatureShare& share, const SignatureBytes& expected) {
-    if (share.bytes != expected) return;
-    auto& word = seen_mask[share.signer >> 6];
-    const auto bit = std::uint64_t{1} << (share.signer & 63);
-    if ((word & bit) != 0) return;
-    word |= bit;
-    ++distinct_valid;
-  };
-
+  // Count distinct signers with valid shares. Per-share validity is a pure
+  // function, so it is computed first — SIMD-batched (groups of up to
+  // wide_lanes() shares per cross-keyed n-lane pass, see evaluate_batch)
+  // and, for combine bursts, fanned across the worker pool — then folded
+  // into a distinctness bitmap serially. The fold bitmap, not a linear
+  // scan: the scan was O(quorum²) at n >= 100.
   const std::size_t batch =
       std::min<std::size_t>(std::max<std::size_t>(Sha256::wide_lanes(), 2),
                             Sha256::kMaxBatch);
-  std::size_t i = 0;
-  while (shares.size() - i >= 2) {
-    const std::size_t g = std::min(batch, shares.size() - i);
-    const HmacContext* ctxs[Sha256::kMaxBatch];
-    bool in_range = true;
-    for (std::size_t l = 0; l < g && in_range; ++l) {
-      in_range = shares[i + l].signer < n_;
-      if (in_range) ctxs[l] = &signer_ctxs_[shares[i + l].signer];
+  std::vector<std::uint8_t> valid(shares.size(), 0);
+  const auto verify_range = [&](std::size_t i, std::size_t end) {
+    while (end - i >= 2) {
+      const std::size_t g = std::min(batch, end - i);
+      const HmacContext* ctxs[Sha256::kMaxBatch];
+      bool in_range = true;
+      for (std::size_t l = 0; l < g && in_range; ++l) {
+        in_range = shares[i + l].signer < n_;
+        if (in_range) ctxs[l] = &signer_ctxs_[shares[i + l].signer];
+      }
+      if (!in_range) break;  // fall back to singles
+      SignatureBytes expected[Sha256::kMaxBatch];
+      evaluate_batch(ctxs, g, message, expected);
+      for (std::size_t l = 0; l < g; ++l) {
+        valid[i + l] = shares[i + l].bytes == expected[l] ? 1 : 0;
+      }
+      i += g;
     }
-    if (!in_range) break;  // fall back to singles
-    SignatureBytes expected[Sha256::kMaxBatch];
-    evaluate_batch(ctxs, g, message, expected);
-    for (std::size_t l = 0; l < g; ++l) admit(shares[i + l], expected[l]);
-    i += g;
+    for (; i < end; ++i) {
+      const auto& share = shares[i];
+      if (share.signer >= n_) continue;
+      valid[i] = evaluate(signer_ctxs_[share.signer], message) == share.bytes ? 1 : 0;
+    }
+  };
+
+  // Quorum-sized bursts (and S sharded instances combining on one process)
+  // split across the pool's lanes, chunked on batch boundaries so each lane
+  // keeps full SIMD width. Lanes write disjoint flag ranges and the MAC
+  // kernels are pure stack compute, so the flags — and therefore the
+  // combine result — are identical for every pool size; small bursts and
+  // the 1-lane pool run inline, bit-for-bit the old serial path.
+  auto& pool = util::WorkerPool::global();
+  if (pool.lanes() > 1 && shares.size() >= 2 * batch) {
+    pool.for_ranges(shares.size(), batch,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      verify_range(begin, end);
+                    });
+  } else {
+    verify_range(0, shares.size());
   }
-  for (; i < shares.size(); ++i) {
-    const auto& share = shares[i];
-    if (share.signer >= n_) continue;
-    admit(share, evaluate(signer_ctxs_[share.signer], message));
+
+  std::vector<std::uint64_t> seen_mask((n_ + 63) / 64, 0);
+  std::uint32_t distinct_valid = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!valid[i]) continue;
+    auto& word = seen_mask[shares[i].signer >> 6];
+    const auto bit = std::uint64_t{1} << (shares[i].signer & 63);
+    if ((word & bit) != 0) continue;
+    word |= bit;
+    ++distinct_valid;
   }
 
   if (distinct_valid < threshold_) return std::nullopt;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "shard/sequencer.hpp"  // kMaxShards
 #include "util/check.hpp"
 
 namespace leopard::net {
@@ -97,6 +98,13 @@ Manifest Manifest::parse(std::string_view text) {
     } else if (key == "peer_buffer_bytes") {
       m.peer_buffer_bytes = parse_u64(value, line_no);
       if (m.peer_buffer_bytes == 0) fail(line_no, "peer_buffer_bytes must be > 0");
+    } else if (key == "shards") {
+      m.shards = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      if (m.shards < 1 || m.shards > shard::kMaxShards) {
+        fail(line_no, "shards must be in [1, " + std::to_string(shard::kMaxShards) + "]");
+      }
+    } else if (key == "encode_workers") {
+      m.encode_workers = static_cast<std::uint32_t>(parse_u64(value, line_no));
     } else if (key == "proxy") {
       const auto id = static_cast<sim::NodeId>(parse_u64(value, line_no));
       std::string addr;

@@ -22,6 +22,8 @@
 //   ...
 //   proxy 3 127.0.0.1:5103      # optional: dial replica 3 via this address
 //   peer_buffer_bytes 67108864  # optional: per-peer outbound buffer cap
+//   shards 2                    # optional: parallel protocol instances
+//   encode_workers 4            # optional: erasure-encode worker threads
 //
 // Unknown keys are rejected (a typo must not silently fall back to a
 // default). Parsing throws util::ContractViolation with a line diagnostic.
@@ -67,6 +69,15 @@ struct Manifest {
   /// Per-peer outbound buffer cap (SocketEnvOptions::peer_buffer_limit).
   /// Lower it to make shedding observable under chaos-proxy bandwidth caps.
   std::uint64_t peer_buffer_bytes = 64u << 20;
+
+  /// Parallel protocol instances multiplexed over the same connections
+  /// (shard s rotates replica ids by s; see src/shard/). 1 = classic
+  /// single-instance deployment, byte-compatible on the wire.
+  std::uint32_t shards = 1;
+
+  /// Worker threads for leader-side erasure-encode bursts and retrieval
+  /// share encoding (0 = derive from hardware_concurrency, 1 = serial).
+  std::uint32_t encode_workers = 1;
 
   /// Parses manifest text / a manifest file; throws util::ContractViolation
   /// with a line diagnostic on malformed or incomplete input.

@@ -151,6 +151,40 @@ void SocketEnv::apply(protocol::Action action) {
       action);
 }
 
+void SocketEnv::register_instance(std::uint32_t instance, InstanceHooks hooks) {
+  util::expects(!started_, "register_instance after run()");
+  util::expects(hooks.deliver != nullptr, "register_instance: deliver hook required");
+  const auto [it, inserted] =
+      instances_.try_emplace(instance, opts_.timer_tick);
+  util::expects(inserted, "register_instance: duplicate instance id");
+  it->second.hooks = std::move(hooks);
+}
+
+void SocketEnv::send_payload(std::uint32_t instance, sim::NodeId to, const sim::Payload& payload) {
+  util::Bytes frame;
+  if (encode_frame(payload, instance, frame) && check_frame_size(frame)) {
+    send_frame(to, std::move(frame));
+  }
+}
+
+void SocketEnv::broadcast_payload(std::uint32_t instance, const sim::Payload& payload) {
+  util::Bytes frame;
+  if (!encode_frame(payload, instance, frame) || !check_frame_size(frame)) return;
+  for (sim::NodeId id = 0; id < opts_.n_replicas; ++id) {
+    if (id == opts_.self) continue;
+    send_frame(id, frame);  // one serialization, one buffer copy per peer
+  }
+}
+
+void SocketEnv::arm_instance_timer(std::uint32_t instance, std::uint64_t token,
+                                   sim::SimTime delay) {
+  instances_.at(instance).timers.arm(token, now() + std::max<sim::SimTime>(delay, 0));
+}
+
+void SocketEnv::cancel_instance_timer(std::uint32_t instance, std::uint64_t token) {
+  instances_.at(instance).timers.cancel(token);
+}
+
 bool SocketEnv::check_frame_size(const util::Bytes& frame) {
   // Enforce the receive-side frame ceiling at the SENDER too: an oversized
   // frame would be flagged as stream desync by every receiver, and each
@@ -527,6 +561,20 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
     return;
   }
 
+  // Resolve the destination instance before decoding: a frame for an id we
+  // never registered (a peer running more shards than us, or a hostile tag)
+  // is dropped at frame level — the connection carries other instances'
+  // traffic and must survive.
+  const Instance* instance = nullptr;
+  if (frame.instance != 0 || protocol_ == nullptr) {
+    const auto it = instances_.find(frame.instance);
+    if (it == instances_.end()) {
+      ++stats_.unknown_instance;
+      return;
+    }
+    instance = &it->second;
+  }
+
   const auto payload = decode_payload(frame.type, frame.body, now());
   if (payload == nullptr) {
     ++stats_.decode_errors;
@@ -535,7 +583,15 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
   }
 
   const auto from = conn.peer;
-  if (payload_interceptor_ && payload_interceptor_(from, payload)) return;
+  // Node-level subsystems (state sync) speak untagged frames: the tap sees
+  // only instance-0 traffic, whichever core hosts it.
+  if (frame.instance == 0 && payload_interceptor_ && payload_interceptor_(from, payload)) {
+    return;
+  }
+  if (instance != nullptr) {
+    instance->hooks.deliver(from, payload);
+    return;
+  }
   if (auto cr = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(payload)) {
     protocol_->on_client_request(*this, from, cr);
   } else {
@@ -556,10 +612,14 @@ void SocketEnv::arm_aux_timer(std::uint64_t token, sim::SimTime delay) {
 void SocketEnv::cancel_aux_timer(std::uint64_t token) { aux_timers_.cancel(token); }
 
 void SocketEnv::run(const std::function<bool()>& should_stop) {
-  util::expects(protocol_ != nullptr, "SocketEnv::run without an attached protocol");
+  util::expects(protocol_ != nullptr || !instances_.empty(),
+                "SocketEnv::run without an attached protocol or registered instances");
   if (!started_) {
     started_ = true;
-    protocol_->on_start(*this);
+    if (protocol_ != nullptr) protocol_->on_start(*this);
+    for (auto& [id, instance] : instances_) {
+      if (instance.hooks.on_start) instance.hooks.on_start();
+    }
     for (const auto& [id, peer] : peers_) {
       if (peer.dialable) dial_peer(id);
     }
@@ -573,6 +633,11 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
 
     const auto t = now();
     core_timers_.advance(t, [this](TimerWheel::Token token) { fire_core_timer(token); });
+    for (auto& [id, instance] : instances_) {
+      instance.timers.advance(t, [&instance](TimerWheel::Token token) {
+        if (instance.hooks.on_timer) instance.hooks.on_timer(token);
+      });
+    }
     aux_timers_.advance(t, [this](TimerWheel::Token token) {
       if (aux_timer_handler_) aux_timer_handler_(token);
     });
@@ -591,6 +656,10 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
     if (wake < 0 || (internal_wake >= 0 && internal_wake < wake)) wake = internal_wake;
     const auto aux_wake = aux_timers_.next_wake();
     if (wake < 0 || (aux_wake >= 0 && aux_wake < wake)) wake = aux_wake;
+    for (const auto& [id, instance] : instances_) {
+      const auto instance_wake = instance.timers.next_wake();
+      if (wake < 0 || (instance_wake >= 0 && instance_wake < wake)) wake = instance_wake;
+    }
 
     int timeout_ms = kMaxPollMs;
     if (wake >= 0) {

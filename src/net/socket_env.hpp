@@ -84,6 +84,36 @@ class SocketEnv final : public protocol::Env {
   /// Binds the protocol core this env hosts (not owned).
   void attach(protocol::Protocol& protocol) { protocol_ = &protocol; }
 
+  /// Multi-instance hosting (sharding): an additional core multiplexed over
+  /// this env's connections. The hooks live in the instance's own Env
+  /// adapter (shard::MuxEnv) — the transport only routes. Instance 0 travels
+  /// as bare frames (wire-compatible with unsharded peers); any other id
+  /// rides a kShardFrame envelope. Instance ids must be registered before
+  /// run(); a frame tagged with an unregistered id is counted and dropped
+  /// (frame-level, the connection survives — a mixed-S cluster must not
+  /// flap links).
+  struct InstanceHooks {
+    /// Delivered once when run() starts (call the core's on_start).
+    std::function<void()> on_start;
+    /// One decoded inbound payload addressed to this instance.
+    std::function<void(sim::NodeId from, const sim::PayloadPtr&)> deliver;
+    /// One due timer from this instance's wheel.
+    std::function<void(std::uint64_t token)> on_timer;
+  };
+  void register_instance(std::uint32_t instance, InstanceHooks hooks);
+
+  /// Outbound path for registered instances: encodes `payload` addressed to
+  /// `instance` and sends/queues it toward `to` (a transport-level node id).
+  void send_payload(std::uint32_t instance, sim::NodeId to, const sim::Payload& payload);
+  /// One serialization fanned to every replica peer except self.
+  void broadcast_payload(std::uint32_t instance, const sim::Payload& payload);
+
+  /// Per-instance timer wheel (Env SetTimer/CancelTimer semantics: re-arm
+  /// replaces, cancel of an unknown token is a no-op). `delay` is relative
+  /// to now().
+  void arm_instance_timer(std::uint32_t instance, std::uint64_t token, sim::SimTime delay);
+  void cancel_instance_timer(std::uint32_t instance, std::uint64_t token);
+
   /// Application observer for Execute actions.
   using ExecuteObserver = std::function<void(const protocol::Execute&)>;
   void set_execute_observer(ExecuteObserver obs) { execute_observer_ = std::move(obs); }
@@ -130,6 +160,7 @@ class SocketEnv final : public protocol::Env {
     std::uint64_t frames_dropped = 0;  // peer-buffer overflow
     std::uint64_t connects = 0;        // successful dials (incl. reconnects)
     std::uint64_t accepts = 0;
+    std::uint64_t unknown_instance = 0;  // frames for an unregistered instance
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -202,8 +233,16 @@ class SocketEnv final : public protocol::Env {
   void update_interest(Conn& conn);
   void fire_core_timer(TimerWheel::Token token);
 
+  struct Instance {
+    InstanceHooks hooks;
+    TimerWheel timers;
+
+    explicit Instance(sim::SimTime tick) : timers(tick) {}
+  };
+
   SocketEnvOptions opts_;
   protocol::Protocol* protocol_ = nullptr;
+  std::map<std::uint32_t, Instance> instances_;
   ExecuteObserver execute_observer_;
   PayloadInterceptor payload_interceptor_;
   std::function<void(std::uint64_t)> aux_timer_handler_;

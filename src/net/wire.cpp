@@ -442,6 +442,10 @@ std::optional<MsgType> type_of(const sim::Payload& payload) {
 }
 
 bool encode_frame(const sim::Payload& payload, util::Bytes& out) {
+  return encode_frame(payload, /*instance=*/0, out);
+}
+
+bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Bytes& out) {
   const auto type = type_of(payload);
   if (!type) return false;
 
@@ -500,20 +504,37 @@ bool encode_frame(const sim::Payload& payload, util::Bytes& out) {
       encode_body(w, static_cast<const proto::StateChunkMsg&>(payload));
       break;
     case MsgType::kHello:
-      return false;  // unreachable: Hello is not a Payload
+    case MsgType::kShardFrame:
+      return false;  // unreachable: neither is a Payload encoding
   }
 
   const auto& frame = w.bytes();
   ByteWriter header(kFrameHeaderBytes);
-  header.u32(static_cast<std::uint32_t>(frame.size()));
+  if (instance == 0) {
+    // Bare frame: byte-identical to the pre-shard wire format.
+    header.u32(static_cast<std::uint32_t>(frame.size()));
+    out.insert(out.end(), header.bytes().begin(), header.bytes().end());
+    out.insert(out.end(), frame.begin(), frame.end());
+    return true;
+  }
+  // kShardFrame envelope: u32 len | u8 kShardFrame | u32 instance | inner.
+  header.u32(static_cast<std::uint32_t>(frame.size() + 5));
+  ByteWriter envelope(5);
+  envelope.u8(static_cast<std::uint8_t>(MsgType::kShardFrame));
+  envelope.u32(instance);
   out.insert(out.end(), header.bytes().begin(), header.bytes().end());
+  out.insert(out.end(), envelope.bytes().begin(), envelope.bytes().end());
   out.insert(out.end(), frame.begin(), frame.end());
   return true;
 }
 
 util::Bytes encode_frame(const sim::Payload& payload) {
+  return encode_frame(payload, /*instance=*/0);
+}
+
+util::Bytes encode_frame(const sim::Payload& payload, std::uint32_t instance) {
   util::Bytes out;
-  const bool ok = encode_frame(payload, out);
+  const bool ok = encode_frame(payload, instance, out);
   util::ensures(ok, "encode_frame: payload type has no wire form");
   return out;
 }
@@ -602,7 +623,10 @@ sim::PayloadPtr decode_payload(MsgType type, std::span<const std::uint8_t> body,
         msg = decode_state_chunk(r);
         break;
       case MsgType::kHello:
-        return nullptr;  // handshake frames are handled by the connection layer
+      case MsgType::kShardFrame:
+        // Handshake frames belong to the connection layer; shard envelopes
+        // are unwrapped by FrameReader and never reach the payload decoder.
+        return nullptr;
     }
     // Trailing garbage after a well-formed body is a framing bug somewhere;
     // reject rather than silently accept a longer-than-declared message.
@@ -642,8 +666,33 @@ FrameReader::Status FrameReader::next(Frame& out) {
   if (avail < kFrameHeaderBytes + len) return Status::kNeedMore;
 
   out.type = static_cast<MsgType>(buf_[pos_ + kFrameHeaderBytes]);
+  out.instance = 0;
   out.body = std::span<const std::uint8_t>(buf_.data() + pos_ + kFrameHeaderBytes + 1, len - 1);
   pos_ += kFrameHeaderBytes + len;
+
+  if (out.type == MsgType::kShardFrame) {
+    // Unwrap the envelope: u32 instance | u8 inner type | inner body. The
+    // inner frame must be a real message — a nested envelope or a wrapped
+    // Hello is a protocol violation (handshakes identify the connection, not
+    // an instance), and a truncated envelope is indistinguishable from
+    // desync; all three poison the stream like a bad length header.
+    if (out.body.size() < 5) {
+      errored_ = true;
+      return Status::kError;
+    }
+    std::uint32_t instance = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      instance |= static_cast<std::uint32_t>(out.body[i]) << (8 * i);
+    }
+    const auto inner = static_cast<MsgType>(out.body[4]);
+    if (inner == MsgType::kShardFrame || inner == MsgType::kHello) {
+      errored_ = true;
+      return Status::kError;
+    }
+    out.instance = instance;
+    out.type = inner;
+    out.body = out.body.subspan(5);
+  }
   return Status::kFrame;
 }
 

@@ -52,6 +52,11 @@ enum class MsgType : std::uint8_t {
   kBaselineVote = 16,
   kStateOffer = 17,
   kStateChunk = 18,
+  // Sharding wrapper: u32 instance id + one complete inner frame body
+  // (u8 inner type + inner body). Instance 0 is never wrapped — a
+  // single-instance cluster emits byte-identical pre-shard frames — so the
+  // tag only appears on the wire between shard-aware nodes.
+  kShardFrame = 19,
 };
 
 /// Default ceiling on `length` (tag + body). A Leopard datablock of 4000
@@ -81,8 +86,16 @@ struct Hello {
 /// unknown.
 bool encode_frame(const sim::Payload& payload, util::Bytes& out);
 
+/// As above, addressed to a protocol instance: instance 0 emits the bare
+/// (pre-shard, byte-compatible) frame; any other instance wraps the frame in
+/// a kShardFrame envelope carrying the instance id.
+bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Bytes& out);
+
 /// Convenience: a freshly allocated frame for `payload`.
 [[nodiscard]] util::Bytes encode_frame(const sim::Payload& payload);
+
+/// Convenience: a freshly allocated frame addressed to `instance`.
+[[nodiscard]] util::Bytes encode_frame(const sim::Payload& payload, std::uint32_t instance);
 
 /// Serializes a Hello handshake frame.
 [[nodiscard]] util::Bytes encode_hello_frame(const Hello& hello);
@@ -116,9 +129,14 @@ class FrameReader {
   };
 
   /// One reassembled frame. `body` points into the reader's buffer and is
-  /// valid until the next feed()/next() call.
+  /// valid until the next feed()/next() call. kShardFrame envelopes are
+  /// unwrapped here: `type`/`body` describe the inner frame and `instance`
+  /// carries the envelope's instance id (0 for bare frames). A malformed
+  /// envelope — truncated, nested, or wrapping a Hello — is a stream error
+  /// like any bad header.
   struct Frame {
     MsgType type{};
+    std::uint32_t instance = 0;
     std::span<const std::uint8_t> body;
   };
 

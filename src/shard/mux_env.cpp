@@ -1,0 +1,83 @@
+#include "shard/mux_env.hpp"
+
+#include <utility>
+
+#include "protocol/sim_env.hpp"  // apply_metrics_update
+#include "util/check.hpp"
+
+namespace leopard::shard {
+
+MuxEnv::MuxEnv(net::SocketEnv& socket, core::ProtocolMetrics& metrics,
+               std::uint32_t n_replicas, std::uint32_t shard, std::uint32_t shards)
+    : socket_(socket), n_(n_replicas), shard_(shard), metrics_(metrics) {
+  util::expects(shard < shards, "MuxEnv: shard out of range");
+  util::expects(shards <= kMaxShards, "MuxEnv: too many shards");
+  net::SocketEnv::InstanceHooks hooks;
+  hooks.on_start = [this] { on_start(); };
+  hooks.deliver = [this](sim::NodeId from, const sim::PayloadPtr& payload) {
+    deliver(from, payload);
+  };
+  hooks.on_timer = [this](std::uint64_t token) {
+    core_->on_timer(*this, static_cast<protocol::TimerToken>(token));
+  };
+  socket_.register_instance(shard, std::move(hooks));
+}
+
+sim::NodeId MuxEnv::rotate_out(sim::NodeId core_id) const {
+  if (core_id >= n_) return core_id;  // clients pass through unrotated
+  return (core_id + shard_) % n_;
+}
+
+sim::NodeId MuxEnv::rotate_in(sim::NodeId transport_id) const {
+  if (transport_id >= n_) return transport_id;
+  return (transport_id + n_ - shard_ % n_) % n_;
+}
+
+void MuxEnv::on_start() {
+  util::expects(core_ != nullptr, "MuxEnv: run() without an attached core");
+  core_->on_start(*this);
+}
+
+void MuxEnv::deliver(sim::NodeId from, const sim::PayloadPtr& payload) {
+  const auto core_from = rotate_in(from);
+  if (auto cr = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(payload)) {
+    core_->on_client_request(*this, core_from, cr);
+  } else {
+    core_->on_message(*this, core_from, payload);
+  }
+}
+
+void MuxEnv::inject_request(sim::NodeId from,
+                            std::shared_ptr<const proto::ClientRequestMsg> msg) {
+  core_->on_client_request(*this, from, std::move(msg));
+}
+
+void MuxEnv::apply(protocol::Action action) {
+  std::visit(
+      [&](auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, protocol::Send>) {
+          // Pseudo-client acks (stall no-ops) die here: the transport would
+          // only shed them per-frame anyway, with noisier stats.
+          if (a.to >= kNoopClientBase) return;
+          socket_.send_payload(shard_, rotate_out(a.to), *a.payload);
+        } else if constexpr (std::is_same_v<T, protocol::Broadcast>) {
+          // Rotation is a bijection on [0, n): "all replicas but self" is
+          // the same transport set, so broadcasts need no per-target rotation.
+          socket_.broadcast_payload(shard_, *a.payload);
+        } else if constexpr (std::is_same_v<T, protocol::SetTimer>) {
+          socket_.arm_instance_timer(shard_, a.token, a.delay);
+        } else if constexpr (std::is_same_v<T, protocol::CancelTimer>) {
+          socket_.cancel_instance_timer(shard_, a.token);
+        } else if constexpr (std::is_same_v<T, protocol::Execute>) {
+          if (execute_observer_) execute_observer_(a);
+        } else if constexpr (std::is_same_v<T, protocol::MetricsUpdate>) {
+          protocol::apply_metrics_update(metrics_, a);
+        } else {
+          // ChargeCpu: the real CPU already charged itself.
+        }
+      },
+      action);
+}
+
+}  // namespace leopard::shard

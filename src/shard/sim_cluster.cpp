@@ -1,0 +1,155 @@
+#include "shard/sim_cluster.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/check.hpp"
+
+namespace leopard::shard {
+
+std::vector<chaos::ExecRecord> reference_merge(
+    const std::vector<std::vector<chaos::ExecRecord>>& shard_streams) {
+  const auto shards = static_cast<std::uint32_t>(shard_streams.size());
+  std::vector<chaos::ExecRecord> out;
+  std::vector<std::size_t> next(shards, 0);
+  for (std::uint64_t q = 0;; ++q) {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const auto& stream = shard_streams[s];
+      auto& idx = next[s];
+      // Emit this shard's round-q records (incremental emission: they come
+      // out even if the slot never closes).
+      while (idx < stream.size() && stream[idx].seq == q) {
+        out.push_back(chaos::ExecRecord{q, pack_ordinal(s, stream[idx].ordinal),
+                                        stream[idx].fingerprint, stream[idx].requests});
+        ++idx;
+      }
+      // The slot closes only on proof sseq > q; without it the cursor parks
+      // here forever.
+      if (idx >= stream.size()) return out;
+    }
+  }
+}
+
+ShardedSimCluster::ShardedSimCluster(ShardedClusterConfig cfg) : cfg_(std::move(cfg)) {
+  util::expects(cfg_.n >= 4, "sharded cluster requires n >= 4");
+  util::expects(cfg_.shards >= 1 && cfg_.shards <= kMaxShards, "bad shard count");
+
+  sim::NetworkConfig net_cfg;
+  net_cfg.default_out_bps = cfg_.bandwidth_bps;
+  net_cfg.default_in_bps = cfg_.bandwidth_bps;
+  net_ = std::make_unique<sim::Network>(sim_, net_cfg);
+
+  const std::uint32_t f = (cfg_.n - 1) / 3;
+  // Per-shard crypto domain separation: shard s signs under seed + s, so a
+  // share never verifies across shards.
+  schemes_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    schemes_.emplace_back(cfg_.n, 2 * f + 1, cfg_.seed + s);
+  }
+
+  // Single-shard capacity from the harness model. Each machine runs one CPU
+  // lane per hosted core, so shards multiply CPU capacity; only the shared
+  // NIC carries S× the wire load, and at these payloads it has the headroom.
+  harness::ExperimentConfig est;
+  est.protocol = harness::Protocol::kLeopard;
+  est.n = cfg_.n;
+  est.payload_size = cfg_.payload_size;
+  est.datablock_requests = cfg_.datablock_requests;
+  est.bftblock_links = cfg_.bftblock_links;
+  est.bandwidth_bps = cfg_.bandwidth_bps;
+  const double per_shard_cap = harness::estimate_capacity(est);
+  offered_ = cfg_.offered_load > 0 ? cfg_.offered_load
+                                   : 0.9 * per_shard_cap * cfg_.shards;
+
+  core::LeopardConfig lcfg;
+  lcfg.n = cfg_.n;
+  lcfg.datablock_requests = cfg_.datablock_requests;
+  lcfg.bftblock_links = cfg_.bftblock_links;
+  lcfg.payload_size = cfg_.payload_size;
+  lcfg.mempool_capacity = std::max<std::uint32_t>(3 * cfg_.datablock_requests, 4000);
+  if (cfg_.proposal_max_wait > 0) lcfg.proposal_max_wait = cfg_.proposal_max_wait;
+  if (cfg_.datablock_max_wait > 0) lcfg.datablock_max_wait = cfg_.datablock_max_wait;
+  // Same rationale as the harness: saturation legitimately queues deep;
+  // spurious view changes are a different experiment.
+  lcfg.view_timeout = 3600 * sim::kSecond;
+
+  const sim::NodeId leader_core = 1 % cfg_.n;
+
+  // --- Replica machines (phys ids 0..n-1, in registration order) ----------
+  for (std::uint32_t phys = 0; phys < cfg_.n; ++phys) {
+    auto spec_for = [&, phys](std::uint32_t s) {
+      protocol::ProtocolSpec spec;
+      spec.config = lcfg;
+      if (cfg_.mutate_spec) cfg_.mutate_spec(spec, phys, s);
+      return spec;
+    };
+    auto node = std::make_unique<ShardedSimNode>(*net_, metrics_, spec_for, schemes_,
+                                                 cfg_.shards, phys, cfg_.stall_tick);
+    const auto id = net_->add_node(node.get());
+    util::ensures(id == phys, "replica node ids must equal phys ids");
+    // One CPU lane per hosted core (the machine runs one instance per
+    // hardware core, like the threaded SocketEnv deployment); envelopes
+    // demux to their shard's lane, bare payloads to shard 0's.
+    net_->set_cpu_lanes(id, cfg_.shards, [](const sim::Payload& p) {
+      const auto* env = dynamic_cast<const ShardEnvelope*>(&p);
+      return env ? env->shard : 0u;
+    });
+    nodes_.push_back(std::move(node));
+  }
+
+  // --- Client groups (one per non-leader core replica, like the harness) --
+  const double per_group = offered_ / static_cast<double>(cfg_.n - 1);
+  const auto backlog = std::max<std::uint32_t>(3 * cfg_.datablock_requests, 4000);
+  for (std::uint32_t c = 0; c < cfg_.n && cfg_.spawn_clients; ++c) {
+    if (c == leader_core) continue;
+    core::ClientConfig ccfg;
+    ccfg.request_rate = per_group;
+    ccfg.payload_size = cfg_.payload_size;
+    ccfg.initial_backlog = backlog;
+    auto client = std::make_unique<ShardedSimClient>(*net_, metrics_, ccfg, c, cfg_.n,
+                                                     leader_core, cfg_.shards,
+                                                     cfg_.seed + 1000 + c);
+    const auto id = net_->add_node(client.get(), /*metered=*/false);
+    client->set_self_id(id);
+    clients_.push_back(std::move(client));
+  }
+}
+
+void ShardedSimCluster::run_until(sim::SimTime t) {
+  if (!started_) {
+    net_->start_all();
+    started_ = true;
+  }
+  sim_.run_until(t);
+}
+
+std::uint64_t ShardedSimCluster::client_acked() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : clients_) sum += c->acked();
+  return sum;
+}
+
+chaos::OracleResult ShardedSimCluster::check_sharded_invariants() const {
+  chaos::OracleResult out;
+  std::vector<std::vector<chaos::ExecRecord>> merged_streams;
+  merged_streams.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const auto& node = *nodes_[i];
+    const auto label = "replica " + std::to_string(i);
+    for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+      out.merge(chaos::check_monotonic_commit(node.shard_streams()[s],
+                                              label + " shard " + std::to_string(s)));
+    }
+    if (reference_merge(node.shard_streams()) != node.merged()) {
+      out.violations.push_back(label +
+                               ": merged stream diverges from the reference re-merge "
+                               "of its shard streams");
+    }
+    merged_streams.push_back(node.merged());
+  }
+  out.merge(chaos::check_cross_replica_consistency(merged_streams));
+  return out;
+}
+
+}  // namespace leopard::shard

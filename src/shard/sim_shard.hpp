@@ -1,0 +1,199 @@
+// Sharded simulation hosting: S unmodified sans-I/O cores per physical sim
+// node, multiplexed over the node's single metered NIC with one CPU lane
+// per core (the machine runs one instance per hardware core) — the
+// simulator twin of the SocketEnv instance registry and its per-instance
+// threads.
+//
+// Identity model. Shard s rotates the replica-id space by s: core-level
+// replica c of shard s lives on physical node (c + s) mod n, so every shard
+// sees a full n-replica cluster while each shard's LEADER (core id 1 mod n)
+// lands on a different machine — the whole point of sharding a
+// leader-CPU-bound protocol. Ids >= n (clients) pass through unrotated;
+// ids >= shard::kNoopClientBase are liveness no-op pseudo-clients whose
+// sends are dropped at this boundary (the simulator aborts on unknown
+// destinations, and the acks have no consumer).
+//
+// Transport mux. Shard 0 traffic travels as the bare inner payload —
+// byte-compatible with an unsharded cluster — while shard s > 0 rides a
+// ShardEnvelope (the sim analogue of the kShardFrame wire envelope, +4
+// bytes like its u32 instance id). The physical node demuxes envelopes to
+// the per-shard env; bare payloads go to shard 0.
+//
+// Ordering. Each replica node feeds its S per-shard Execute streams through
+// a shard::Sequencer; the merged global stream (and its fold digest) is
+// what reports, durability, and cross-replica oracles consume. A stall
+// tick injects no-op requests into the local core of the shard blocking
+// the merge (see sequencer.hpp for the liveness argument).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/oracles.hpp"
+#include "core/client.hpp"
+#include "core/metrics.hpp"
+#include "protocol/factory.hpp"
+#include "protocol/protocol.hpp"
+#include "shard/sequencer.hpp"
+#include "sim/network.hpp"
+
+namespace leopard::shard {
+
+/// Sim twin of the kShardFrame envelope: tags an inner payload with the
+/// shard (instance) id it is addressed to. Bandwidth accounting delegates
+/// to the inner payload so Table-III component breakdowns stay honest.
+struct ShardEnvelope final : sim::Payload {
+  std::uint32_t shard = 0;
+  sim::PayloadPtr inner;
+
+  ShardEnvelope(std::uint32_t s, sim::PayloadPtr p) : shard(s), inner(std::move(p)) {}
+  [[nodiscard]] std::size_t wire_size() const override { return inner->wire_size() + 4; }
+  [[nodiscard]] sim::Component component() const override { return inner->component(); }
+};
+
+/// protocol::Env adapter for ONE core (replica or client) of ONE shard,
+/// hosted on a physical sim node owned by ShardedSimNode/ShardedSimClient.
+/// Applies the id rotation both ways, wraps outbound payloads for shards
+/// > 0, drops no-op-client sends, and forwards Execute to the owner.
+class ShardSimEnv final : public protocol::Env {
+ public:
+  ShardSimEnv(sim::Network& net, core::ProtocolMetrics& metrics, std::uint32_t n_replicas,
+              std::uint32_t shard, std::uint32_t shards);
+
+  void attach(protocol::Protocol& core) { core_ = &core; }
+  /// Physical node id sends originate from (assigned by Network::add_node).
+  void set_phys_id(sim::NodeId id) { phys_ = id; }
+
+  using ExecuteObserver = std::function<void(const protocol::Execute&)>;
+  void set_execute_observer(ExecuteObserver obs) { execute_observer_ = std::move(obs); }
+
+  /// Starts the attached core (owner calls once from sim::Node::start).
+  void start();
+  /// One inbound payload from physical node `phys_from`, already unwrapped.
+  void deliver(sim::NodeId phys_from, const sim::PayloadPtr& inner);
+  /// Direct client-request injection into the core (stall no-ops).
+  void inject_request(sim::NodeId from, std::shared_ptr<const proto::ClientRequestMsg> msg);
+
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
+
+  // -- protocol::Env ---------------------------------------------------------
+  [[nodiscard]] sim::SimTime now() const override { return net_.sim().now(); }
+  [[nodiscard]] const sim::CostModel& costs() const override { return net_.costs(); }
+  void apply(protocol::Action action) override;
+
+ private:
+  void fire_timer(protocol::TimerToken token);
+  [[nodiscard]] sim::NodeId rotate_out(sim::NodeId core_id) const;
+  [[nodiscard]] sim::NodeId rotate_in(sim::NodeId phys_id) const;
+  [[nodiscard]] sim::PayloadPtr wrap(sim::PayloadPtr payload) const;
+
+  sim::Network& net_;
+  core::ProtocolMetrics& metrics_;
+  protocol::Protocol* core_ = nullptr;
+  sim::NodeId phys_ = 0;
+  std::uint32_t n_;
+  std::uint32_t shard_;
+  std::vector<sim::NodeId> replica_phys_ids_;  // broadcast target set
+  std::unordered_map<protocol::TimerToken, sim::EventHandle> timers_;
+  ExecuteObserver execute_observer_;
+};
+
+/// One physical replica machine hosting core (phys - s) mod n of every
+/// shard s, plus the sequencer merging their commit streams.
+class ShardedSimNode final : public sim::Node {
+ public:
+  /// `spec_for(shard)` builds the per-shard core spec (byzantine hooks for
+  /// chaos live here); `schemes[shard]` is that shard's threshold scheme.
+  ShardedSimNode(sim::Network& net, core::ProtocolMetrics& metrics,
+                 const std::function<protocol::ProtocolSpec(std::uint32_t shard)>& spec_for,
+                 const std::vector<crypto::ThresholdScheme>& schemes, std::uint32_t shards,
+                 sim::NodeId phys_id, sim::SimTime stall_tick);
+
+  // -- sim::Node -------------------------------------------------------------
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+  /// Merged global Execute stream (chaos-oracle form: exec.seq/ordinal are
+  /// the global coordinates).
+  [[nodiscard]] const std::vector<chaos::ExecRecord>& merged() const { return merged_; }
+  /// Shard-local Execute streams, for the merge oracle (recomputing the
+  /// global stream from these must reproduce `merged()` exactly).
+  [[nodiscard]] const std::vector<std::vector<chaos::ExecRecord>>& shard_streams() const {
+    return shard_streams_;
+  }
+  [[nodiscard]] const Sequencer& sequencer() const { return sequencer_; }
+  [[nodiscard]] std::uint64_t noops_injected() const { return noops_injected_; }
+  [[nodiscard]] sim::NodeId phys_id() const { return phys_; }
+
+  /// Typed access to the shard-s core (tests).
+  template <typename T>
+  [[nodiscard]] T& core_as(std::uint32_t shard) const {
+    return dynamic_cast<T&>(*cores_.at(shard));
+  }
+
+  /// Injects one request straight into the shard-s core on this machine
+  /// (tests and chaos scenarios drive one shard without a client). The
+  /// request must use a no-op pseudo-client id so its acks die at the env
+  /// boundary instead of targeting a nonexistent sim node.
+  void inject_local_request(std::uint32_t shard, proto::Request req);
+
+ private:
+  void stall_tick();
+
+  sim::Network& net_;
+  sim::NodeId phys_;
+  std::uint32_t shards_;
+  sim::SimTime stall_tick_interval_;
+  std::vector<std::unique_ptr<ShardSimEnv>> envs_;
+  std::vector<std::unique_ptr<protocol::Protocol>> cores_;
+  Sequencer sequencer_;
+  std::vector<chaos::ExecRecord> merged_;
+  std::vector<std::vector<chaos::ExecRecord>> shard_streams_;
+  sim::EventHandle stall_event_;
+  std::uint64_t last_emitted_ = 0;
+  std::uint64_t noops_injected_ = 0;
+  std::uint64_t noop_seq_ = 0;
+  /// Real (non-filler) records pushed but not yet merged — the stall
+  /// detector's trigger. Filler commits deliberately don't count, or every
+  /// no-op would re-arm the detector and an idle cluster would heartbeat
+  /// no-ops forever.
+  std::uint64_t pending_real_ = 0;
+};
+
+/// One client group split into S sub-clients sharing the group's node id:
+/// request index i of the group goes to shard shard_of(seed, i, S), so the
+/// offered load hash-partitions across shards exactly like the TCP driver.
+/// Acks demux by envelope shard, so per-shard seq spaces may overlap
+/// without protocol-level collision (per-core identity spaces are
+/// disjoint).
+class ShardedSimClient final : public sim::Node {
+ public:
+  /// `cfg` describes the WHOLE group; rate/backlog/window/total split across
+  /// shards by the hash partition. `target` is the core-level replica the
+  /// group submits to (rotation spreads the physical destination per shard).
+  ShardedSimClient(sim::Network& net, core::ProtocolMetrics& metrics,
+                   const core::ClientConfig& cfg, sim::NodeId target,
+                   std::uint32_t replica_count, sim::NodeId avoid, std::uint32_t shards,
+                   std::uint64_t seed);
+
+  /// Group node id (assigned by Network::add_node) — the client_id every
+  /// sub-client stamps on its requests.
+  void set_self_id(sim::NodeId id);
+
+  // -- sim::Node -------------------------------------------------------------
+  void start() override;
+  void on_message(sim::NodeId from, const sim::PayloadPtr& msg) override;
+
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t acked() const;
+  [[nodiscard]] bool done() const;
+
+ private:
+  std::vector<std::unique_ptr<ShardSimEnv>> envs_;
+  std::vector<std::unique_ptr<core::LeopardClient>> subs_;
+};
+
+}  // namespace leopard::shard

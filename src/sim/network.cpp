@@ -32,6 +32,25 @@ void Network::set_nic(NodeId id, double out_bps, double in_bps, bool shared_dupl
   states_[id].shared_duplex = shared_duplex;
 }
 
+void Network::set_cpu_lanes(NodeId id, std::uint32_t lanes, LaneSelector selector) {
+  util::expects(id < states_.size(), "set_cpu_lanes: bad node id");
+  util::expects(lanes >= 1, "set_cpu_lanes: need at least one lane");
+  auto& st = states_[id];
+  for (const auto& lane : st.lanes) {
+    util::expects(inbox_empty(lane) && !lane.dispatch_busy,
+                  "set_cpu_lanes: reshaping a node with traffic in flight");
+  }
+  st.lanes.assign(lanes, CpuLane{});
+  st.active_lane = 0;
+  st.lane_selector = std::move(selector);
+}
+
+void Network::set_active_lane(NodeId id, std::uint32_t lane) {
+  util::expects(id < states_.size(), "set_active_lane: bad node id");
+  auto& st = states_[id];
+  st.active_lane = std::min<std::uint32_t>(lane, static_cast<std::uint32_t>(st.lanes.size()) - 1);
+}
+
 void Network::start_all() {
   for (auto* n : nodes_) n->start();
 }
@@ -54,14 +73,15 @@ void Network::send(NodeId from, NodeId to, PayloadPtr msg) {
 
   if (s.metered) {
     traffic_.record(from, Direction::kSend, msg->component(), size);
-    // Sender CPU: serialize/syscall.
+    // Sender CPU: serialize/syscall, on the sending core's lane.
     const SimTime cpu_cost =
         cfg_.costs.send_per_msg + cfg_.costs.per_bytes(cfg_.costs.send_per_byte_ns, size);
-    s.cpu_busy_until = std::max(s.cpu_busy_until, sim_.now()) + cpu_cost;
+    auto& lane = s.lanes[s.active_lane];
+    lane.cpu_busy_until = std::max(lane.cpu_busy_until, sim_.now()) + cpu_cost;
     // Egress NIC serialization (shared duplex uses the tx timeline for both
     // directions).
     auto& link_busy = s.tx_busy_until;
-    const SimTime tx_start = std::max(s.cpu_busy_until, link_busy);
+    const SimTime tx_start = std::max(lane.cpu_busy_until, link_busy);
     link_busy = tx_start + transmission_delay(size, s.out_bps);
     if (s.shared_duplex) s.rx_busy_until = link_busy;
     depart = link_busy;
@@ -92,11 +112,17 @@ void Network::arrive(NodeId from, NodeId to, const PayloadPtr& msg, std::size_t 
   if (r.shared_duplex) r.rx_busy_until = link_busy;
   const SimTime rx_done = link_busy;
 
-  inbox_push(r, PendingDelivery{from, msg, rx_done, size});
-  maybe_dispatch(to);
+  // Demux to the receiving core's lane (single-lane nodes skip the selector).
+  const auto lane_idx =
+      r.lane_selector ? std::min<std::uint32_t>(
+                            r.lane_selector(*msg),
+                            static_cast<std::uint32_t>(r.lanes.size()) - 1)
+                      : 0;
+  inbox_push(r.lanes[lane_idx], PendingDelivery{from, msg, rx_done, size});
+  maybe_dispatch(to, lane_idx);
 }
 
-void Network::inbox_push(NodeState& st, PendingDelivery&& d) {
+void Network::inbox_push(CpuLane& st, PendingDelivery&& d) {
   std::uint32_t idx;
   if (inbox_free_ != kNilSlot) {
     idx = inbox_free_;
@@ -116,7 +142,7 @@ void Network::inbox_push(NodeState& st, PendingDelivery&& d) {
   st.inbox_tail = idx;
 }
 
-Network::PendingDelivery Network::inbox_pop(NodeState& st) {
+Network::PendingDelivery Network::inbox_pop(CpuLane& st) {
   util::expects(st.inbox_head != kNilSlot, "dispatch with empty inbox");
   const std::uint32_t idx = st.inbox_head;
   auto& slot = inbox_slab_[idx];
@@ -129,34 +155,36 @@ Network::PendingDelivery Network::inbox_pop(NodeState& st) {
   return d;
 }
 
-void Network::maybe_dispatch(NodeId to) {
-  auto& r = states_[to];
-  if (r.dispatch_busy || inbox_empty(r)) return;
-  r.dispatch_busy = true;
+void Network::maybe_dispatch(NodeId to, std::uint32_t lane_idx) {
+  auto& lane = states_[to].lanes[lane_idx];
+  if (lane.dispatch_busy || inbox_empty(lane)) return;
+  lane.dispatch_busy = true;
   const SimTime at =
-      std::max({sim_.now(), inbox_slab_[r.inbox_head].d.ready_at, r.cpu_busy_until});
-  sim_.schedule_at(at, [this, to] { process_inbox_front(to); });
+      std::max({sim_.now(), inbox_slab_[lane.inbox_head].d.ready_at, lane.cpu_busy_until});
+  sim_.schedule_at(at, [this, to, lane_idx] { process_inbox_front(to, lane_idx); });
 }
 
-void Network::process_inbox_front(NodeId to) {
-  auto& r = states_[to];
-  PendingDelivery d = inbox_pop(r);
+void Network::process_inbox_front(NodeId to, std::uint32_t lane_idx) {
+  auto& lane = states_[to].lanes[lane_idx];
+  PendingDelivery d = inbox_pop(lane);
 
   // Receiver CPU: deserialize + dispatch. Additional handler costs (crypto,
   // bookkeeping) are charged by the handler via charge_cpu and delay the
-  // dispatch of everything still queued behind it.
+  // dispatch of everything still queued behind it on this lane.
   const SimTime cpu_cost =
       cfg_.costs.recv_per_msg + cfg_.costs.per_bytes(cfg_.costs.recv_per_byte_ns, d.size);
-  const SimTime start = std::max(sim_.now(), r.cpu_busy_until);
-  r.cpu_busy_until = start + cpu_cost;
+  const SimTime start = std::max(sim_.now(), lane.cpu_busy_until);
+  lane.cpu_busy_until = start + cpu_cost;
 
-  auto dispatch = [this, to, from = d.from, msg = std::move(d.msg)] {
+  auto dispatch = [this, to, lane_idx, from = d.from, msg = std::move(d.msg)] {
+    // Pin the lane so handler charges and sends bill the dispatching core.
+    states_[to].active_lane = lane_idx;
     nodes_[to]->on_message(from, msg);
-    states_[to].dispatch_busy = false;
-    maybe_dispatch(to);
+    states_[to].lanes[lane_idx].dispatch_busy = false;
+    maybe_dispatch(to, lane_idx);
   };
   static_assert(sizeof(dispatch) <= EventCallback::kInlineCapacity);
-  sim_.schedule_at(r.cpu_busy_until, std::move(dispatch));
+  sim_.schedule_at(lane.cpu_busy_until, std::move(dispatch));
 }
 
 void Network::multicast(NodeId from, std::span<const NodeId> targets, const PayloadPtr& msg) {
@@ -170,7 +198,8 @@ void Network::charge_cpu(NodeId id, SimTime cost) {
   util::expects(id < states_.size(), "charge_cpu: bad node id");
   auto& s = states_[id];
   if (!s.metered || cost <= 0) return;
-  s.cpu_busy_until = std::max(s.cpu_busy_until, sim_.now()) + cost;
+  auto& lane = s.lanes[s.active_lane];
+  lane.cpu_busy_until = std::max(lane.cpu_busy_until, sim_.now()) + cost;
 }
 
 }  // namespace leopard::sim

@@ -11,6 +11,17 @@
 // shared-duplex NICs (the NetEm-throttled configuration of Fig. 10) egress
 // and ingress serialize on a single link timeline, matching §V's accounting
 // of send+receive against one capacity C.
+//
+// CPU lanes. A node defaults to ONE CPU timeline (a single-core machine —
+// the paper's per-replica accounting). A multi-core machine hosting several
+// protocol cores (sharding: one instance per hardware core, like the
+// threaded SocketEnv instances) registers N lanes via set_cpu_lanes: each
+// lane is an independent busy-until timeline with its own dispatch FIFO,
+// while the NIC timelines stay shared — cores parallelize compute, not the
+// wire. A per-node selector routes each arriving payload to its lane;
+// handler charges (charge_cpu) and sender-side serialization costs go to
+// the node's *active* lane, pinned automatically during message dispatch
+// and explicitly (set_active_lane) by timer/injection entry points.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +79,22 @@ class Network {
   /// Overrides the NIC of one node (e.g., a throttled replica).
   void set_nic(NodeId id, double out_bps, double in_bps, bool shared_duplex);
 
+  /// Routes an arriving payload to the CPU lane (core) that handles it.
+  /// Return values clamp to the node's lane count.
+  using LaneSelector = std::function<std::uint32_t(const Payload&)>;
+
+  /// Models `id` as a multi-core machine: `lanes` independent CPU timelines
+  /// behind the shared NIC, one per hosted protocol core. Call before the
+  /// simulation starts; without it a node has one lane and behaves exactly
+  /// like the original single-CPU model.
+  void set_cpu_lanes(NodeId id, std::uint32_t lanes, LaneSelector selector);
+
+  /// Pins subsequent CPU charges at `id` (charge_cpu, sender-side send
+  /// costs) to `lane`. Message dispatch pins the receiving lane
+  /// automatically; code entering a core from OUTSIDE dispatch — timers,
+  /// local request injection — must pin its core's lane first.
+  void set_active_lane(NodeId id, std::uint32_t lane);
+
   /// Calls start() on every registered node.
   void start_all();
 
@@ -79,7 +106,7 @@ class Network {
   /// copy, which is exactly the leader-bottleneck effect under study.
   void multicast(NodeId from, std::span<const NodeId> targets, const PayloadPtr& msg);
 
-  /// Extends `id`'s CPU busy timeline (crypto, execution, bookkeeping).
+  /// Extends `id`'s active CPU lane (crypto, execution, bookkeeping).
   void charge_cpu(NodeId id, SimTime cost);
 
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -102,28 +129,35 @@ class Network {
     std::size_t size = 0;
   };
 
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  /// One core's compute timeline plus its receiver-side dispatch queue:
+  /// handlers on a lane run strictly one at a time, and costs charged by a
+  /// handler (charge_cpu) delay everything behind it ON THAT LANE only.
+  /// The FIFO is an intrusive list of slots in the network-wide inbox slab
+  /// (EventQueue's slab/free-list pattern): per-node std::deques cycled a
+  /// chunk allocation/free per ~64 messages each at steady state, which at
+  /// n=600 is pure allocator churn — the slab grows to the high-water mark
+  /// once and then recycles.
+  struct CpuLane {
+    SimTime cpu_busy_until = 0;
+    std::uint32_t inbox_head = kNilSlot;
+    std::uint32_t inbox_tail = kNilSlot;
+    bool dispatch_busy = false;
+  };
+
   struct NodeState {
     Node* node = nullptr;
     bool metered = true;
     double out_bps = 0;
     double in_bps = 0;
     bool shared_duplex = false;
-    SimTime cpu_busy_until = 0;
     SimTime tx_busy_until = 0;
     SimTime rx_busy_until = 0;  // aliases tx under shared duplex
-    // Receiver-side CPU dispatch queue: handlers run strictly one at a time,
-    // and costs charged by a handler (charge_cpu) delay everything behind it.
-    // The FIFO is an intrusive list of slots in the network-wide inbox slab
-    // (EventQueue's slab/free-list pattern): per-node std::deques cycled a
-    // chunk allocation/free per ~64 messages each at steady state, which at
-    // n=600 is pure allocator churn — the slab grows to the high-water mark
-    // once and then recycles.
-    std::uint32_t inbox_head = kNilSlot;
-    std::uint32_t inbox_tail = kNilSlot;
-    bool dispatch_busy = false;
+    std::vector<CpuLane> lanes = std::vector<CpuLane>(1);
+    std::uint32_t active_lane = 0;
+    LaneSelector lane_selector;
   };
-
-  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
   /// One slab slot: a pending delivery plus its FIFO link. Free slots chain
   /// through `next` from free_head_.
@@ -132,15 +166,15 @@ class Network {
     std::uint32_t next = kNilSlot;
   };
 
-  void inbox_push(NodeState& st, PendingDelivery&& d);
-  PendingDelivery inbox_pop(NodeState& st);
-  [[nodiscard]] static bool inbox_empty(const NodeState& st) {
-    return st.inbox_head == kNilSlot;
+  void inbox_push(CpuLane& lane, PendingDelivery&& d);
+  PendingDelivery inbox_pop(CpuLane& lane);
+  [[nodiscard]] static bool inbox_empty(const CpuLane& lane) {
+    return lane.inbox_head == kNilSlot;
   }
 
   void arrive(NodeId from, NodeId to, const PayloadPtr& msg, std::size_t size);
-  void maybe_dispatch(NodeId to);
-  void process_inbox_front(NodeId to);
+  void maybe_dispatch(NodeId to, std::uint32_t lane_idx);
+  void process_inbox_front(NodeId to, std::uint32_t lane_idx);
   [[nodiscard]] SimTime extra_delay(NodeId from, NodeId to) const;
 
   Simulator& sim_;

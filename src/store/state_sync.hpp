@@ -134,6 +134,10 @@ class StateSync {
   [[nodiscard]] const crypto::Digest& exec_digest() const { return exec_digest_; }
   [[nodiscard]] std::uint64_t executed_requests() const { return executed_requests_; }
   [[nodiscard]] std::uint64_t executed_blocks() const { return applied_count_; }
+  /// Durable tail coordinate (last applied seq/ordinal) — a sharded host
+  /// re-seats its cross-shard sequencer from this after recovery/transfer.
+  [[nodiscard]] std::uint64_t tail_seq() const { return tail_seq_; }
+  [[nodiscard]] std::uint32_t tail_ordinal() const { return tail_ordinal_; }
 
   struct Stats {
     std::uint64_t probes_sent = 0;

@@ -7,6 +7,7 @@
 #include "crypto/threshold_sig.hpp"
 #include "util/bytes.hpp"
 #include "util/check.hpp"
+#include "util/worker_pool.hpp"
 
 namespace lc = leopard::crypto;
 namespace lu = leopard::util;
@@ -176,6 +177,40 @@ TEST(ThresholdSig, CombineSkipsOutOfRangeSignerMidBatch) {
   const auto rest = shares_from(ts, msg, {2, 3, 4});
   shares.insert(shares.end(), rest.begin(), rest.end());
   EXPECT_TRUE(ts.combine(msg, shares).has_value());  // 5 valid distinct remain
+}
+
+TEST(ThresholdSig, CombineIsWorkerPoolSizeInvariant) {
+  // Combine bursts fan share verification across the worker pool; the
+  // verdict — including duplicate discounting, a corrupted share, and the
+  // out-of-range singles fallback inside one lane's chunk — must be
+  // identical for every pool size.
+  constexpr std::uint32_t n = 100, threshold = 67;
+  const lc::ThresholdScheme ts(n, threshold, 1717);
+  const auto msg = lc::Digest::of_string("pool-invariant");
+  std::vector<lc::SignatureShare> shares;
+  for (std::uint32_t i = 0; i < threshold; ++i) shares.push_back(ts.sign_share(i, msg));
+  shares[31].bytes[7] ^= 0x80;                     // one corrupted share
+  shares.push_back(ts.sign_share(10, msg));        // duplicate signer
+  shares.push_back(lc::SignatureShare{n + 5, {}}); // out-of-range mid-burst
+  for (std::uint32_t i = threshold; i < n; ++i) shares.push_back(ts.sign_share(i, msg));
+
+  auto& pool = lu::WorkerPool::global();
+  const auto serial = ts.combine(msg, shares);
+  ASSERT_TRUE(serial.has_value());
+  for (const std::size_t lanes : {2u, 4u, 7u}) {
+    pool.resize(lanes);
+    const auto parallel = ts.combine(msg, shares);
+    ASSERT_TRUE(parallel.has_value()) << "lanes=" << lanes;
+    EXPECT_EQ(*parallel, *serial) << "lanes=" << lanes;
+
+    // Exactly at threshold the corrupted share must still tip the verdict.
+    std::vector<lc::SignatureShare> exact(shares.begin(),
+                                          shares.begin() + threshold);
+    EXPECT_FALSE(ts.combine(msg, exact).has_value()) << "lanes=" << lanes;
+    exact[31].bytes[7] ^= 0x80;
+    EXPECT_TRUE(ts.combine(msg, exact).has_value()) << "lanes=" << lanes;
+  }
+  pool.resize(1);
 }
 
 TEST(ThresholdSig, CombineCorruptedTagHalfRejected) {

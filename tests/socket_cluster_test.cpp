@@ -59,7 +59,8 @@ std::string temp_dir() {
 }
 
 std::string write_manifest(const std::string& dir, const std::string& protocol,
-                           const std::vector<std::uint16_t>& ports) {
+                           const std::vector<std::uint16_t>& ports,
+                           std::uint32_t shards = 1) {
   const auto path = dir + "/cluster.conf";
   std::ofstream out(path);
   out << "protocol " << protocol << "\n"
@@ -73,7 +74,8 @@ std::string write_manifest(const std::string& dir, const std::string& protocol,
       << "proposal_max_wait_ms 10\n"
       << "retrieval_timeout_ms 20\n"
       << "view_timeout_ms 60000\n"   // generous: no spurious view changes under ASan
-      << "batch_size 50\n";
+      << "batch_size 50\n"
+      << "shards " << shards << "\n";
   for (std::size_t id = 0; id < ports.size(); ++id) {
     out << "node " << id << " 127.0.0.1:" << ports[id] << "\n";
   }
@@ -230,6 +232,109 @@ TEST(SocketCluster, LeopardCommitsEndToEnd) { expect_cluster_commits("leopard");
 TEST(SocketCluster, HotStuffCommitsEndToEnd) { expect_cluster_commits("hotstuff"); }
 
 TEST(SocketCluster, PbftCommitsEndToEnd) { expect_cluster_commits("pbft"); }
+
+// Two protocol shards multiplexed over the same TCP connections: every
+// replica must agree per shard (shardK_digest) AND on the merged global
+// stream (exec_digest), with every client request committed through one of
+// the shards.
+TEST(SocketCluster, ShardedLeopardCommitsEndToEnd) {
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  const auto manifest = write_manifest(dir, "leopard", ports, /*shards=*/2);
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    cluster.start(id, manifest, dir, dir + "/data" + std::to_string(id));
+  }
+
+  const auto client_out = dir + "/client.out";
+  ASSERT_EQ(run_client(manifest, client_out, 100, 300), 0)
+      << "sharded client did not get every request acked";
+  const auto client = parse_report(client_out);
+  EXPECT_EQ(client.at("acked"), "300");
+  EXPECT_EQ(client.at("shards"), "2");
+
+  // Let the stall ticks flush the trailing (unproven) rounds through no-op
+  // fill so every real commit reaches the merged stream before the snapshot.
+  ::usleep(1000 * 1000);
+
+  std::vector<std::map<std::string, std::string>> reports;
+  for (std::size_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.stop(id), 0) << "replica " << id << " did not exit cleanly";
+    reports.push_back(parse_report(cluster.outs[id]));
+  }
+  for (std::size_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("shards"), "2") << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+        << "replica " << id << " diverged on the merged stream";
+    for (const auto* key : {"shard0_digest", "shard1_digest"}) {
+      ASSERT_TRUE(reports[id].contains(key)) << "replica " << id;
+      EXPECT_EQ(reports[id].at(key), reports[0].at(key))
+          << "replica " << id << " diverged on " << key;
+    }
+    // All 300 real requests merged (no-op filler may add more on top).
+    EXPECT_GE(std::stoull(reports[id].at("executed_requests")), 300u) << "replica " << id;
+    // BOTH shards committed real traffic: the hash partition actually split
+    // the load across instances.
+    EXPECT_GT(std::stoull(reports[id].at("shard0_blocks")), 0u) << "replica " << id;
+    EXPECT_GT(std::stoull(reports[id].at("shard1_blocks")), 0u) << "replica " << id;
+    EXPECT_EQ(reports[id].at("decode_errors"), "0") << "replica " << id;
+    EXPECT_EQ(reports[id].at("store_append_errors"), "0") << "replica " << id;
+    EXPECT_EQ(reports[id].at("sync_live"), "1") << "replica " << id;
+  }
+}
+
+// The durable-state acceptance bar under sharding: SIGKILL a follower, keep
+// committing on both shards, restart it on its original data dir, and
+// require ALL FOUR replicas digest-equal on the merged Execute stream.
+TEST(SocketCluster, ShardedLeopardSurvivesKilledAndRestartedFollower) {
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  const auto manifest = write_manifest(dir, "leopard", ports, /*shards=*/2);
+
+  const auto data_dir = [&](std::size_t id) { return dir + "/data" + std::to_string(id); };
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) cluster.start(id, manifest, dir, data_dir(id));
+
+  ASSERT_EQ(run_client(manifest, dir + "/client1.out", 100, 150), 0);
+
+  // Replica 3 hosts shard-0 core 3 and shard-1 core 2 — killing it wounds
+  // BOTH consensus instances at once; each tolerates it (f = 1).
+  cluster.kill_hard(3);
+  ASSERT_EQ(run_client(manifest, dir + "/client2.out", 101, 150, /*resubmit_ms=*/500), 0)
+      << "sharded cluster must keep committing with one dead follower";
+
+  cluster.start(3, manifest, dir, data_dir(3));
+  ASSERT_EQ(run_client(manifest, dir + "/client3.out", 102, 100, /*resubmit_ms=*/500), 0)
+      << "sharded cluster must keep committing after the follower rejoined";
+
+  // Settle: state-transfer rounds for the restarted follower plus stall
+  // ticks flushing the trailing rounds of both shards.
+  ::usleep(2000 * 1000);
+  std::vector<std::map<std::string, std::string>> reports;
+  for (std::size_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.stop(id), 0) << "replica " << id;
+    reports.push_back(parse_report(cluster.outs[id]));
+  }
+  for (std::size_t id = 1; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+        << "replica " << id << " diverged on the merged stream";
+  }
+  EXPECT_GE(std::stoull(reports[0].at("executed_requests")), 400u);
+  EXPECT_EQ(reports[0].at("decode_errors"), "0");
+
+  // The restarted follower exercised recovery AND state transfer against the
+  // MERGED stream (global coordinates are the durable-commit identity).
+  const auto& follower = reports[3];
+  EXPECT_GT(std::stoull(follower.at("store_recovered_entries")), 0u)
+      << "restart did not recover from the WAL";
+  EXPECT_GT(std::stoull(follower.at("sync_entries")), 0u)
+      << "restart did not use state transfer to fill the gap";
+  EXPECT_EQ(follower.at("sync_live"), "1");
+  EXPECT_EQ(follower.at("sync_verify_failures"), "0");
+}
 
 TEST(SocketCluster, LeopardSurvivesKilledAndRestartedFollower) {
   const auto dir = temp_dir();

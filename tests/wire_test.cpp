@@ -450,6 +450,124 @@ TEST(Wire, StateChunkTruncatedBodyIsRejected) {
   EXPECT_EQ(net::decode_payload(net::MsgType::kStateChunk, body, 0), nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Shard-frame envelopes (instance-id field)
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ShardFrameRoundTripCarriesInstance) {
+  proto::VoteMsg vote;
+  vote.round = 1;
+  vote.block_digest = digest_of(0xD1);
+  vote.share = share_of(2, 0xD2);
+
+  const auto frame = net::encode_frame(vote, /*instance=*/7);
+  net::FrameReader reader;
+  reader.feed(frame);
+  net::FrameReader::Frame f;
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  EXPECT_EQ(f.instance, 7u);
+  EXPECT_EQ(f.type, net::MsgType::kVote);
+
+  const auto decoded =
+      std::dynamic_pointer_cast<const proto::VoteMsg>(net::decode_payload(f.type, f.body, 0));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->share, vote.share);
+  // Canonical: re-encoding to the same instance reproduces the bytes.
+  EXPECT_EQ(net::encode_frame(*decoded, 7), frame);
+}
+
+TEST(Wire, InstanceZeroIsByteCompatibleWithBareFrames) {
+  proto::AckMsg msg;
+  msg.client_id = 5;
+  msg.seqs = {1, 2};
+  // Instance 0 must emit exactly the pre-shard frame: an S=1 cluster is
+  // wire-compatible with unsharded peers.
+  EXPECT_EQ(net::encode_frame(msg, 0), net::encode_frame(msg));
+
+  net::FrameReader reader;
+  reader.feed(net::encode_frame(msg));
+  net::FrameReader::Frame f;
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  EXPECT_EQ(f.instance, 0u);  // bare frames read back as instance 0
+}
+
+TEST(Wire, HostileInstanceIdStillParses) {
+  // The reader's job is framing, not policy: a well-formed envelope with an
+  // absurd instance id parses cleanly (the transport drops it as unknown
+  // without poisoning the connection).
+  proto::AckMsg msg;
+  msg.client_id = 9;
+  const auto frame = net::encode_frame(msg, 0xFFFFFFFFu);
+  net::FrameReader reader;
+  reader.feed(frame);
+  net::FrameReader::Frame f;
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  EXPECT_EQ(f.instance, 0xFFFFFFFFu);
+  EXPECT_NE(net::decode_payload(f.type, f.body, 0), nullptr);
+  // The stream stays aligned: a following bare frame still reads.
+  reader.feed(net::encode_frame(msg));
+  ASSERT_EQ(reader.next(f), net::FrameReader::Status::kFrame);
+  EXPECT_EQ(f.instance, 0u);
+}
+
+TEST(Wire, NestedShardFrameIsAStickyError) {
+  // Hand-build an envelope whose inner frame is another envelope.
+  util::ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(net::MsgType::kShardFrame));
+  body.u32(1);                                                  // outer instance
+  body.u8(static_cast<std::uint8_t>(net::MsgType::kShardFrame));  // nested tag
+  body.u32(2);
+  body.u8(static_cast<std::uint8_t>(net::MsgType::kAck));
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body.bytes());
+
+  net::FrameReader reader;
+  reader.feed(frame.bytes());
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+  EXPECT_TRUE(reader.errored());
+}
+
+TEST(Wire, ShardWrappedHelloIsAStickyError) {
+  // Hellos identify the connection, never an instance; wrapping one is a
+  // protocol violation.
+  const auto hello = net::encode_hello_frame(net::Hello{net::Hello::kMagic, 3});
+  util::ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(net::MsgType::kShardFrame));
+  body.u32(1);
+  // Append the hello's tag+body (skip its length header).
+  body.raw(std::span<const std::uint8_t>(hello.data() + net::kFrameHeaderBytes,
+                                         hello.size() - net::kFrameHeaderBytes));
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body.bytes());
+
+  net::FrameReader reader;
+  reader.feed(frame.bytes());
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+}
+
+TEST(Wire, TruncatedShardEnvelopeIsAStickyError) {
+  // An envelope too short to hold instance id + inner tag.
+  util::ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(net::MsgType::kShardFrame));
+  body.u8(0x01);
+  body.u8(0x02);
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body.bytes());
+
+  net::FrameReader reader;
+  reader.feed(frame.bytes());
+  net::FrameReader::Frame f;
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+  // Sticky: a clean frame afterwards does not recover the stream.
+  reader.feed(net::encode_frame(proto::AckMsg{}));
+  EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+}
+
 TEST(Manifest, RejectsDuplicateAddress) {
   const char* text =
       "protocol leopard\n"

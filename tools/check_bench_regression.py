@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Compare a bench JSON record against its committed baseline.
 
-Understands two record families, selected by the record's "bench" field:
+Understands three record families, selected by the record's "bench" field:
   hotpath         — bench_hotpath (BENCH_hotpath.json baseline)
   erasure_kernel  — bench_erasure_kernel (BENCH_erasure.json baseline)
+  shard           — bench_shard (BENCH_shard.json baseline)
 
 Only machine-portable *ratio* metrics are compared (speedups of one kernel
 over another on the same machine in the same run); absolute MB/s, events/s,
@@ -42,6 +43,13 @@ METRIC_SETS = {
         # (~0.9x), a 4-core runner the real >= 2x; the committed baseline's
         # machine sets which regime the tolerance band tracks.
         ("parallel.speedup_w4", 2.0),
+    ],
+    "shard": [
+        # Simulated-time ratios (deterministic, machine-portable). The
+        # loopback kreq/s in the same record are single-host wall clock and
+        # deliberately not gated.
+        ("scaling.sim_speedup_s2", 1.5),
+        ("scaling.sim_speedup_s4", 3.0),
     ],
 }
 

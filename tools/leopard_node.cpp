@@ -37,9 +37,12 @@
 #include "net/socket_env.hpp"
 #include "net/wire.hpp"
 #include "protocol/factory.hpp"
+#include "shard/mux_env.hpp"
+#include "shard/sequencer.hpp"
 #include "store/replica_store.hpp"
 #include "store/state_sync.hpp"
 #include "util/bytes.hpp"
+#include "util/worker_pool.hpp"
 
 namespace {
 
@@ -58,6 +61,7 @@ struct Args {
   std::uint32_t window = 64;  // client: closed-loop window
   std::uint32_t payload = 0;  // client: payload override (0 = manifest value)
   std::uint32_t resubmit_ms = 1000;
+  std::uint32_t shards = 0;   // parallel protocol instances (0 = manifest value)
   std::string report_path;    // optional: also write the report to a file
 
   // Byzantine behaviour (replica mode; empty = honest).
@@ -74,7 +78,7 @@ struct Args {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --manifest FILE --id ID [--run-for SEC]\n"
+               "usage: %s --manifest FILE --id ID [--run-for SEC] [--shards S]\n"
                "          [--byzantine equivocate|silence|garbage-shares|laggard]\n"
                "          [--byzantine-lag-ms MS]\n"
                "          [--data-dir DIR] [--recover strict|truncate]\n"
@@ -82,6 +86,7 @@ struct Args {
                "          [--snapshot-every N]\n"
                "       %s --manifest FILE --id ID --client --requests N [--window W]\n"
                "          [--payload BYTES] [--resubmit-ms MS] [--timeout SEC]\n"
+               "          [--shards S]\n"
                "       (see docs/DEPLOY.md)\n",
                argv0, argv0);
   std::exit(2);
@@ -114,6 +119,12 @@ Args parse_args(int argc, char** argv) {
       args.payload = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--resubmit-ms") {
       args.resubmit_ms = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      args.shards = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (args.shards < 1 || args.shards > leopard::shard::kMaxShards) {
+        std::fprintf(stderr, "--shards out of range\n");
+        usage(argv[0]);
+      }
     } else if (arg == "--report") {
       args.report_path = next();
     } else if (arg == "--byzantine") {
@@ -232,9 +243,34 @@ std::optional<leopard::crypto::Digest> digest_of_frame(
   return lp::crypto::Digest{};
 }
 
+/// The canonical digest of an executed block (what the exec_digest fold and
+/// state transfer verify against): the cached digest of a Datablock/Baseline
+/// block, the zero digest for anything else.
+leopard::crypto::Digest block_digest_of(const leopard::sim::Payload& block) {
+  if (const auto* db = dynamic_cast<const leopard::proto::DatablockMsg*>(&block)) {
+    return db->cached_digest;
+  }
+  if (const auto* bb = dynamic_cast<const leopard::proto::BaselineBlockMsg*>(&block)) {
+    return bb->cached_digest;
+  }
+  return {};
+}
+
+/// Sizes the process-wide worker pool from the manifest: 0 derives from the
+/// machine, 1 keeps the serial path, N pins N lanes.
+void size_worker_pool(const leopard::net::Manifest& manifest) {
+  std::size_t lanes = manifest.encode_workers;
+  if (lanes == 0) {
+    const auto hw = std::thread::hardware_concurrency();
+    lanes = hw != 0 ? hw : 1;
+  }
+  leopard::util::WorkerPool::global().resize(lanes);
+}
+
 int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   namespace lp = leopard;
 
+  size_worker_pool(manifest);
   const lp::crypto::ThresholdScheme ts(manifest.n, manifest.quorum(), manifest.seed);
   const auto spec = manifest.spec();
 
@@ -307,13 +343,7 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   });
 
   env.set_execute_observer([&](const lp::protocol::Execute& e) {
-    lp::crypto::Digest block_digest;
-    if (const auto* db = dynamic_cast<const lp::proto::DatablockMsg*>(e.block.get())) {
-      block_digest = db->cached_digest;
-    } else if (const auto* bb =
-                   dynamic_cast<const lp::proto::BaselineBlockMsg*>(e.block.get())) {
-      block_digest = bb->cached_digest;
-    }
+    const auto block_digest = block_digest_of(*e.block);
     // The frame only matters when it can be persisted or buffered for later
     // persistence; skip the re-serialization when running ephemeral + live.
     lp::util::Bytes frame;
@@ -358,6 +388,283 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
     report += "state_digest=" + replica->state_digest().hex() + "\n";
     std::snprintf(buf, sizeof(buf), "view=%u executed_through=%llu\n", replica->view(),
                   static_cast<unsigned long long>(replica->executed_through()));
+    report += buf;
+  }
+  if (rstore != nullptr) {
+    const auto& st = rstore->stats();
+    std::snprintf(buf, sizeof(buf),
+                  "store_entries=%llu store_recovered_entries=%llu "
+                  "store_snapshot_index=%llu store_torn_bytes=%llu "
+                  "store_corrupt_dropped=%llu\n",
+                  static_cast<unsigned long long>(rstore->entries()),
+                  static_cast<unsigned long long>(recovery.entries),
+                  static_cast<unsigned long long>(recovery.snapshot_index),
+                  static_cast<unsigned long long>(recovery.torn_bytes),
+                  static_cast<unsigned long long>(recovery.corrupt_dropped));
+    report += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "store_appends=%llu store_append_errors=%llu store_fsyncs=%llu "
+                  "store_fsync_errors=%llu store_snapshots=%llu\n",
+                  static_cast<unsigned long long>(st.appends),
+                  static_cast<unsigned long long>(st.append_errors),
+                  static_cast<unsigned long long>(st.fsyncs),
+                  static_cast<unsigned long long>(st.fsync_errors),
+                  static_cast<unsigned long long>(st.snapshots_written));
+    report += buf;
+  }
+  {
+    const auto& ss = sync.stats();
+    std::snprintf(buf, sizeof(buf),
+                  "sync_live=%d sync_rounds=%llu sync_entries=%llu "
+                  "sync_duplicates=%llu sync_probes=%llu sync_pulls_served=%llu "
+                  "sync_verify_failures=%llu\n",
+                  sync.live() ? 1 : 0,
+                  static_cast<unsigned long long>(ss.rounds_completed),
+                  static_cast<unsigned long long>(ss.entries_transferred),
+                  static_cast<unsigned long long>(ss.duplicates_dropped),
+                  static_cast<unsigned long long>(ss.probes_sent),
+                  static_cast<unsigned long long>(ss.pulls_served),
+                  static_cast<unsigned long long>(ss.verify_failures));
+    report += buf;
+  }
+  print_transport_stats(report, env);
+  emit_report(args, report);
+  return 0;
+}
+
+/// Aux-timer token for the cross-shard stall tick. StateSync owns tokens 1
+/// and 2 on the same aux wheel; this namespace is disjoint by construction.
+constexpr std::uint64_t kStallTimer = 0x100;
+constexpr leopard::sim::SimTime kStallTickInterval = 100 * leopard::sim::kMillisecond;
+
+int run_replica_sharded(const Args& args, const leopard::net::Manifest& manifest,
+                        std::uint32_t shards) {
+  namespace lp = leopard;
+
+  size_worker_pool(manifest);
+  const std::uint32_t n = manifest.n;
+  const auto spec = manifest.spec();
+
+  lp::net::SocketEnv env(manifest.replica_env_options(args.id));
+
+  // Durability + state transfer: ONE store and ONE StateSync consuming the
+  // MERGED global stream — (gseq, gordinal) is the durable-commit identity,
+  // so the whole PR6 stack runs unchanged under sharding.
+  std::unique_ptr<lp::store::ReplicaStore> rstore;
+  lp::store::RecoveryResult recovery;
+  if (!args.data_dir.empty()) {
+    lp::store::StoreOptions sopts;
+    sopts.dir = args.data_dir;
+    sopts.fsync_policy = args.fsync;
+    sopts.fsync_interval =
+        static_cast<lp::sim::SimTime>(args.fsync_interval_ms) * lp::sim::kMillisecond;
+    sopts.snapshot_every = args.snapshot_every;
+    rstore = std::make_unique<lp::store::ReplicaStore>(sopts);
+    recovery = rstore->open(args.recover);
+    if (!recovery.ok()) {
+      std::fprintf(stderr, "leopard_node: data dir '%s' unusable: %s\n",
+                   args.data_dir.c_str(), recovery.detail.c_str());
+      return 3;
+    }
+  }
+
+  const std::uint32_t f = (n - 1) / 3;
+  lp::store::StateSyncOptions syncopts;
+  syncopts.frame_digest = digest_of_frame;
+  lp::store::StateSync sync(args.id, n, f, rstore.get(), syncopts);
+  sync.init_from_recovery(recovery);
+
+  // Per-shard report state: the shard-LOCAL stream fold, comparable across
+  // replicas per shard (each shard is its own consensus instance).
+  struct PerShard {
+    std::uint64_t requests = 0;
+    std::uint64_t blocks = 0;
+    lp::crypto::Digest fold;
+  };
+  std::vector<PerShard> per_shard(shards);
+  const auto fold_into = [](lp::crypto::Digest& fold, const lp::crypto::Digest& block_digest,
+                            std::uint64_t seq, std::uint32_t ordinal) {
+    std::uint8_t buf[2 * lp::crypto::Digest::kSize + 12];
+    std::memcpy(buf, fold.bytes().data(), lp::crypto::Digest::kSize);
+    std::memcpy(buf + lp::crypto::Digest::kSize, block_digest.bytes().data(),
+                lp::crypto::Digest::kSize);
+    for (std::size_t i = 0; i < 8; ++i) {
+      buf[2 * lp::crypto::Digest::kSize + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      buf[2 * lp::crypto::Digest::kSize + 8 + i] =
+          static_cast<std::uint8_t>(ordinal >> (8 * i));
+    }
+    fold = lp::crypto::Digest::of(buf);
+  };
+
+  // Real (non-filler) records pushed but not yet merged — the stall
+  // detector's trigger (see shard/sequencer.hpp for why filler must not
+  // count). Resynced to zero whenever the sequencer drains completely, so a
+  // recovery-time prune can only overcount transiently.
+  std::uint64_t pending_real = 0;
+  std::uint64_t noops_injected = 0;
+  std::uint64_t noop_seq = 0;
+  std::uint64_t last_emitted = 0;
+
+  lp::shard::Sequencer sequencer(shards, [&](const lp::shard::GlobalRecord& r) {
+    if (!lp::shard::is_filler_block(*r.exec.block) && pending_real > 0) --pending_real;
+    const auto block_digest = block_digest_of(*r.exec.block);
+    lp::util::Bytes frame;
+    if (rstore != nullptr || !sync.live()) frame = lp::net::encode_frame(*r.exec.block);
+    sync.on_execute(r.exec.seq, r.exec.ordinal, block_digest, r.exec.requests, frame,
+                    env.now());
+  });
+
+  // S unmodified cores over the shared transport: shard s hosts core-level
+  // replica (id - s) mod n under a per-shard threshold domain (seed + s), so
+  // each shard's leader lands on a different machine.
+  std::vector<lp::crypto::ThresholdScheme> schemes;
+  schemes.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    schemes.emplace_back(n, manifest.quorum(), manifest.seed + s);
+  }
+  lp::core::ProtocolMetrics metrics;
+  std::vector<std::unique_ptr<lp::protocol::Protocol>> cores;
+  std::vector<std::unique_ptr<lp::shard::MuxEnv>> muxes;
+  std::vector<const lp::core::LeopardReplica*> leopard_cores(shards, nullptr);
+  std::vector<lp::chaos::ByzantineInterposer*> byzs(shards, nullptr);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const auto core_id = static_cast<lp::proto::ReplicaId>((args.id + n - s % n) % n);
+    auto hosted = lp::protocol::make_protocol(spec, schemes[s], core_id);
+    leopard_cores[s] = dynamic_cast<const lp::core::LeopardReplica*>(hosted.get());
+    if (!args.byzantine.empty()) {
+      lp::chaos::InterposerOptions bopts;
+      bopts.attack = *lp::chaos::parse_wire_attack(args.byzantine);
+      bopts.n = n;
+      bopts.f = f;
+      bopts.lag =
+          static_cast<lp::sim::SimTime>(args.byzantine_lag_ms) * lp::sim::kMillisecond;
+      auto wrapped =
+          std::make_unique<lp::chaos::ByzantineInterposer>(std::move(hosted), schemes[s], bopts);
+      byzs[s] = wrapped.get();
+      hosted = std::move(wrapped);
+    }
+    auto mux = std::make_unique<lp::shard::MuxEnv>(env, metrics, n, s, shards);
+    mux->attach(*hosted);
+    mux->set_execute_observer([&, s](const lp::protocol::Execute& e) {
+      auto& ps = per_shard[s];
+      ps.requests += e.requests;
+      ++ps.blocks;
+      fold_into(ps.fold, block_digest_of(*e.block), e.seq, e.ordinal);
+      const bool real = !lp::shard::is_filler_block(*e.block);
+      if (real) ++pending_real;
+      if (!sequencer.push(s, e) && real && pending_real > 0) --pending_real;
+    });
+    cores.push_back(std::move(hosted));
+    muxes.push_back(std::move(mux));
+  }
+
+  sync.set_send([&](lp::sim::NodeId to, lp::sim::PayloadPtr payload) {
+    if (byzs[0] != nullptr) {
+      payload = byzs[0]->filter_deployment_send(to, std::move(payload));
+      if (payload == nullptr) return;
+    }
+    env.apply(lp::protocol::Send{to, std::move(payload)});
+  });
+  sync.set_timer_hooks(
+      [&](std::uint64_t token, lp::sim::SimTime delay) { env.arm_aux_timer(token, delay); },
+      [&](std::uint64_t token) { env.cancel_aux_timer(token); });
+  env.set_payload_interceptor([&](lp::sim::NodeId from, const lp::sim::PayloadPtr& payload) {
+    return sync.on_payload(from, payload, env.now());
+  });
+
+  const auto stall_tick = [&] {
+    // Recovery or state transfer may have advanced the durable tail without
+    // going through the sequencer: re-seat the cursor before judging a stall.
+    if (sync.executed_blocks() > 0) {
+      sequencer.advance_to(sync.tail_seq(), sync.tail_ordinal());
+    }
+    if (!sequencer.has_backlog()) pending_real = 0;  // prune-drift resync
+    if (sync.live() && sequencer.emitted() == last_emitted && pending_real > 0) {
+      // Real work is stuck behind an idle shard: commit a no-op through the
+      // blocking shard's LOCAL core so the round fills (and every earlier
+      // round is proven) via ordinary consensus.
+      const auto s = sequencer.cursor_shard();
+      lp::proto::Request req;
+      req.client_id = lp::shard::kFillerClientBase + args.id;
+      req.seq = noop_seq++;
+      req.payload_size = 1;
+      req.submitted_at = env.now();
+      muxes[s]->inject_request(
+          static_cast<lp::sim::NodeId>(lp::shard::kFillerClientBase + args.id),
+          std::make_shared<lp::proto::ClientRequestMsg>(std::move(req)));
+      ++noops_injected;
+    }
+    last_emitted = sequencer.emitted();
+    env.arm_aux_timer(kStallTimer, kStallTickInterval);
+  };
+  env.set_aux_timer_handler([&](std::uint64_t token) {
+    if (token == kStallTimer) {
+      stall_tick();
+    } else {
+      sync.on_timer(token, env.now());
+    }
+  });
+
+  sync.start(env.now());
+  if (sync.executed_blocks() > 0) {
+    sequencer.advance_to(sync.tail_seq(), sync.tail_ordinal());
+  }
+  env.arm_aux_timer(kStallTimer, kStallTickInterval);
+
+  const auto deadline =
+      args.run_for >= 0 ? lp::sim::from_seconds(args.run_for) : lp::sim::SimTime{-1};
+  env.run([&] {
+    if (g_stop != 0) return true;
+    return deadline >= 0 && env.now() >= deadline;
+  });
+
+  if (rstore != nullptr) rstore->flush();
+
+  std::string report;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "role=replica id=%u protocol=%s n=%u shards=%u\n",
+                args.id, manifest.protocol.c_str(), n, shards);
+  report += buf;
+  std::snprintf(buf, sizeof(buf), "executed_requests=%llu executed_blocks=%llu\n",
+                static_cast<unsigned long long>(sync.executed_requests()),
+                static_cast<unsigned long long>(sync.executed_blocks()));
+  report += buf;
+  report += "exec_digest=" + sync.exec_digest().hex() + "\n";
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    std::snprintf(buf, sizeof(buf), "shard%u_executed=%llu shard%u_blocks=%llu ", s,
+                  static_cast<unsigned long long>(per_shard[s].requests), s,
+                  static_cast<unsigned long long>(per_shard[s].blocks));
+    report += buf;
+    if (leopard_cores[s] != nullptr) {
+      std::snprintf(buf, sizeof(buf), "shard%u_view=%u ", s, leopard_cores[s]->view());
+      report += buf;
+    }
+    report += "shard" + std::to_string(s) + "_digest=" + per_shard[s].fold.hex() + "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "seq_emitted=%llu seq_round=%llu noops_injected=%llu\n",
+                static_cast<unsigned long long>(sequencer.emitted()),
+                static_cast<unsigned long long>(sequencer.round()),
+                static_cast<unsigned long long>(noops_injected));
+  report += buf;
+  if (byzs[0] != nullptr) {
+    lp::chaos::ByzantineInterposer::Stats total{};
+    for (const auto* b : byzs) {
+      if (b == nullptr) continue;
+      total.equivocations += b->stats().equivocations;
+      total.suppressed += b->stats().suppressed;
+      total.corrupted += b->stats().corrupted;
+      total.delayed += b->stats().delayed;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "byzantine=%s byz_equivocations=%llu byz_suppressed=%llu "
+                  "byz_corrupted=%llu byz_delayed=%llu\n",
+                  args.byzantine.c_str(),
+                  static_cast<unsigned long long>(total.equivocations),
+                  static_cast<unsigned long long>(total.suppressed),
+                  static_cast<unsigned long long>(total.corrupted),
+                  static_cast<unsigned long long>(total.delayed));
     report += buf;
   }
   if (rstore != nullptr) {
@@ -454,6 +761,87 @@ int run_client(const Args& args, const leopard::net::Manifest& manifest) {
   return client.done() ? 0 : 1;
 }
 
+int run_client_sharded(const Args& args, const leopard::net::Manifest& manifest,
+                       std::uint32_t shards) {
+  namespace lp = leopard;
+
+  lp::core::ClientConfig cfg;
+  cfg.payload_size = args.payload != 0 ? args.payload : manifest.payload_size;
+  cfg.real_payload = true;
+  cfg.resubmit_timeout =
+      static_cast<lp::sim::SimTime>(args.resubmit_ms) * lp::sim::kMillisecond;
+
+  const auto leader = manifest.initial_leader();
+  const bool leopard = manifest.protocol == "leopard";
+  if (leopard) cfg.route_by_mu = true;
+
+  // Hash-partition the request index space across shards (the same
+  // shard_of split the sim driver uses), with a per-shard slice of the
+  // closed-loop window.
+  const std::uint64_t seed = manifest.seed + args.id;
+  std::vector<std::uint64_t> totals(shards, 0);
+  for (std::uint64_t i = 0; i < args.requests; ++i) {
+    ++totals[lp::shard::shard_of(seed, i, shards)];
+  }
+
+  lp::net::SocketEnv env(manifest.client_env_options(args.id));
+
+  std::vector<std::unique_ptr<lp::core::LeopardClient>> subs;
+  std::vector<std::unique_ptr<lp::shard::MuxEnv>> muxes;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    lp::core::ClientConfig sub_cfg = cfg;
+    sub_cfg.total_requests = totals[s];
+    sub_cfg.closed_loop_window = std::max(1u, args.window / shards);
+    auto sub = std::make_unique<lp::core::LeopardClient>(
+        sub_cfg, /*target=*/leader, /*replica_count=*/leopard ? manifest.n : 1,
+        /*avoid=*/leopard ? leader : manifest.n, seed + 7919ull * s);
+    sub->set_self_id(args.id);
+    // env.metrics() is shared across every shard's MuxEnv, so the latency
+    // histogram merges and the report math below stays identical.
+    auto mux = std::make_unique<lp::shard::MuxEnv>(env, env.metrics(), manifest.n, s, shards);
+    mux->attach(*sub);
+    subs.push_back(std::move(sub));
+    muxes.push_back(std::move(mux));
+  }
+
+  const auto all_done = [&] {
+    for (const auto& sub : subs) {
+      if (!sub->done()) return false;
+    }
+    return true;
+  };
+
+  const auto deadline = lp::sim::from_seconds(args.timeout);
+  env.run([&] { return g_stop != 0 || all_done() || env.now() >= deadline; });
+  const double elapsed = lp::sim::to_seconds(env.now());
+
+  std::uint64_t submitted = 0;
+  std::uint64_t acked = 0;
+  for (const auto& sub : subs) {
+    submitted += sub->submitted();
+    acked += sub->acked();
+  }
+
+  auto& metrics = env.metrics();
+  std::string report;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "role=client id=%u protocol=%s n=%u shards=%u\n",
+                args.id, manifest.protocol.c_str(), manifest.n, shards);
+  report += buf;
+  std::snprintf(buf, sizeof(buf),
+                "submitted=%llu acked=%llu elapsed_s=%.3f kreq_s=%.3f\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(acked), elapsed,
+                elapsed > 0 ? static_cast<double>(acked) / elapsed / 1e3 : 0.0);
+  report += buf;
+  std::snprintf(buf, sizeof(buf), "mean_latency_ms=%.2f p50_latency_ms=%.2f\n",
+                metrics.mean_latency_sec() * 1e3, metrics.latency_percentile(0.5) * 1e3);
+  report += buf;
+  print_transport_stats(report, env);
+  emit_report(args, report);
+  return all_done() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -470,7 +858,14 @@ int main(int argc, char** argv) {
                    args.id, manifest.n);
       return 2;
     }
-    return args.client ? run_client(args, manifest) : run_replica(args, manifest);
+    // --shards overrides the manifest; every node of a cluster must agree.
+    const std::uint32_t shards = args.shards != 0 ? args.shards : manifest.shards;
+    if (args.client) {
+      return shards > 1 ? run_client_sharded(args, manifest, shards)
+                        : run_client(args, manifest);
+    }
+    return shards > 1 ? run_replica_sharded(args, manifest, shards)
+                      : run_replica(args, manifest);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "leopard_node: %s\n", e.what());
     return 2;

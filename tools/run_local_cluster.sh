@@ -6,6 +6,9 @@
 # docs/DEPLOY.md.
 #
 # usage: tools/run_local_cluster.sh [BUILD_DIR] [PROTOCOL] [REQUESTS] [flags]
+#   --shards S         run S parallel protocol shards per node (manifest key
+#                      `shards`); replicas report per-shard digests plus the
+#                      merged exec_digest, which must still match
 #   --byzantine MODE   run one replica under a byzantine interposer
 #                      (equivocate | silence | garbage-shares | laggard)
 #   --byzantine-id N   which replica misbehaves (default 3; use 1 to attack
@@ -19,10 +22,11 @@
 set -euo pipefail
 
 BUILD_DIR=build PROTOCOL=leopard REQUESTS=500
-BYZ_MODE="" BYZ_ID=3 LAG_MS=150 USE_PROXY=0 PROXY_ARGS=""
+BYZ_MODE="" BYZ_ID=3 LAG_MS=150 USE_PROXY=0 PROXY_ARGS="" SHARDS=1
 pos=0
 while [ $# -gt 0 ]; do
   case "$1" in
+    --shards)       SHARDS="$2"; shift 2 ;;
     --byzantine)    BYZ_MODE="$2"; shift 2 ;;
     --byzantine-id) BYZ_ID="$2"; shift 2 ;;
     --lag-ms)       LAG_MS="$2"; shift 2 ;;
@@ -63,6 +67,7 @@ PORT_BASE=$(( 20000 + RANDOM % 20000 ))
   echo "proposal_max_wait_ms 10"
   echo "view_timeout_ms $VIEW_TIMEOUT_MS"
   echo "batch_size 100"
+  echo "shards $SHARDS"
   for id in 0 1 2 3; do echo "node $id 127.0.0.1:$(( PORT_BASE + id ))"; done
 } > "$WORK/cluster.conf"
 
