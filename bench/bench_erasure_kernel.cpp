@@ -197,6 +197,28 @@ int main(int argc, char** argv) {
   const double w4_speedup = w1_mbps > 0 ? w4_mbps / w1_mbps : 0;
   std::printf("],\"speedup_w4\":%s}", w1_mbps > 0 ? fmt1(w4_speedup).c_str() : "null");
 
+  // --- GFNI section ---------------------------------------------------------
+  // vgf2p8affineqb vs the avx2 split-nibble kernel at the acceptance point
+  // (k=32, 64KiB shards). Emitted as null where the ISA is absent so the
+  // regression checker skips the metric instead of failing the record.
+  if (le::Gf256::kernel_available(le::Gf256::Kernel::kGfni) &&
+      le::Gf256::kernel_available(le::Gf256::Kernel::kAvx2)) {
+    const std::size_t gfni_shard = smoke ? 4096 : 65536;
+    le::Gf256::force_kernel(le::Gf256::Kernel::kGfni);
+    const Timing gfni_t = run_point(32, 96, gfni_shard, min_time, max_iters);
+    le::Gf256::force_kernel(le::Gf256::Kernel::kAvx2);
+    const Timing avx2_t = run_point(32, 96, gfni_shard, min_time, max_iters);
+    le::Gf256::force_kernel(fast);
+    std::printf(",\"gfni\":{\"k\":32,\"shard_bytes\":%zu,\"encode_MBps\":%s,"
+                "\"avx2_encode_MBps\":%s,\"vs_avx2\":%s}",
+                gfni_shard, fmt1(gfni_t.encode_mbps).c_str(),
+                fmt1(avx2_t.encode_mbps).c_str(),
+                avx2_t.encode_mbps > 0 ? fmt1(gfni_t.encode_mbps / avx2_t.encode_mbps).c_str()
+                                       : "null");
+  } else {
+    std::printf(",\"gfni\":null");
+  }
+
   const double speedup = accept_ref > 0 ? accept_fast / accept_ref : 0;
   const bool par_ok = smoke || hw_threads < 4 || w4_speedup >= 2.0;
   std::printf(",\"acceptance\":{\"k\":32,\"shard_bytes\":65536,\"encode_MBps\":%s,"

@@ -86,6 +86,22 @@ Gf256::BulkTables::BulkTables() {
       nib[static_cast<std::size_t>(c) * 32 + 16 + static_cast<std::size_t>(i)] =
           Gf256::mul(coef, static_cast<Gf>(i << 4));
     }
+    // "Multiply by c" is GF(2)-linear in x, so it is exactly an 8×8 bit
+    // matrix: column j is c * 2^j. vgf2p8affineqb computes output bit i as
+    // parity(qword_byte[7-i] & x), so row i lands in qword byte 7-i. This is
+    // how a 0x11D field rides an instruction whose native polynomial is
+    // 0x11B — the matrix encodes OUR field's multiplication.
+    std::uint64_t matrix = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::uint8_t row = 0;
+      for (int j = 0; j < 8; ++j) {
+        if ((Gf256::mul(coef, static_cast<Gf>(1u << j)) >> i) & 1u) {
+          row |= static_cast<std::uint8_t>(1u << j);
+        }
+      }
+      matrix |= static_cast<std::uint64_t>(row) << (8 * (7 - i));
+    }
+    gfni[static_cast<std::size_t>(c)] = matrix;
   }
 }
 
@@ -101,6 +117,8 @@ const std::uint8_t* Gf256::mul_row_table(Gf c) {
 const std::uint8_t* Gf256::nibble_table(Gf c) {
   return bulk_tables().nib.data() + static_cast<std::size_t>(c) * 32;
 }
+
+std::uint64_t Gf256::gfni_matrix(Gf c) { return bulk_tables().gfni[c]; }
 
 // ---------------------------------------------------------------------------
 // Kernels
@@ -220,6 +238,47 @@ __attribute__((target("ssse3"))) void mul_row_ssse3(std::uint8_t* dst, const std
 
 bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
 bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+bool cpu_has_gfni() {
+  return __builtin_cpu_supports("gfni") != 0 && __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+}
+
+// One vgf2p8affineqb multiplies 64 bytes by the coefficient's bit matrix —
+// no per-coefficient table loads at all, just a broadcast qword. The 0..63
+// byte tail runs masked in the same instruction.
+__attribute__((target("gfni,avx512f,avx512bw"))) void mul_add_row_gfni(
+    std::uint8_t* dst, const std::uint8_t* src, std::size_t n, std::uint64_t matrix) {
+  const __m512i a = _mm512_set1_epi64(static_cast<long long>(matrix));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    const __m512i p = _mm512_gf2p8affine_epi64_epi8(s, a, 0);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, p));
+  }
+  if (i < n) {
+    const __mmask64 m = ~std::uint64_t{0} >> (64 - (n - i));
+    const __m512i s = _mm512_maskz_loadu_epi8(m, src + i);
+    const __m512i p = _mm512_gf2p8affine_epi64_epi8(s, a, 0);
+    const __m512i d = _mm512_maskz_loadu_epi8(m, dst + i);
+    _mm512_mask_storeu_epi8(dst + i, m, _mm512_xor_si512(d, p));
+  }
+}
+
+__attribute__((target("gfni,avx512f,avx512bw"))) void mul_row_gfni(
+    std::uint8_t* dst, const std::uint8_t* src, std::size_t n, std::uint64_t matrix) {
+  const __m512i a = _mm512_set1_epi64(static_cast<long long>(matrix));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_gf2p8affine_epi64_epi8(s, a, 0));
+  }
+  if (i < n) {
+    const __mmask64 m = ~std::uint64_t{0} >> (64 - (n - i));
+    const __m512i s = _mm512_maskz_loadu_epi8(m, src + i);
+    _mm512_mask_storeu_epi8(dst + i, m, _mm512_gf2p8affine_epi64_epi8(s, a, 0));
+  }
+}
 
 // AVX2 widening of the split-nibble kernel: the two 16-entry tables are
 // broadcast into both halves of a ymm register (vpshufb shuffles within each
@@ -326,6 +385,7 @@ void mul_row_neon(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
 
 Gf256::Kernel detect_kernel() {
 #if defined(LEOPARD_GF256_HAS_SSSE3)
+  if (cpu_has_gfni()) return Gf256::Kernel::kGfni;
   if (cpu_has_avx2()) return Gf256::Kernel::kAvx2;
   if (cpu_has_ssse3()) return Gf256::Kernel::kSsse3;
 #elif defined(LEOPARD_GF256_HAS_NEON)
@@ -355,6 +415,12 @@ bool Gf256::kernel_available(Kernel k) {
     case Kernel::kAvx2:
 #if defined(LEOPARD_GF256_HAS_SSSE3)
       return cpu_has_avx2();
+#else
+      return false;
+#endif
+    case Kernel::kGfni:
+#if defined(LEOPARD_GF256_HAS_SSSE3)
+      return cpu_has_gfni();
 #else
       return false;
 #endif
@@ -388,6 +454,8 @@ const char* Gf256::kernel_name(Kernel k) {
       return "neon";
     case Kernel::kAvx2:
       return "avx2";
+    case Kernel::kGfni:
+      return "gfni";
   }
   return "unknown";
 }
@@ -422,6 +490,9 @@ void Gf256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t 
     case Kernel::kAvx2:
       mul_add_row_avx2(dst, src, n, nibble_table(coef), mul_row_table(coef));
       return;
+    case Kernel::kGfni:
+      mul_add_row_gfni(dst, src, n, gfni_matrix(coef));
+      return;
 #endif
 #if defined(LEOPARD_GF256_HAS_NEON)
     case Kernel::kNeon:
@@ -454,6 +525,9 @@ void Gf256::mul_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, G
       return;
     case Kernel::kAvx2:
       mul_row_avx2(dst, src, n, nibble_table(coef), mul_row_table(coef));
+      return;
+    case Kernel::kGfni:
+      mul_row_gfni(dst, src, n, gfni_matrix(coef));
       return;
 #endif
 #if defined(LEOPARD_GF256_HAS_NEON)

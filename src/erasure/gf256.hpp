@@ -16,7 +16,13 @@
 //   kAvx2      — the same split-nibble technique widened to 32-byte lanes:
 //                the nibble tables are broadcast into both 128-bit halves of
 //                a ymm register and vpshufb shuffles within each half, 64
-//                bytes per iteration.
+//                bytes per iteration;
+//   kGfni      — Galois Field New Instructions: vgf2p8affineqb multiplies 64
+//                bytes per instruction by an 8×8 bit matrix. The instruction's
+//                native field uses the AES polynomial 0x11B, not our 0x11D, so
+//                each coefficient is precomputed as the bit matrix of "multiply
+//                by c over 0x11D" — affine transforms express multiplication by
+//                a constant in ANY GF(2^8) representation. Needs gfni+avx512bw.
 //
 // All kernels produce byte-identical output; tests sweep every available
 // kernel against kScalarRef.
@@ -45,13 +51,13 @@ class Gf256 {
   // --- bulk row kernels (the erasure-coding hot path) ----------------------
 
   /// Which bulk implementation mul_row/mul_add_row dispatch to.
-  enum class Kernel { kScalarRef, kScalar64, kSsse3, kNeon, kAvx2 };
+  enum class Kernel { kScalarRef, kScalar64, kSsse3, kNeon, kAvx2, kGfni };
 
   /// Kernel currently in effect (auto-detected at startup, see force_kernel).
   static Kernel active_kernel();
 
   /// Human-readable name of `k` ("scalar_ref", "scalar64", "ssse3", "neon",
-  /// "avx2").
+  /// "avx2", "gfni").
   static const char* kernel_name(Kernel k);
 
   /// Overrides dispatch, clamped to what this CPU supports; returns the
@@ -82,6 +88,11 @@ class Gf256 {
   /// one entry from each half.
   static const std::uint8_t* nibble_table(Gf c);
 
+  /// 8×8 bit matrix (vgf2p8affineqb operand layout: qword byte 7-i is output
+  /// bit i's row) such that the affine transform of x by it equals c*x over
+  /// our 0x11D field.
+  static std::uint64_t gfni_matrix(Gf c);
+
  private:
   struct Tables {
     std::array<Gf, 512> exp{};
@@ -96,6 +107,8 @@ class Gf256 {
     // nib[c * 32 + i]      = c * i          (i < 16)
     // nib[c * 32 + 16 + i] = c * (i << 4)   (i < 16)
     std::array<std::uint8_t, 256 * 32> nib{};
+    // gfni[c] = bit matrix of "multiply by c" for vgf2p8affineqb (2 KiB).
+    std::array<std::uint64_t, 256> gfni{};
     BulkTables();
   };
   static const BulkTables& bulk_tables();

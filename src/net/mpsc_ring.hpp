@@ -1,0 +1,106 @@
+// Bounded lock-free multi-producer single-consumer ring (Vyukov sequence
+// ring): every cell carries a sequence counter that encodes whose turn it is,
+// so producers claim slots with one CAS and the consumer pops without any.
+// Used for the io-thread handoff in SocketEnv — workers post outbound frames
+// and Execute closures toward the transport thread, the transport posts
+// inbound deliveries toward instance workers.
+//
+// try_push is safe from any number of threads; try_pop/empty must only be
+// called by the single consumer (the destructor counts as the consumer —
+// join all producers first).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace leopard::net {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` must be a power of two >= 2.
+  explicit MpscRing(std::size_t capacity)
+      : mask_(capacity - 1), cells_(std::make_unique<Cell[]>(capacity)) {
+    util::expects(capacity >= 2 && (capacity & mask_) == 0,
+                  "MpscRing: capacity must be a power of two");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~MpscRing() {
+    T drained;
+    while (try_pop(drained)) {
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// False when full, leaving `value` untouched so the caller can retry
+  /// (spin, drop, or drain) without losing it. Call as try_push(std::move(v)).
+  bool try_push(T&& value) {
+    Cell* cell = nullptr;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto lag =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (lag == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (lag < 0) {
+        return false;  // the consumer has not freed this cell yet: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race, re-read
+      }
+    }
+    ::new (static_cast<void*>(cell->storage)) T(std::move(value));
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single consumer only.
+  bool try_pop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) !=
+        static_cast<std::intptr_t>(head_ + 1)) {
+      return false;  // producer claimed but not yet published, or empty
+    }
+    T* item = std::launder(reinterpret_cast<T*>(cell.storage));
+    out = std::move(*item);
+    item->~T();
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  /// Single consumer only: true when no published item is waiting. A
+  /// concurrent producer may make this stale immediately — callers pair it
+  /// with a wakeup protocol, not with correctness.
+  [[nodiscard]] bool empty() const {
+    const Cell& cell = cells_[head_ & mask_];
+    return cell.seq.load(std::memory_order_acquire) != head_ + 1;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers and consumer touch disjoint cache lines for their cursors.
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next slot producers claim
+  alignas(64) std::size_t head_ = 0;              // next slot the consumer reads
+};
+
+}  // namespace leopard::net

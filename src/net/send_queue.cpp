@@ -1,0 +1,93 @@
+#include "net/send_queue.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace leopard::net {
+
+SharedFrame SharedFrame::from_wire(util::Bytes wire) {
+  SharedFrame f;
+  f.header_len = 0;
+  f.body = std::make_shared<const util::Bytes>(std::move(wire));
+  return f;
+}
+
+SendQueue::PushResult SendQueue::push(SharedFrame frame, std::size_t byte_limit) {
+  PushResult result;
+  const std::size_t size = frame.wire_size();
+  if (size > byte_limit) return result;  // can never fit: don't purge the queue for it
+  while (bytes_ + size > byte_limit) {
+    // The front is pinned once partially written: a frame must leave the
+    // wire whole or not at all.
+    const std::size_t victim = offset_ > 0 ? 1 : 0;
+    if (victim >= q_.size()) return result;  // only the in-flight frame remains
+    bytes_ -= q_[victim].wire_size();
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++result.shed;
+  }
+  bytes_ += size;
+  q_.push_back(std::move(frame));
+  result.queued = true;
+  return result;
+}
+
+std::size_t SendQueue::fill_iovecs(iovec* iov, std::size_t max_iov, std::size_t* total) const {
+  std::size_t n = 0;
+  std::size_t sum = 0;
+  std::size_t skip = offset_;  // nonzero only for the first ranges of q_.front()
+  for (const auto& frame : q_) {
+    if (n == max_iov) break;
+    if (skip < frame.header_len) {
+      iov[n].iov_base = const_cast<std::uint8_t*>(frame.header.data() + skip);
+      iov[n].iov_len = frame.header_len - skip;
+      sum += iov[n].iov_len;
+      ++n;
+      skip = 0;
+    } else {
+      skip -= frame.header_len;
+    }
+    if (n == max_iov) break;
+    const auto& body = *frame.body;
+    if (skip < body.size()) {
+      iov[n].iov_base = const_cast<std::uint8_t*>(body.data() + skip);
+      iov[n].iov_len = body.size() - skip;
+      sum += iov[n].iov_len;
+      ++n;
+    }
+    skip = 0;
+  }
+  if (total != nullptr) *total = sum;
+  return n;
+}
+
+std::size_t SendQueue::consume(std::size_t n) {
+  std::size_t completed = 0;
+  offset_ += n;
+  while (!q_.empty() && offset_ >= q_.front().wire_size()) {
+    const std::size_t size = q_.front().wire_size();
+    offset_ -= size;
+    bytes_ -= size;
+    q_.pop_front();
+    ++completed;
+  }
+  util::expects(!q_.empty() || offset_ == 0, "SendQueue: consumed past the queued bytes");
+  return completed;
+}
+
+bool SendQueue::pop_front(SharedFrame& out) {
+  if (q_.empty()) return false;
+  util::expects(offset_ == 0, "SendQueue: pop_front with a partially written front");
+  bytes_ -= q_.front().wire_size();
+  out = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+void SendQueue::clear() {
+  q_.clear();
+  offset_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace leopard::net

@@ -1,0 +1,99 @@
+// Zero-copy outbound frame queue for the socket transport.
+//
+// A SharedFrame splits a wire frame into a tiny inline header (the u32 length
+// field, plus the kShardFrame envelope prefix when addressed to a nonzero
+// instance) and a refcounted immutable body (the serialized tag + message
+// body). Broadcast enqueues the SAME body on every peer queue — one
+// serialization total, never a per-peer memcpy — and the flush path writes
+// (header, body) scatter-gather via sendmsg without ever gluing them into a
+// contiguous buffer.
+//
+// SendQueue owns the per-connection (and per-disconnected-peer) frame queue:
+// byte accounting is on the FULL wire size (header + body, so a
+// peer_buffer_limit of N bounds actual wire bytes, not just payload bytes),
+// shedding is oldest-first with the front pinned once partially written (a
+// frame leaves the wire whole or not at all), and partial-write resume works
+// at arbitrary byte offsets — mid-header, mid-body, or between iovecs.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "util/bytes.hpp"
+
+namespace leopard::net {
+
+/// Refcounted immutable wire frame. `header` carries the length prefix (and
+/// the shard envelope, when present) inline; `body` is shared across every
+/// queue that carries this frame. A frame wrapped whole via from_wire() has
+/// header_len == 0 and the complete frame in `body`.
+struct SharedFrame {
+  static constexpr std::size_t kMaxHeaderBytes = 9;  // u32 len + u8 tag + u32 instance
+
+  std::array<std::uint8_t, kMaxHeaderBytes> header{};
+  std::uint8_t header_len = 0;
+  std::shared_ptr<const util::Bytes> body;
+
+  /// Total bytes this frame puts on the wire.
+  [[nodiscard]] std::size_t wire_size() const {
+    return header_len + (body ? body->size() : 0);
+  }
+
+  [[nodiscard]] bool valid() const { return body != nullptr; }
+
+  /// Wraps an already-framed byte string (length prefix included) as-is.
+  [[nodiscard]] static SharedFrame from_wire(util::Bytes wire);
+};
+
+/// Bounded outbound queue of SharedFrames with scatter-gather drain.
+/// Single-threaded; the limit is passed per push so one queue type serves
+/// both connected and disconnected peers.
+class SendQueue {
+ public:
+  struct PushResult {
+    std::size_t shed = 0;  // older frames evicted to make room
+    bool queued = false;   // false: the new frame itself was rejected
+  };
+
+  /// Appends `frame`, evicting oldest-first to keep total wire bytes within
+  /// `byte_limit`. The front frame is pinned while partially written; if only
+  /// pinned frames remain and the new frame still does not fit (or it alone
+  /// exceeds the limit), the NEW frame is rejected without purging the queue.
+  PushResult push(SharedFrame frame, std::size_t byte_limit);
+
+  /// Fills up to `max_iov` iovecs with the unsent byte ranges of queued
+  /// frames, starting at the partial-write offset. Returns the iovec count;
+  /// `*total` (optional) receives the sum of their lengths.
+  std::size_t fill_iovecs(iovec* iov, std::size_t max_iov,
+                          std::size_t* total = nullptr) const;
+
+  /// Records `n` bytes written; drops fully-sent frames off the front.
+  /// Returns the number of frames completed.
+  std::size_t consume(std::size_t n);
+
+  /// Moves the front frame out (queue drain toward a new connection). Only
+  /// valid when nothing has been partially written.
+  [[nodiscard]] bool pop_front(SharedFrame& out);
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t frames() const { return q_.size(); }
+  /// Total wire bytes queued (header + body of every frame, ignoring the
+  /// partial-write offset — the limit bounds what is HELD, not what is left).
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  /// Bytes of the front frame already written to the socket.
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+  void clear();
+
+ private:
+  std::deque<SharedFrame> q_;
+  std::size_t offset_ = 0;  // written prefix of q_.front()
+  std::size_t bytes_ = 0;   // sum of wire_size() over q_
+};
+
+}  // namespace leopard::net

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -125,17 +126,9 @@ void SocketEnv::apply(protocol::Action action) {
       [&](auto& a) {
         using T = std::decay_t<decltype(a)>;
         if constexpr (std::is_same_v<T, protocol::Send>) {
-          util::Bytes frame;
-          if (encode_frame(*a.payload, frame) && check_frame_size(frame)) {
-            send_frame(a.to, std::move(frame));
-          }
+          send_payload(/*instance=*/0, a.to, *a.payload);
         } else if constexpr (std::is_same_v<T, protocol::Broadcast>) {
-          util::Bytes frame;
-          if (!encode_frame(*a.payload, frame) || !check_frame_size(frame)) return;
-          for (sim::NodeId id = 0; id < opts_.n_replicas; ++id) {
-            if (id == opts_.self) continue;
-            send_frame(id, frame);  // one serialization, one buffer copy per peer
-          }
+          broadcast_payload(/*instance=*/0, *a.payload);
         } else if constexpr (std::is_same_v<T, protocol::SetTimer>) {
           core_timers_.arm(a.token, now() + std::max<sim::SimTime>(a.delay, 0));
         } else if constexpr (std::is_same_v<T, protocol::CancelTimer>) {
@@ -161,18 +154,49 @@ void SocketEnv::register_instance(std::uint32_t instance, InstanceHooks hooks) {
 }
 
 void SocketEnv::send_payload(std::uint32_t instance, sim::NodeId to, const sim::Payload& payload) {
-  util::Bytes frame;
-  if (encode_frame(payload, instance, frame) && check_frame_size(frame)) {
+  // Serialize on the CALLING thread (io-thread mode: S shards encode in
+  // parallel), then queue on the transport thread, which owns all sockets
+  // and stats.
+  SharedFrame frame;
+  if (!encode_shared_frame(payload, instance, frame)) return;
+  if (on_transport_thread()) {
+    if (!check_frame_size(frame)) return;
+    ++stats_.payload_copies;
     send_frame(to, std::move(frame));
+    return;
   }
+  post_to_transport([this, to, frame = std::move(frame)]() mutable {
+    if (!check_frame_size(frame)) return;
+    ++stats_.payload_copies;
+    send_frame(to, std::move(frame));
+  });
 }
 
 void SocketEnv::broadcast_payload(std::uint32_t instance, const sim::Payload& payload) {
-  util::Bytes frame;
-  if (!encode_frame(payload, instance, frame) || !check_frame_size(frame)) return;
+  SharedFrame frame;
+  if (!encode_shared_frame(payload, instance, frame)) return;
+  if (on_transport_thread()) {
+    if (!check_frame_size(frame)) return;
+    ++stats_.payload_copies;
+    broadcast_frame(std::move(frame));
+    return;
+  }
+  post_to_transport([this, frame = std::move(frame)]() mutable {
+    if (!check_frame_size(frame)) return;
+    ++stats_.payload_copies;
+    broadcast_frame(std::move(frame));
+  });
+}
+
+void SocketEnv::broadcast_frame(SharedFrame frame) {
+  // One serialization, zero per-peer copies: every queue gets the same
+  // refcounted body (send_frame copies 9 inline header bytes + a shared_ptr).
+  bool first = true;
   for (sim::NodeId id = 0; id < opts_.n_replicas; ++id) {
     if (id == opts_.self) continue;
-    send_frame(id, frame);  // one serialization, one buffer copy per peer
+    if (!first) ++stats_.frames_shared;
+    first = false;
+    send_frame(id, frame);
   }
 }
 
@@ -185,26 +209,26 @@ void SocketEnv::cancel_instance_timer(std::uint32_t instance, std::uint64_t toke
   instances_.at(instance).timers.cancel(token);
 }
 
-bool SocketEnv::check_frame_size(const util::Bytes& frame) {
+bool SocketEnv::check_frame_size(const SharedFrame& frame) {
   // Enforce the receive-side frame ceiling at the SENDER too: an oversized
   // frame would be flagged as stream desync by every receiver, and each
   // reconnect would re-send it — a permanent decode-error livelock. Dropping
   // it here (with a loud one-time diagnostic: this is a config error, e.g.
   // datablock_requests × payload_size past the frame limit) keeps the
   // cluster alive.
-  if (frame.size() - kFrameHeaderBytes <= opts_.max_frame_bytes) return true;
+  if (frame.wire_size() - kFrameHeaderBytes <= opts_.max_frame_bytes) return true;
   ++stats_.frames_dropped;
   if (!oversized_frame_reported_) {
     oversized_frame_reported_ = true;
     std::fprintf(stderr,
                  "leopard/net: dropping %zu-byte frame over the %zu-byte frame limit "
                  "(lower datablock_requests/batch_size x payload_size)\n",
-                 frame.size(), opts_.max_frame_bytes);
+                 frame.wire_size(), opts_.max_frame_bytes);
   }
   return false;
 }
 
-void SocketEnv::send_frame(sim::NodeId to, util::Bytes frame) {
+void SocketEnv::send_frame(sim::NodeId to, SharedFrame frame) {
   const auto pit = peers_.find(to);
   if (pit == peers_.end()) {
     // A destination we neither dial nor currently accept (e.g. an ack to a
@@ -235,48 +259,30 @@ void SocketEnv::send_frame(sim::NodeId to, util::Bytes frame) {
   // view-change); the baselines are normal-case-only cores with no
   // retransmission, so sustained shedding can stall them — see
   // docs/DEPLOY.md "Differences from a hardened production deployment".
-  if (frame.size() > opts_.peer_buffer_limit) {
-    ++stats_.frames_dropped;  // can never fit: don't purge the queue for it
-    ++peer_counters_[to].shed_frames;
-    return;
+  // SendQueue accounts FULL wire bytes (header + body), so
+  // peer_buffer_limit bounds what actually hits the wire.
+  const auto result = peer.pending.push(std::move(frame), opts_.peer_buffer_limit);
+  const auto dropped = result.shed + (result.queued ? 0 : 1);
+  if (dropped > 0) {
+    stats_.frames_dropped += dropped;
+    peer_counters_[to].shed_frames += dropped;
   }
-  while (peer.pending_bytes + frame.size() > opts_.peer_buffer_limit) {
-    peer.pending_bytes -= peer.pending.front().size();
-    peer.pending.pop_front();
-    ++stats_.frames_dropped;
-    ++peer_counters_[to].shed_frames;
-  }
-  peer.pending_bytes += frame.size();
-  peer.pending.push_back(std::move(frame));
 }
 
-void SocketEnv::append_frame(Conn& conn, util::Bytes frame) {
+void SocketEnv::append_frame(Conn& conn, SharedFrame frame) {
   // Slow peer: shed rather than balloon, oldest first (matching the
   // disconnected-peer policy — stale frames are the least useful to a BFT
   // protocol). The queue front is pinned once partially written: a frame
   // must leave the wire whole or not at all.
-  if (frame.size() > opts_.peer_buffer_limit) {
-    ++stats_.frames_dropped;
-    if (conn.bound) ++peer_counters_[conn.peer].shed_frames;
-    return;
+  const auto result = conn.outq.push(std::move(frame), opts_.peer_buffer_limit);
+  const auto dropped = result.shed + (result.queued ? 0 : 1);
+  if (dropped > 0) {
+    stats_.frames_dropped += dropped;
+    if (conn.bound) peer_counters_[conn.peer].shed_frames += dropped;
   }
-  while (conn.outq_bytes + frame.size() > opts_.peer_buffer_limit) {
-    const std::size_t victim = conn.out_offset > 0 ? 1 : 0;
-    if (victim >= conn.outq.size()) {
-      ++stats_.frames_dropped;  // only the in-flight frame remains: drop the new one
-      if (conn.bound) ++peer_counters_[conn.peer].shed_frames;
-      return;
-    }
-    conn.outq_bytes -= conn.outq[victim].size();
-    conn.outq.erase(conn.outq.begin() + static_cast<std::ptrdiff_t>(victim));
-    ++stats_.frames_dropped;
-    if (conn.bound) ++peer_counters_[conn.peer].shed_frames;
-  }
-  conn.outq_bytes += frame.size();
-  conn.outq.push_back(std::move(frame));
 }
 
-void SocketEnv::enqueue_on_conn(Conn& conn, util::Bytes frame) {
+void SocketEnv::enqueue_on_conn(Conn& conn, SharedFrame frame) {
   append_frame(conn, std::move(frame));
   flush_conn(conn);  // NOTE: may close and destroy `conn` on a fatal error
 }
@@ -398,13 +404,9 @@ void SocketEnv::finish_connect(Conn& conn) {
   // else), then drain everything queued while disconnected. Queue it all
   // before the single flush: flush_conn may close and destroy `conn` on a
   // fatal send error, so nothing may touch it afterwards.
-  append_frame(conn, encode_hello_frame(Hello{Hello::kMagic, opts_.self}));
-  while (!peer.pending.empty()) {
-    auto frame = std::move(peer.pending.front());
-    peer.pending.pop_front();
-    peer.pending_bytes -= frame.size();
-    append_frame(conn, std::move(frame));
-  }
+  append_frame(conn, SharedFrame::from_wire(encode_hello_frame(Hello{Hello::kMagic, opts_.self})));
+  SharedFrame queued;
+  while (peer.pending.pop_front(queued)) append_frame(conn, std::move(queued));
   flush_conn(conn);  // may destroy conn; must be the last use
 }
 
@@ -416,12 +418,8 @@ void SocketEnv::bind_conn_to_peer(Conn& conn, sim::NodeId id) {
     close_conn(peer.fd, /*reconnect=*/false);  // stale duplicate: latest wins
   }
   peer.fd = conn.fd;
-  while (!peer.pending.empty()) {
-    auto frame = std::move(peer.pending.front());
-    peer.pending.pop_front();
-    peer.pending_bytes -= frame.size();
-    append_frame(conn, std::move(frame));
-  }
+  SharedFrame queued;
+  while (peer.pending.pop_front(queued)) append_frame(conn, std::move(queued));
   flush_conn(conn);  // may destroy conn; must be the last use
 }
 
@@ -481,22 +479,28 @@ void SocketEnv::on_conn_ready(int fd, std::uint32_t events) {
 }
 
 void SocketEnv::flush_conn(Conn& conn) {
+  // Scatter-gather flush: one sendmsg() per batch of up to kMaxIov spans
+  // (header + body per frame), resuming at arbitrary byte offsets — a
+  // partial write may stop mid-header, mid-body, or between frames, and the
+  // next call picks up exactly there without copying or re-assembling.
+  constexpr std::size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
   while (!conn.outq.empty()) {
-    const auto& front = conn.outq.front();
-    const auto n = ::send(conn.fd, front.data() + conn.out_offset,
-                          front.size() - conn.out_offset, MSG_NOSIGNAL);
+    std::size_t total = 0;
+    const auto n_iov = conn.outq.fill_iovecs(iov, kMaxIov, &total);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    const auto n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    ++stats_.writev_calls;
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_conn(conn.fd, /*reconnect=*/true);
       return;
     }
     stats_.bytes_sent += static_cast<std::uint64_t>(n);
-    conn.out_offset += static_cast<std::size_t>(n);
-    if (conn.out_offset < front.size()) break;  // kernel buffer full mid-frame
-    conn.outq_bytes -= front.size();
-    conn.out_offset = 0;
-    conn.outq.pop_front();
-    ++stats_.frames_sent;
+    stats_.frames_sent += conn.outq.consume(static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < total) break;  // kernel buffer full
   }
   update_interest(conn);
 }
@@ -511,9 +515,12 @@ void SocketEnv::update_interest(Conn& conn) {
 
 void SocketEnv::read_conn(Conn& conn) {
   const int fd = conn.fd;
-  std::uint8_t buf[64 * 1024];
   for (;;) {
-    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    // Decode-in-place ingest: recv() lands bytes directly in the reader's
+    // buffer, where next() parses them and hands out body spans — no
+    // intermediate stack buffer, no memcpy per inbound byte.
+    const auto dst = conn.reader.write_buffer(64 * 1024);
+    const auto n = ::recv(fd, dst.data(), dst.size(), 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_conn(fd, /*reconnect=*/true);
@@ -524,7 +531,7 @@ void SocketEnv::read_conn(Conn& conn) {
       return;
     }
     stats_.bytes_received += static_cast<std::uint64_t>(n);
-    conn.reader.feed({buf, static_cast<std::size_t>(n)});
+    conn.reader.commit(static_cast<std::size_t>(n));
 
     FrameReader::Frame frame;
     for (;;) {
@@ -539,7 +546,7 @@ void SocketEnv::read_conn(Conn& conn) {
       deliver_frame(conn, frame);
       if (!conns_.contains(fd)) return;  // a malformed body closed it
     }
-    if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // drained the socket
+    if (static_cast<std::size_t>(n) < dst.size()) break;  // drained the socket
   }
 }
 
@@ -565,7 +572,7 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
   // never registered (a peer running more shards than us, or a hostile tag)
   // is dropped at frame level — the connection carries other instances'
   // traffic and must survive.
-  const Instance* instance = nullptr;
+  Instance* instance = nullptr;
   if (frame.instance != 0 || protocol_ == nullptr) {
     const auto it = instances_.find(frame.instance);
     if (it == instances_.end()) {
@@ -589,7 +596,15 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
     return;
   }
   if (instance != nullptr) {
-    instance->hooks.deliver(from, payload);
+    // Io-thread mode: hop to the owning worker. `payload` is a refcounted
+    // heap message independent of the reader buffer, so it survives the
+    // handoff; the closure copy keeps it alive.
+    if (instance->worker != nullptr && mt_active_.load(std::memory_order_relaxed)) {
+      post_to_worker(*instance->worker,
+                     [inst = instance, from, payload] { inst->hooks.deliver(from, payload); });
+    } else {
+      instance->hooks.deliver(from, payload);
+    }
     return;
   }
   if (auto cr = std::dynamic_pointer_cast<const proto::ClientRequestMsg>(payload)) {
@@ -597,6 +612,133 @@ void SocketEnv::deliver_frame(Conn& conn, const FrameReader::Frame& frame) {
   } else {
     protocol_->on_message(*this, from, payload);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Io-thread machinery
+// ---------------------------------------------------------------------------
+
+bool SocketEnv::on_transport_thread() const {
+  // Before start_workers()/after stop_workers() everything is the transport
+  // thread: the single-threaded path never pays for an id compare.
+  return !mt_active_.load(std::memory_order_acquire) ||
+         std::this_thread::get_id() == transport_tid_;
+}
+
+void SocketEnv::post_to_transport(std::function<void()> fn) {
+  if (on_transport_thread()) {
+    fn();
+    return;
+  }
+  // The transport drains its ring every loop iteration, so spinning here is
+  // bounded; per-producer FIFO (Vyukov ticket order) keeps each shard's
+  // frames in submission order.
+  while (!transport_ring_.try_push(std::move(fn))) std::this_thread::yield();
+  // Dekker-style wake: our push must be visible before we read the idle
+  // flag, and the transport sets the flag before checking the ring.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (transport_idle_.load(std::memory_order_relaxed)) loop_.wakeup();
+}
+
+void SocketEnv::post_to_instance(std::uint32_t instance, std::function<void()> fn) {
+  auto& inst = instances_.at(instance);
+  if (!mt_active_.load(std::memory_order_acquire) || inst.worker == nullptr) {
+    fn();
+    return;
+  }
+  post_to_worker(*inst.worker, std::move(fn));
+}
+
+void SocketEnv::post_to_worker(Worker& worker, std::function<void()> fn) {
+  while (!worker.ring.try_push(std::move(fn))) {
+    // Drain our own inbox while waiting: the worker may be blocked pushing
+    // toward the transport ring, and we are its only consumer — draining
+    // breaks the cycle (classic two-ring deadlock).
+    drain_transport_ring();
+    std::this_thread::yield();
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (worker.idle.load(std::memory_order_relaxed)) worker.loop.wakeup();
+}
+
+void SocketEnv::drain_transport_ring() {
+  std::function<void()> fn;
+  while (transport_ring_.try_pop(fn)) fn();
+}
+
+void SocketEnv::start_workers() {
+  if (opts_.io_threads <= 1 || instances_.size() <= 1) return;  // single-thread path
+  const auto n_workers = std::min<std::size_t>(opts_.io_threads, instances_.size());
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) workers_.push_back(std::make_unique<Worker>());
+  // Round-robin by registration order (instance ids ascend in the map):
+  // deterministic placement, balanced within one instance.
+  std::size_t idx = 0;
+  for (auto& [id, instance] : instances_) {
+    auto& worker = *workers_[idx % n_workers];
+    instance.worker = &worker;
+    worker.instances.push_back(&instance);
+    ++idx;
+  }
+  mt_active_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_main(*w); });
+  }
+}
+
+void SocketEnv::stop_workers() {
+  if (workers_.empty()) return;
+  for (auto& worker : workers_) {
+    worker->stop.store(true, std::memory_order_release);
+    worker->loop.wakeup();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  mt_active_.store(false, std::memory_order_release);
+  for (auto& [id, instance] : instances_) instance.worker = nullptr;
+  workers_.clear();
+  // Workers flushed their final sends/Executes into our ring before exiting.
+  drain_transport_ring();
+}
+
+void SocketEnv::worker_main(Worker& worker) {
+  constexpr int kMaxPollMs = 100;
+  while (!worker.stop.load(std::memory_order_acquire)) {
+    std::function<void()> fn;
+    while (worker.ring.try_pop(fn)) fn();
+
+    const auto t = now();
+    sim::SimTime wake = -1;
+    for (auto* instance : worker.instances) {
+      instance->timers.advance(t, [instance](TimerWheel::Token token) {
+        if (instance->hooks.on_timer) instance->hooks.on_timer(token);
+      });
+      const auto instance_wake = instance->timers.next_wake();
+      if (wake < 0 || (instance_wake >= 0 && instance_wake < wake)) wake = instance_wake;
+    }
+
+    int timeout_ms = kMaxPollMs;
+    if (wake >= 0) {
+      const auto delta = wake - now();
+      timeout_ms = delta <= 0
+                       ? 0
+                       : static_cast<int>(std::min<sim::SimTime>(
+                             (delta + sim::kMillisecond - 1) / sim::kMillisecond, kMaxPollMs));
+    }
+    // Sleep via the idle-flag protocol: publish idle, then re-check the ring
+    // (the producer's fence pairs with ours). The bounded poll caps the cost
+    // of any missed wake at one slice.
+    worker.idle.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (worker.ring.empty() && !worker.stop.load(std::memory_order_acquire)) {
+      worker.loop.poll(timeout_ms);
+    }
+    worker.idle.store(false, std::memory_order_relaxed);
+  }
+  // Final drain: deliveries posted between the last pop and stop.
+  std::function<void()> fn;
+  while (worker.ring.try_pop(fn)) fn();
 }
 
 // ---------------------------------------------------------------------------
@@ -614,8 +756,11 @@ void SocketEnv::cancel_aux_timer(std::uint64_t token) { aux_timers_.cancel(token
 void SocketEnv::run(const std::function<bool()>& should_stop) {
   util::expects(protocol_ != nullptr || !instances_.empty(),
                 "SocketEnv::run without an attached protocol or registered instances");
+  transport_tid_ = std::this_thread::get_id();
   if (!started_) {
     started_ = true;
+    // on_start hooks run on THIS thread before any worker exists: everything
+    // they touch is published to workers by the thread-spawn happens-before.
     if (protocol_ != nullptr) protocol_->on_start(*this);
     for (auto& [id, instance] : instances_) {
       if (instance.hooks.on_start) instance.hooks.on_start();
@@ -624,6 +769,7 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
       if (peer.dialable) dial_peer(id);
     }
   }
+  start_workers();
 
   // Poll in bounded slices so stop()/should_stop and coarse timers are
   // honoured even when the sockets are idle.
@@ -631,12 +777,18 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     if (should_stop && should_stop()) break;
 
+    const bool mt = mt_active_.load(std::memory_order_relaxed);
+    if (mt) drain_transport_ring();
+
     const auto t = now();
     core_timers_.advance(t, [this](TimerWheel::Token token) { fire_core_timer(token); });
-    for (auto& [id, instance] : instances_) {
-      instance.timers.advance(t, [&instance](TimerWheel::Token token) {
-        if (instance.hooks.on_timer) instance.hooks.on_timer(token);
-      });
+    if (!mt) {
+      // Instance wheels belong to their workers in io-thread mode.
+      for (auto& [id, instance] : instances_) {
+        instance.timers.advance(t, [&instance](TimerWheel::Token token) {
+          if (instance.hooks.on_timer) instance.hooks.on_timer(token);
+        });
+      }
     }
     aux_timers_.advance(t, [this](TimerWheel::Token token) {
       if (aux_timer_handler_) aux_timer_handler_(token);
@@ -656,9 +808,11 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
     if (wake < 0 || (internal_wake >= 0 && internal_wake < wake)) wake = internal_wake;
     const auto aux_wake = aux_timers_.next_wake();
     if (wake < 0 || (aux_wake >= 0 && aux_wake < wake)) wake = aux_wake;
-    for (const auto& [id, instance] : instances_) {
-      const auto instance_wake = instance.timers.next_wake();
-      if (wake < 0 || (instance_wake >= 0 && instance_wake < wake)) wake = instance_wake;
+    if (!mt) {
+      for (const auto& [id, instance] : instances_) {
+        const auto instance_wake = instance.timers.next_wake();
+        if (wake < 0 || (instance_wake >= 0 && instance_wake < wake)) wake = instance_wake;
+      }
     }
 
     int timeout_ms = kMaxPollMs;
@@ -669,8 +823,19 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
                        : static_cast<int>(std::min<sim::SimTime>(
                              (delta + sim::kMillisecond - 1) / sim::kMillisecond, kMaxPollMs));
     }
-    loop_.poll(timeout_ms);
+    if (mt) {
+      // Same idle-flag protocol as the workers, with the poll bounded so a
+      // missed wake costs at most one slice.
+      transport_idle_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!transport_ring_.empty()) timeout_ms = 0;
+      loop_.poll(timeout_ms);
+      transport_idle_.store(false, std::memory_order_relaxed);
+    } else {
+      loop_.poll(timeout_ms);
+    }
   }
+  stop_workers();
   stop_requested_.store(false, std::memory_order_relaxed);  // later run() may resume
 }
 

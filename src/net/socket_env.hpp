@@ -28,15 +28,18 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "net/event_loop.hpp"
+#include "net/mpsc_ring.hpp"
+#include "net/send_queue.hpp"
 #include "net/timer_wheel.hpp"
 #include "net/wire.hpp"
 #include "protocol/protocol.hpp"
@@ -71,6 +74,14 @@ struct SocketEnvOptions {
   sim::SimTime reconnect_min = 50 * sim::kMillisecond;
   sim::SimTime reconnect_max = 2 * sim::kSecond;
   sim::SimTime timer_tick = sim::kMillisecond;
+
+  /// Per-instance event-loop threads: with io_threads > 1 and registered
+  /// instances, each shard instance (and its timer wheel) runs on a worker
+  /// thread (instance order, round-robin across workers) while this thread
+  /// keeps the sockets, the aux/internal wheels, and any directly-attached
+  /// protocol. Handoff is lock-free MPSC rings both ways. io_threads <= 1 is
+  /// the exact single-threaded path — bit-identical behavior.
+  std::uint32_t io_threads = 1;
 };
 
 class SocketEnv final : public protocol::Env {
@@ -104,9 +115,25 @@ class SocketEnv final : public protocol::Env {
 
   /// Outbound path for registered instances: encodes `payload` addressed to
   /// `instance` and sends/queues it toward `to` (a transport-level node id).
+  /// Safe from instance worker threads: the serialization happens on the
+  /// calling thread (that is the point — S shards serialize in parallel) and
+  /// the refcounted frame is handed to the transport thread for queueing.
   void send_payload(std::uint32_t instance, sim::NodeId to, const sim::Payload& payload);
-  /// One serialization fanned to every replica peer except self.
+  /// ONE serialization fanned to every replica peer except self: each peer
+  /// queue receives the same refcounted body, never a copy. Thread-safe like
+  /// send_payload.
   void broadcast_payload(std::uint32_t instance, const sim::Payload& payload);
+
+  /// Runs `fn` on the transport thread: inline when already there (or when
+  /// no io-threads are running — the single-threaded path is unchanged),
+  /// otherwise via the lock-free ring + wakeup. Cross-thread posts from one
+  /// producer run in FIFO order.
+  void post_to_transport(std::function<void()> fn);
+
+  /// Runs `fn` on the thread that owns `instance`'s core (inline outside
+  /// io-thread mode). Must be called from the transport thread — this is the
+  /// inbound half of the handoff (client-request injection, deliveries).
+  void post_to_instance(std::uint32_t instance, std::function<void()> fn);
 
   /// Per-instance timer wheel (Env SetTimer/CancelTimer semantics: re-arm
   /// replaces, cancel of an unknown token is a no-op). `delay` is relative
@@ -161,6 +188,10 @@ class SocketEnv final : public protocol::Env {
     std::uint64_t connects = 0;        // successful dials (incl. reconnects)
     std::uint64_t accepts = 0;
     std::uint64_t unknown_instance = 0;  // frames for an unregistered instance
+    std::uint64_t writev_calls = 0;    // sendmsg() syscalls on the flush path
+    std::uint64_t payload_copies = 0;  // outbound serializations (one per send/broadcast)
+    std::uint64_t frames_shared = 0;   // broadcast enqueues that aliased an
+                                       // existing body instead of copying it
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -189,9 +220,7 @@ class SocketEnv final : public protocol::Env {
     bool bound = false;       // peer identity established
     sim::NodeId peer = 0;     // valid when bound
     FrameReader reader;
-    std::deque<util::Bytes> outq;
-    std::size_t out_offset = 0;  // written prefix of outq.front()
-    std::size_t outq_bytes = 0;
+    SendQueue outq;
     bool want_write = false;
 
     explicit Conn(std::size_t max_frame) : reader(max_frame) {}
@@ -205,8 +234,7 @@ class SocketEnv final : public protocol::Env {
     PeerAddr addr;
     bool dialable = false;
     int fd = -1;  // live connection, -1 when disconnected
-    std::deque<util::Bytes> pending;  // frames awaiting a connection
-    std::size_t pending_bytes = 0;
+    SendQueue pending;  // frames awaiting a connection
     sim::SimTime backoff = 0;
     std::uint64_t reconnect_attempts = 0;  // jitter key; resets on connect
   };
@@ -224,21 +252,48 @@ class SocketEnv final : public protocol::Env {
   void deliver_frame(Conn& conn, const FrameReader::Frame& frame);
   /// False (and counts a drop) if the frame exceeds the receive-side frame
   /// ceiling — sending it would livelock every receiver on decode errors.
-  bool check_frame_size(const util::Bytes& frame);
-  void send_frame(sim::NodeId to, util::Bytes frame);
+  bool check_frame_size(const SharedFrame& frame);
+  void send_frame(sim::NodeId to, SharedFrame frame);
+  /// send_frame with the copy/alias counters of an n-peer broadcast.
+  void broadcast_frame(SharedFrame frame);
   /// Queues a frame (bounded) without any I/O; never invalidates `conn`.
-  void append_frame(Conn& conn, util::Bytes frame);
+  void append_frame(Conn& conn, SharedFrame frame);
   /// append_frame + flush; the flush may close and destroy `conn`.
-  void enqueue_on_conn(Conn& conn, util::Bytes frame);
+  void enqueue_on_conn(Conn& conn, SharedFrame frame);
   void update_interest(Conn& conn);
   void fire_core_timer(TimerWheel::Token token);
+
+  struct Worker;
 
   struct Instance {
     InstanceHooks hooks;
     TimerWheel timers;
+    Worker* worker = nullptr;  // owning io-thread while run() is active
 
     explicit Instance(sim::SimTime tick) : timers(tick) {}
   };
+
+  /// One io-thread: a private EventLoop used purely as a sleep/wake
+  /// primitive (no fds — the sockets stay on the transport thread), the
+  /// inbound work ring, and the instances whose cores and timer wheels this
+  /// thread exclusively owns while running.
+  struct Worker {
+    std::thread thread;
+    EventLoop loop;
+    MpscRing<std::function<void()>> ring{kRingCapacity};
+    std::vector<Instance*> instances;
+    std::atomic<bool> idle{false};
+    std::atomic<bool> stop{false};
+  };
+
+  static constexpr std::size_t kRingCapacity = 16384;
+
+  [[nodiscard]] bool on_transport_thread() const;
+  void start_workers();
+  void stop_workers();
+  void worker_main(Worker& worker);
+  void drain_transport_ring();
+  void post_to_worker(Worker& worker, std::function<void()> fn);
 
   SocketEnvOptions opts_;
   protocol::Protocol* protocol_ = nullptr;
@@ -266,6 +321,15 @@ class SocketEnv final : public protocol::Env {
   // Lock-free atomic: stores are async-signal-safe and cross-thread visible
   // (a volatile bool would be neither — plain UB as a data race).
   std::atomic<bool> stop_requested_{false};
+
+  // io-thread mode (opts_.io_threads > 1 with registered instances). All of
+  // this is quiescent on the single-threaded path: mt_active_ false, rings
+  // empty, no workers — zero behavior change.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  MpscRing<std::function<void()>> transport_ring_{kRingCapacity};
+  std::atomic<bool> transport_idle_{false};
+  std::atomic<bool> mt_active_{false};
+  std::thread::id transport_tid_{};
 };
 
 }  // namespace leopard::net

@@ -445,11 +445,14 @@ bool encode_frame(const sim::Payload& payload, util::Bytes& out) {
   return encode_frame(payload, /*instance=*/0, out);
 }
 
-bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Bytes& out) {
+namespace {
+
+/// Serializes `payload` as tag + body (no length prefix) into `w`; false if
+/// the payload type has no wire form. The single definition both the
+/// contiguous and the shared-frame encoders go through.
+bool encode_tag_and_body(const sim::Payload& payload, ByteWriter& w) {
   const auto type = type_of(payload);
   if (!type) return false;
-
-  ByteWriter w(payload.wire_size() + 8);
   w.u8(static_cast<std::uint8_t>(*type));
   switch (*type) {
     case MsgType::kClientRequest:
@@ -507,6 +510,34 @@ bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Byt
     case MsgType::kShardFrame:
       return false;  // unreachable: neither is a Payload encoding
   }
+  return true;
+}
+
+/// Fills a SharedFrame's inline header for a body of `body_size` bytes
+/// addressed to `instance` (0: bare 4-byte length prefix; else the 9-byte
+/// length + envelope prefix). Byte-identical to the contiguous layout.
+void fill_shared_header(SharedFrame& frame, std::size_t body_size, std::uint32_t instance) {
+  const auto put_u32 = [&frame](std::size_t at, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      frame.header[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+  if (instance == 0) {
+    put_u32(0, static_cast<std::uint32_t>(body_size));
+    frame.header_len = 4;
+    return;
+  }
+  put_u32(0, static_cast<std::uint32_t>(body_size + 5));
+  frame.header[4] = static_cast<std::uint8_t>(MsgType::kShardFrame);
+  put_u32(5, instance);
+  frame.header_len = 9;
+}
+
+}  // namespace
+
+bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Bytes& out) {
+  ByteWriter w(payload.wire_size() + 8);
+  if (!encode_tag_and_body(payload, w)) return false;
 
   const auto& frame = w.bytes();
   ByteWriter header(kFrameHeaderBytes);
@@ -525,6 +556,15 @@ bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Byt
   out.insert(out.end(), header.bytes().begin(), header.bytes().end());
   out.insert(out.end(), envelope.bytes().begin(), envelope.bytes().end());
   out.insert(out.end(), frame.begin(), frame.end());
+  return true;
+}
+
+bool encode_shared_frame(const sim::Payload& payload, std::uint32_t instance,
+                         SharedFrame& out) {
+  ByteWriter w(payload.wire_size() + 8);
+  if (!encode_tag_and_body(payload, w)) return false;
+  out.body = std::make_shared<const util::Bytes>(w.take());
+  fill_shared_header(out, out.body->size(), instance);
   return true;
 }
 
@@ -640,19 +680,34 @@ sim::PayloadPtr decode_payload(MsgType type, std::span<const std::uint8_t> body,
 }
 
 void FrameReader::feed(std::span<const std::uint8_t> data) {
-  if (errored_) return;
+  if (errored_ || data.empty()) return;
+  const auto dst = write_buffer(data.size());
+  std::memcpy(dst.data(), data.data(), data.size());
+  commit(data.size());
+}
+
+std::span<std::uint8_t> FrameReader::write_buffer(std::size_t min_bytes) {
   // Compact the consumed prefix before growing: keeps the buffer bounded by
-  // max_frame + one read chunk instead of the whole connection history.
-  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (64u << 10))) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  // max_frame + one read chunk instead of the whole connection history. Only
+  // the committed suffix moves — scratch beyond end_ holds no stream bytes.
+  if (pos_ > 0 && (pos_ == end_ || pos_ >= (64u << 10))) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
     pos_ = 0;
   }
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  if (buf_.size() - end_ < min_bytes) buf_.resize(end_ + min_bytes);
+  return {buf_.data() + end_, buf_.size() - end_};
+}
+
+void FrameReader::commit(std::size_t n) {
+  if (errored_) return;
+  util::expects(n <= buf_.size() - end_, "FrameReader: commit past the write buffer");
+  end_ += n;
 }
 
 FrameReader::Status FrameReader::next(Frame& out) {
   if (errored_) return Status::kError;
-  const std::size_t avail = buf_.size() - pos_;
+  const std::size_t avail = end_ - pos_;
   if (avail < kFrameHeaderBytes) return Status::kNeedMore;
 
   std::uint32_t len = 0;

@@ -26,6 +26,7 @@
 #include <optional>
 #include <span>
 
+#include "net/send_queue.hpp"
 #include "proto/messages.hpp"
 #include "sim/message.hpp"
 #include "util/bytes.hpp"
@@ -97,6 +98,14 @@ bool encode_frame(const sim::Payload& payload, std::uint32_t instance, util::Byt
 /// Convenience: a freshly allocated frame addressed to `instance`.
 [[nodiscard]] util::Bytes encode_frame(const sim::Payload& payload, std::uint32_t instance);
 
+/// Zero-copy serialization: the tag + body are written ONCE into a
+/// refcounted buffer and the length prefix (plus shard envelope for nonzero
+/// instances) lands in the SharedFrame's inline header. The resulting wire
+/// bytes are identical to encode_frame's. Returns false (leaving `out`
+/// invalid) if the payload type has no wire form.
+bool encode_shared_frame(const sim::Payload& payload, std::uint32_t instance,
+                         SharedFrame& out);
+
 /// Serializes a Hello handshake frame.
 [[nodiscard]] util::Bytes encode_hello_frame(const Hello& hello);
 
@@ -143,17 +152,31 @@ class FrameReader {
   /// Appends raw stream bytes. No-op once in the error state.
   void feed(std::span<const std::uint8_t> data);
 
+  /// Zero-copy ingest: exposes at least `min_bytes` of writable scratch at
+  /// the end of the internal buffer (compacting the consumed prefix first),
+  /// so recv() can land bytes directly where next() will parse them — no
+  /// intermediate read buffer, no memcpy per inbound byte. Pair with
+  /// commit(): only committed bytes become part of the stream.
+  [[nodiscard]] std::span<std::uint8_t> write_buffer(std::size_t min_bytes);
+
+  /// Makes `n` bytes of the last write_buffer() span part of the stream.
+  /// No-op once in the error state.
+  void commit(std::size_t n);
+
   /// Extracts the next complete frame, if any.
   [[nodiscard]] Status next(Frame& out);
 
   [[nodiscard]] bool errored() const { return errored_; }
   /// Bytes currently buffered (tests; also a DoS guard for the caller).
-  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+  [[nodiscard]] std::size_t buffered() const { return end_ - pos_; }
 
  private:
   std::size_t max_frame_;
+  // buf_[pos_, end_) is the unparsed stream; [end_, buf_.size()) is scratch
+  // handed out by write_buffer() and not yet committed.
   util::Bytes buf_;
   std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::size_t end_ = 0;  // committed suffix boundary
   bool errored_ = false;
 };
 

@@ -49,7 +49,11 @@ void MuxEnv::deliver(sim::NodeId from, const sim::PayloadPtr& payload) {
 
 void MuxEnv::inject_request(sim::NodeId from,
                             std::shared_ptr<const proto::ClientRequestMsg> msg) {
-  core_->on_client_request(*this, from, std::move(msg));
+  // Hop to the thread that owns this shard's core (inline outside io-thread
+  // mode): the caller is the transport, the core may live on a worker.
+  socket_.post_to_instance(shard_, [this, from, msg = std::move(msg)]() mutable {
+    core_->on_client_request(*this, from, std::move(msg));
+  });
 }
 
 void MuxEnv::apply(protocol::Action action) {
@@ -70,9 +74,18 @@ void MuxEnv::apply(protocol::Action action) {
         } else if constexpr (std::is_same_v<T, protocol::CancelTimer>) {
           socket_.cancel_instance_timer(shard_, a.token);
         } else if constexpr (std::is_same_v<T, protocol::Execute>) {
-          if (execute_observer_) execute_observer_(a);
+          // The observer pushes into the host's cross-shard Sequencer, which
+          // the transport thread owns — hop there (inline outside io-thread
+          // mode). Per-producer FIFO preserves this shard's Execute order,
+          // which is all the Sequencer's determinism needs.
+          if (execute_observer_) {
+            socket_.post_to_transport([this, e = a] { execute_observer_(e); });
+          }
         } else if constexpr (std::is_same_v<T, protocol::MetricsUpdate>) {
-          protocol::apply_metrics_update(metrics_, a);
+          // `metrics_` may be shared across shards (the host merges
+          // histograms), so it belongs to the transport thread too.
+          socket_.post_to_transport(
+              [this, m = a] { protocol::apply_metrics_update(metrics_, m); });
         } else {
           // ChargeCpu: the real CPU already charged itself.
         }

@@ -50,7 +50,8 @@ class MuxEnv final : public protocol::Env {
   void set_execute_observer(ExecuteObserver obs) { execute_observer_ = std::move(obs); }
 
   /// Direct client-request injection into the core (stall no-ops), from the
-  /// SocketEnv thread only.
+  /// SocketEnv transport thread only; hops to the owning io-thread when the
+  /// transport runs with --io-threads.
   void inject_request(sim::NodeId from, std::shared_ptr<const proto::ClientRequestMsg> msg);
 
   [[nodiscard]] std::uint32_t shard() const { return shard_; }

@@ -31,7 +31,8 @@ class KernelGuard {
 std::vector<le::Gf256::Kernel> fast_kernels() {
   std::vector<le::Gf256::Kernel> out;
   for (const auto k : {le::Gf256::Kernel::kScalar64, le::Gf256::Kernel::kSsse3,
-                       le::Gf256::Kernel::kNeon, le::Gf256::Kernel::kAvx2}) {
+                       le::Gf256::Kernel::kNeon, le::Gf256::Kernel::kAvx2,
+                       le::Gf256::Kernel::kGfni}) {
     if (le::Gf256::kernel_available(k)) out.push_back(k);
   }
   return out;

@@ -137,8 +137,10 @@ struct ReplicaSet {
 
   /// `data_dir` non-empty enables the durable store (and boot recovery when
   /// the directory already holds a WAL from a previous incarnation).
+  /// `extra_args` go to the daemon verbatim (e.g. {"--io-threads", "2"}).
   void start(std::size_t id, const std::string& manifest, const std::string& dir,
-             const std::string& data_dir = "") {
+             const std::string& data_dir = "",
+             std::vector<std::string> extra_args = {}) {
     outs.resize(std::max(outs.size(), id + 1));
     pids.resize(std::max(pids.size(), id + 1), -1);
     outs[id] = dir + "/replica" + std::to_string(id) + "_" +
@@ -148,6 +150,7 @@ struct ReplicaSet {
       args.push_back("--data-dir");
       args.push_back(data_dir);
     }
+    for (auto& a : extra_args) args.push_back(std::move(a));
     pids[id] = spawn_node(manifest, outs[id], std::move(args));
   }
 
@@ -282,6 +285,50 @@ TEST(SocketCluster, ShardedLeopardCommitsEndToEnd) {
     EXPECT_EQ(reports[id].at("decode_errors"), "0") << "replica " << id;
     EXPECT_EQ(reports[id].at("store_append_errors"), "0") << "replica " << id;
     EXPECT_EQ(reports[id].at("sync_live"), "1") << "replica " << id;
+  }
+}
+
+// The sharded spec again, but with every replica running its shard cores on
+// per-instance io-threads (--io-threads 2): same per-shard digests, same
+// merged exec_digest, zero decode errors. Agreement across the whole cluster
+// is the determinism proof for the worker handoff — the Sequencer merges
+// per-shard streams identically no matter which thread ran the core.
+TEST(SocketCluster, ShardedLeopardCommitsWithIoThreads) {
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(4);
+  const auto manifest = write_manifest(dir, "leopard", ports, /*shards=*/2);
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    cluster.start(id, manifest, dir, dir + "/data" + std::to_string(id),
+                  {"--io-threads", "2"});
+  }
+
+  const auto client_out = dir + "/client.out";
+  ASSERT_EQ(run_client(manifest, client_out, 100, 300), 0)
+      << "sharded client did not get every request acked under --io-threads";
+  EXPECT_EQ(parse_report(client_out).at("acked"), "300");
+
+  ::usleep(1000 * 1000);
+
+  std::vector<std::map<std::string, std::string>> reports;
+  for (std::size_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.stop(id), 0) << "replica " << id << " did not exit cleanly";
+    reports.push_back(parse_report(cluster.outs[id]));
+  }
+  for (std::size_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
+    EXPECT_EQ(reports[id].at("io_threads"), "2") << "replica " << id;
+    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+        << "replica " << id << " diverged on the merged stream";
+    for (const auto* key : {"shard0_digest", "shard1_digest"}) {
+      ASSERT_TRUE(reports[id].contains(key)) << "replica " << id;
+      EXPECT_EQ(reports[id].at(key), reports[0].at(key))
+          << "replica " << id << " diverged on " << key;
+    }
+    EXPECT_GE(std::stoull(reports[id].at("executed_requests")), 300u) << "replica " << id;
+    EXPECT_EQ(reports[id].at("decode_errors"), "0") << "replica " << id;
+    EXPECT_EQ(reports[id].at("store_append_errors"), "0") << "replica " << id;
   }
 }
 

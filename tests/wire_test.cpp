@@ -3,6 +3,7 @@
 // read()s (net/wire.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <span>
 
@@ -566,6 +567,230 @@ TEST(Wire, TruncatedShardEnvelopeIsAStickyError) {
   // Sticky: a clean frame afterwards does not recover the stream.
   reader.feed(net::encode_frame(proto::AckMsg{}));
   EXPECT_EQ(reader.next(f), net::FrameReader::Status::kError);
+}
+
+namespace {
+
+/// Drains `q` in `chunk`-byte slices through fill_iovecs/consume — the exact
+/// shape of a sendmsg() loop under a tiny socket buffer — and returns the
+/// byte stream that "hit the wire". max_iov is deliberately small so resume
+/// also crosses the iovec-count cap, not just partial-write offsets.
+util::Bytes drain_in_chunks(net::SendQueue& q, std::size_t chunk) {
+  util::Bytes out;
+  iovec iov[4];
+  while (!q.empty()) {
+    std::size_t total = 0;
+    const auto n_iov = q.fill_iovecs(iov, 4, &total);
+    EXPECT_GT(n_iov, 0u);
+    EXPECT_GT(total, 0u);
+    std::size_t want = std::min(chunk, total);
+    std::size_t copied = 0;
+    for (std::size_t i = 0; i < n_iov && copied < want; ++i) {
+      const auto take = std::min(want - copied, static_cast<std::size_t>(iov[i].iov_len));
+      const auto* p = static_cast<const std::uint8_t*>(iov[i].iov_base);
+      out.insert(out.end(), p, p + take);
+      copied += take;
+    }
+    q.consume(copied);
+  }
+  return out;
+}
+
+net::SharedFrame shared_frame_of(const sim::Payload& msg, std::uint32_t instance) {
+  net::SharedFrame f;
+  EXPECT_TRUE(net::encode_shared_frame(msg, instance, f));
+  return f;
+}
+
+constexpr std::size_t kNoLimit = ~std::size_t{0};
+
+}  // namespace
+
+TEST(SendQueue, VectoredDrainResumesAtArbitraryByteOffsets) {
+  // A bare frame (4-byte header), an enveloped frame (9-byte shard header),
+  // and a pre-framed from_wire blob (headerless) — every header/body layout
+  // the queue can hold.
+  proto::AckMsg ack;
+  ack.client_id = 7;
+  ack.seqs = {1, 2, 3};
+  proto::QueryMsg query;
+  query.missing = {digest_of(0xAB)};
+  proto::AckMsg tail;
+  tail.client_id = 9;
+
+  util::Bytes expected = net::encode_frame(ack);
+  util::Bytes enveloped;
+  ASSERT_TRUE(net::encode_frame(query, /*instance=*/3, enveloped));
+  expected.insert(expected.end(), enveloped.begin(), enveloped.end());
+  const auto tail_wire = net::encode_frame(tail);
+  expected.insert(expected.end(), tail_wire.begin(), tail_wire.end());
+
+  // 1, 2 (splits the u32 header), 3, 5 (straddles header/body), 4096 (whole
+  // queue in one gulp): the wire bytes must be identical regardless.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                  std::size_t{5}, std::size_t{4096}}) {
+    net::SendQueue q;
+    EXPECT_TRUE(q.push(shared_frame_of(ack, 0), kNoLimit).queued);
+    EXPECT_TRUE(q.push(shared_frame_of(query, 3), kNoLimit).queued);
+    EXPECT_TRUE(q.push(net::SharedFrame::from_wire(tail_wire), kNoLimit).queued);
+    EXPECT_EQ(q.bytes(), expected.size());
+
+    EXPECT_EQ(drain_in_chunks(q, chunk), expected) << "chunk=" << chunk;
+    EXPECT_EQ(q.bytes(), 0u);
+    EXPECT_EQ(q.offset(), 0u);
+  }
+}
+
+TEST(SendQueue, ConsumeReportsCompletedFramesAcrossBoundaries) {
+  proto::AckMsg a;
+  a.client_id = 1;
+  net::SendQueue q;
+  const auto wire = net::encode_frame(a);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.push(net::SharedFrame::from_wire(wire), kNoLimit).queued);
+  }
+  // One byte short of two frames: one completion, offset mid-second-frame.
+  EXPECT_EQ(q.consume(2 * wire.size() - 1), 1u);
+  EXPECT_EQ(q.frames(), 2u);
+  EXPECT_EQ(q.offset(), wire.size() - 1);
+  // The rest: the partial second frame and the whole third complete.
+  EXPECT_EQ(q.consume(wire.size() + 1), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SendQueue, ShedsOldestFirstButPinsPartiallyWrittenFront) {
+  proto::AckMsg a;
+  a.seqs = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto wire = net::encode_frame(a);
+  const auto limit = 3 * wire.size();
+
+  net::SendQueue q;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.push(net::SharedFrame::from_wire(wire), limit).queued);
+  }
+  // Partially write the front: it is now pinned (must leave the wire whole).
+  EXPECT_EQ(q.consume(1), 0u);
+  EXPECT_EQ(q.offset(), 1u);
+
+  // Push under pressure: the two unpinned frames shed, the pinned front and
+  // the new frame stay.
+  const auto r = q.push(net::SharedFrame::from_wire(wire), limit - wire.size());
+  EXPECT_TRUE(r.queued);
+  EXPECT_EQ(r.shed, 2u);
+  EXPECT_EQ(q.frames(), 2u);
+  EXPECT_EQ(q.offset(), 1u) << "shedding must not disturb the written prefix";
+
+  // A frame that cannot fit even after shedding everything unpinned is
+  // rejected without purging the queue.
+  net::SendQueue q2;
+  EXPECT_TRUE(q2.push(net::SharedFrame::from_wire(wire), limit).queued);
+  const auto r2 = q2.push(net::SharedFrame::from_wire(wire), wire.size() - 1);
+  EXPECT_FALSE(r2.queued);
+  EXPECT_EQ(q2.frames(), 1u) << "rejecting the new frame must not purge older ones";
+}
+
+TEST(SendQueue, SharedBodyAliasingSurvivesSheddingInAnotherQueue) {
+  // Broadcast shape: one serialization, the same refcounted body on two peer
+  // queues. Shedding it from one queue must not perturb the other's copy.
+  proto::QueryMsg query;
+  query.missing = {digest_of(0x5E)};
+  const auto frame = shared_frame_of(query, 0);
+  ASSERT_TRUE(frame.valid());
+  const long base_refs = frame.body.use_count();
+
+  net::SendQueue q1, q2;
+  EXPECT_TRUE(q1.push(frame, kNoLimit).queued);  // copies alias, not bytes
+  EXPECT_TRUE(q2.push(frame, kNoLimit).queued);
+  EXPECT_EQ(frame.body.use_count(), base_refs + 2);
+
+  // Force q1 to shed its copy; q2 still drains the exact wire bytes.
+  proto::AckMsg big;
+  big.seqs.assign(64, 1);
+  const auto big_frame = shared_frame_of(big, 0);
+  ASSERT_GT(big_frame.wire_size(), frame.wire_size());
+  // Limit fits the big frame alone: the queued query frame must shed.
+  EXPECT_EQ(q1.push(big_frame, big_frame.wire_size()).shed, 1u);
+  EXPECT_EQ(frame.body.use_count(), base_refs + 1);
+
+  util::Bytes expected = net::encode_frame(query);
+  EXPECT_EQ(drain_in_chunks(q2, 4096), expected);
+  EXPECT_EQ(frame.body.use_count(), base_refs);
+}
+
+TEST(SendQueue, AccountsAndLimitsOnFullWireSize) {
+  // Regression: shedding used to budget body bytes only, so an enveloped
+  // frame occupied 9 bytes more than the limit accounted for and
+  // peer_buffer_limit under-counted real wire bytes.
+  proto::QueryMsg query;
+  query.missing = {digest_of(0x11)};
+  const auto enveloped = shared_frame_of(query, /*instance=*/3);
+  ASSERT_EQ(enveloped.header_len, 9u);
+
+  util::Bytes wire;
+  ASSERT_TRUE(net::encode_frame(query, 3, wire));
+  EXPECT_EQ(enveloped.wire_size(), wire.size());
+
+  net::SendQueue q;
+  // One byte under the full wire size: rejected (a body-only budget would
+  // have accepted it).
+  EXPECT_FALSE(q.push(enveloped, enveloped.wire_size() - 1).queued);
+  EXPECT_TRUE(q.push(enveloped, enveloped.wire_size()).queued);
+  EXPECT_EQ(q.bytes(), wire.size());
+}
+
+TEST(Wire, WriteBufferCommitReassemblesOneByteAtATime) {
+  // The recv()-in-place path: bytes land in write_buffer() spans and only
+  // commit() publishes them. Mixed bare + shard-enveloped stream, committed
+  // one byte at a time — the harshest compaction/resize schedule.
+  proto::AckMsg ack;
+  ack.client_id = 3;
+  ack.seqs = {4, 5};
+  proto::QueryMsg query;
+  query.missing = {digest_of(0x2F), digest_of(0x30)};
+
+  util::Bytes stream = net::encode_frame(ack);
+  util::Bytes enveloped;
+  ASSERT_TRUE(net::encode_frame(query, /*instance=*/2, enveloped));
+  stream.insert(stream.end(), enveloped.begin(), enveloped.end());
+
+  net::FrameReader reader;
+  net::FrameReader::Frame f;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto dst = reader.write_buffer(1);
+    ASSERT_GE(dst.size(), 1u);
+    dst[0] = stream[i];
+    reader.commit(1);
+    while (reader.next(f) == net::FrameReader::Status::kFrame) {
+      if (delivered == 0) {
+        EXPECT_EQ(f.instance, 0u);
+        const auto d = std::dynamic_pointer_cast<const proto::AckMsg>(
+            net::decode_payload(f.type, f.body, 0));
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->client_id, ack.client_id);
+      } else {
+        EXPECT_EQ(f.instance, 2u);
+        const auto d = std::dynamic_pointer_cast<const proto::QueryMsg>(
+            net::decode_payload(f.type, f.body, 0));
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->missing, query.missing);
+      }
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  // A span larger than requested may be handed out; committing less than the
+  // span (a short recv) must only publish the committed prefix.
+  net::FrameReader r2;
+  const auto big = r2.write_buffer(1024);
+  ASSERT_GE(big.size(), 1024u);
+  const auto one = net::encode_frame(ack);
+  std::copy(one.begin(), one.end(), big.begin());
+  r2.commit(3);  // short read: header not even complete
+  EXPECT_EQ(r2.next(f), net::FrameReader::Status::kNeedMore);
+  EXPECT_EQ(r2.buffered(), 3u);
 }
 
 TEST(Manifest, RejectsDuplicateAddress) {

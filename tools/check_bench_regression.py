@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Compare a bench JSON record against its committed baseline.
 
-Understands three record families, selected by the record's "bench" field:
+Understands four record families, selected by the record's "bench" field:
   hotpath         — bench_hotpath (BENCH_hotpath.json baseline)
   erasure_kernel  — bench_erasure_kernel (BENCH_erasure.json baseline)
   shard           — bench_shard (BENCH_shard.json baseline)
+  wire            — bench_wire (BENCH_wire.json baseline)
 
 Only machine-portable *ratio* metrics are compared (speedups of one kernel
 over another on the same machine in the same run); absolute MB/s, events/s,
@@ -26,7 +27,11 @@ import sys
 
 TOLERANCE = 0.30
 
-# bench name -> [(json path, hard acceptance floor or None)]
+# bench name -> [(json path, hard acceptance floor or None[, min hw threads])]
+# A third tuple element gates the metric on parallel hardware: when either
+# record's machine has fewer hardware threads, the comparison is skipped —
+# a 1-core runner measures handoff overhead, not scaling, and its ~0.9x
+# "speedup" would poison the trajectory either as baseline or as current.
 METRIC_SETS = {
     "hotpath": [
         ("sha256.speedup_one_shot", 4.0),
@@ -39,10 +44,10 @@ METRIC_SETS = {
     ],
     "erasure_kernel": [
         ("acceptance.speedup", 10.0),
-        # Worker-pool scaling: a 1-core runner measures dispatch overhead
-        # (~0.9x), a 4-core runner the real >= 2x; the committed baseline's
-        # machine sets which regime the tolerance band tracks.
-        ("parallel.speedup_w4", 2.0),
+        ("parallel.speedup_w4", 2.0, 4),
+        # GFNI vs AVX2 on the same machine in the same run; null (skipped)
+        # where the ISA is absent.
+        ("gfni.vs_avx2", None),
     ],
     "shard": [
         # Simulated-time ratios (deterministic, machine-portable). The
@@ -51,7 +56,24 @@ METRIC_SETS = {
         ("scaling.sim_speedup_s2", 1.5),
         ("scaling.sim_speedup_s4", 3.0),
     ],
+    "wire": [
+        # Exact arithmetic, not a timing: one serialization fanned to 15
+        # peer queues. Any copy-per-peer regression drops this to ~1.
+        ("zero_copy.fanout_per_copy", 15.0),
+        # Loopback cluster at --io-threads 4 vs 1; single-host wall clock,
+        # only meaningful with >= 4 hardware threads.
+        ("io_threads.speedup_io4", 1.5, 4),
+    ],
 }
+
+
+def hw_threads(record):
+    """Hardware-thread count a record was produced on (None when unrecorded)."""
+    for path in ("hw_threads", "parallel.hw_threads"):
+        n = lookup(record, path)
+        if n is not None:
+            return n
+    return None
 
 
 def lookup(record, dotted):
@@ -89,14 +111,23 @@ def main(argv):
     failures = []
     print(f"bench: {bench}")
     print(f"{'metric':<28} {'baseline':>10} {'current':>10} {'min ok':>10}  verdict")
-    for path, floor in metrics:
+    for entry in metrics:
+        path, floor = entry[0], entry[1]
+        min_hw = entry[2] if len(entry) > 2 else None
         base = lookup(baseline, path)
         cur = lookup(current, path)
         if base is None or cur is None:
-            # Kernel not available on one of the machines (e.g. no AVX2):
-            # nothing portable to compare.
+            # Kernel not available on one of the machines (e.g. no AVX2), or
+            # a section the current invocation skipped: nothing portable to
+            # compare.
             print(f"{path:<28} {'-':>10} {'-':>10} {'-':>10}  skipped")
             continue
+        if min_hw is not None:
+            cores = [hw_threads(baseline), hw_threads(current)]
+            if any(c is None or c < min_hw for c in cores):
+                print(f"{path:<28} {base:>10.2f} {cur:>10.2f} {'-':>10}  "
+                      f"skipped (< {min_hw} hw threads)")
+                continue
         min_ok = base * (1.0 - TOLERANCE)
         ok = cur >= min_ok or (floor is not None and cur >= floor)
         verdict = "ok" if ok else "REGRESSION"
