@@ -30,7 +30,19 @@ const char* wire_attack_name(WireAttack attack) {
 ByzantineInterposer::ByzantineInterposer(std::unique_ptr<protocol::Protocol> core,
                                          const crypto::ThresholdScheme& scheme,
                                          InterposerOptions opts)
-    : core_(std::move(core)), scheme_(scheme), opts_(opts) {}
+    : core_(std::move(core)), scheme_(scheme), opts_(opts) {
+  auto& reg = obs::Registry::global();
+  const std::string attack = "attack=\"" + std::string(wire_attack_name(opts_.attack)) + "\"";
+  const auto kind_counter = [&](const char* kind) {
+    return reg.counter("leopard_chaos_byz_actions_total",
+                       "Actions rewritten by the byzantine interposer",
+                       attack + ",kind=\"" + kind + "\"");
+  };
+  obs_equivocations_ = kind_counter("equivocation");
+  obs_suppressed_ = kind_counter("suppressed");
+  obs_corrupted_ = kind_counter("corrupted");
+  obs_delayed_ = kind_counter("delayed");
+}
 
 void ByzantineInterposer::on_start(protocol::Env& env) {
   ShimEnv shim(*this, env);
@@ -66,6 +78,7 @@ sim::PayloadPtr ByzantineInterposer::filter_deployment_send(protocol::NodeId to,
     case WireAttack::kSilence:
       if (is_victim(to)) {
         ++stats_.suppressed;
+        obs_suppressed_.inc();
         return nullptr;
       }
       return payload;
@@ -125,6 +138,7 @@ void ByzantineInterposer::apply_equivocate(protocol::Action action, protocol::En
     inner.apply(protocol::Send{r, first_half ? bcast->payload : twin_msg});
   }
   ++stats_.equivocations;
+  obs_equivocations_.inc();
 }
 
 bool ByzantineInterposer::is_victim(protocol::NodeId to) const {
@@ -142,6 +156,7 @@ void ByzantineInterposer::apply_silence(protocol::Action action, protocol::Env& 
   if (auto* send = std::get_if<protocol::Send>(&action)) {
     if (is_victim(send->to)) {
       ++stats_.suppressed;
+      obs_suppressed_.inc();
       return;
     }
     inner.apply(std::move(action));
@@ -153,6 +168,7 @@ void ByzantineInterposer::apply_silence(protocol::Action action, protocol::Env& 
     if (r == core_->id()) continue;
     if (is_victim(r)) {
       ++stats_.suppressed;
+      obs_suppressed_.inc();
       continue;
     }
     inner.apply(protocol::Send{r, bcast.payload});
@@ -172,6 +188,7 @@ sim::PayloadPtr ByzantineInterposer::corrupt_chunk(const sim::PayloadPtr& payloa
       copy->merkle_root = crypto::Digest(b);
     }
     ++stats_.corrupted;
+    obs_corrupted_.inc();
     return copy;
   }
   if (const auto* chunk = dynamic_cast<const proto::StateChunkMsg*>(payload.get())) {
@@ -185,6 +202,7 @@ sim::PayloadPtr ByzantineInterposer::corrupt_chunk(const sim::PayloadPtr& payloa
       copy->exec_digest = crypto::Digest(b);
     }
     ++stats_.corrupted;
+    obs_corrupted_.inc();
     return copy;
   }
   return nullptr;
@@ -202,6 +220,7 @@ void ByzantineInterposer::apply_garbage(protocol::Action action, protocol::Env& 
 void ByzantineInterposer::apply_laggard(protocol::Action action, protocol::Env& inner) {
   held_.push_back(HeldAction{inner.now() + opts_.lag, std::move(action)});
   ++stats_.delayed;
+  obs_delayed_.inc();
   if (!flush_armed_) {
     // held_ is FIFO with a constant lag, so the front is always the earliest.
     inner.apply(protocol::SetTimer{kChaosTimerBit, opts_.lag});

@@ -34,6 +34,7 @@
 #include <string_view>
 
 #include "crypto/threshold_sig.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/protocol.hpp"
 
 namespace leopard::chaos {
@@ -120,6 +121,12 @@ class ByzantineInterposer final : public protocol::Protocol {
   const crypto::ThresholdScheme& scheme_;
   InterposerOptions opts_;
   Stats stats_;
+  // Mirrors of stats_ in the global registry (labeled by attack and kind) so
+  // an attacked node's /metrics shows the byzantine activity live.
+  obs::Counter obs_equivocations_;
+  obs::Counter obs_suppressed_;
+  obs::Counter obs_corrupted_;
+  obs::Counter obs_delayed_;
   std::deque<HeldAction> held_;
   bool flush_armed_ = false;
 };

@@ -4,9 +4,29 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 
 namespace leopard::chaos {
+
+namespace {
+
+// Verdict counters: one check/violation pair per oracle, so a harness run's
+// /metrics (or a test's registry dump) shows which safety properties were
+// exercised and whether any tripped.
+void count_verdict(const char* oracle, std::size_t violations) {
+  auto& reg = obs::Registry::global();
+  const std::string label = "oracle=\"" + std::string(oracle) + "\"";
+  reg.counter("leopard_chaos_oracle_checks_total", "Safety-oracle evaluations", label)
+      .inc();
+  if (violations > 0) {
+    reg.counter("leopard_chaos_oracle_violations_total", "Safety-oracle violations",
+                label)
+        .inc(violations);
+  }
+}
+
+}  // namespace
 
 void OracleResult::merge(OracleResult other) {
   violations.insert(violations.end(), std::make_move_iterator(other.violations.begin()),
@@ -70,6 +90,7 @@ OracleResult check_monotonic_commit(const std::vector<ExecRecord>& stream,
                                   ")");
     }
   }
+  count_verdict("monotonic-commit", result.violations.size());
   return result;
 }
 
@@ -90,6 +111,7 @@ OracleResult check_no_conflict(const std::vector<ExecRecord>& a, const std::stri
                                   std::to_string(r.requests) + "req");
     }
   }
+  count_verdict("no-conflict", result.violations.size());
   return result;
 }
 
@@ -126,6 +148,7 @@ OracleResult check_confirmed_logs(
       }
     }
   }
+  count_verdict("confirmed-log", result.violations.size());
   return result;
 }
 

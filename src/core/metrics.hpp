@@ -3,10 +3,9 @@
 // and reports deltas.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <vector>
 
+#include "obs/histogram.hpp"
 #include "sim/time.hpp"
 
 namespace leopard::core {
@@ -16,11 +15,13 @@ struct ProtocolMetrics {
   // (Leopard) or at the leader (baselines), when executed.
   std::uint64_t executed_requests = 0;
 
-  // Client-observed latency (submit → ack).
+  // Client-observed latency (submit → ack). Percentiles come from the same
+  // log-bucketed HDR histogram the wire path exposes on /metrics (bounded
+  // memory, ≤ ~3% relative error), so sim and wire report through one
+  // implementation. Recorded in nanoseconds.
   std::uint64_t acked_requests = 0;
   double latency_sum_sec = 0;
-  std::vector<double> latency_samples;  // capped reservoir for percentiles
-  static constexpr std::size_t kMaxSamples = 200000;
+  obs::HdrHistogram latency_hist;
 
   // Latency breakdown sums (Table IV), recorded at execution time on the
   // datablock maker for its own requests.
@@ -47,18 +48,16 @@ struct ProtocolMetrics {
   void record_ack_latency(double seconds) {
     ++acked_requests;
     latency_sum_sec += seconds;
-    if (latency_samples.size() < kMaxSamples) latency_samples.push_back(seconds);
+    const double ns = seconds * 1e9;
+    latency_hist.record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
   }
 
   [[nodiscard]] double mean_latency_sec() const {
     return acked_requests == 0 ? 0.0 : latency_sum_sec / static_cast<double>(acked_requests);
   }
 
-  [[nodiscard]] double latency_percentile(double p) {
-    if (latency_samples.empty()) return 0.0;
-    std::sort(latency_samples.begin(), latency_samples.end());
-    const auto idx = static_cast<std::size_t>(p * static_cast<double>(latency_samples.size() - 1));
-    return latency_samples[idx];
+  [[nodiscard]] double latency_percentile(double p) const {
+    return static_cast<double>(latency_hist.percentile(p)) / 1e9;
   }
 };
 

@@ -186,7 +186,10 @@ void LeopardReplica::generate_datablock(std::size_t request_count) {
   db.maker = id_;
   db.counter = datablock_counter_++;
   db.requests.reserve(request_count);
+  std::vector<sim::SimTime> ingress_at;
+  if (stage_generated_) ingress_at.reserve(request_count);
   for (std::size_t i = 0; i < request_count; ++i) {
+    if (stage_generated_) ingress_at.push_back(mempool_enqueued_.front());
     db.requests.push_back(std::move(mempool_.front()));
     mempool_.pop_front();
     mempool_enqueued_.pop_front();
@@ -194,6 +197,12 @@ void LeopardReplica::generate_datablock(std::size_t request_count) {
 
   auto msg = std::make_shared<proto::DatablockMsg>(std::move(db));
   msg->created_at = now();
+  if (stage_generated_) {
+    for (std::size_t i = 0; i < request_count; ++i) {
+      const auto& r = msg->datablock.requests[i];
+      stage_generated_(r.client_id, r.seq, ingress_at[i], msg->created_at);
+    }
+  }
   // Hashing the datablock (digest-of-digests over the batch).
   charge(costs().per_bytes(costs().hash_per_byte_ns, msg->wire_size()));
 
@@ -667,6 +676,9 @@ void LeopardReplica::execute_block(Instance& inst) {
     if (db->datablock.maker == id_) {
       for (const auto& r : db->datablock.requests) {
         acks_by_client[r.client_id].push_back(r.seq);
+        if (stage_executed_) {
+          stage_executed_(r.client_id, r.seq, db->created_at, inst.received_at, at);
+        }
       }
     }
   }

@@ -62,6 +62,24 @@ class LeopardReplica final : public protocol::ProtocolBase {
     request_validator_ = std::move(validator);
   }
 
+  /// Observability hooks for the request-stage tracer (obs::StageTracer).
+  /// Fired for requests this replica is the datablock maker of, so every
+  /// timestamp handed to one request's hooks is on this replica's clock:
+  /// `on_generated` when the request is batched into a datablock (with its
+  /// mempool-ingress time), `on_executed` when the block linking that
+  /// datablock executes (with the datablock creation, link-receipt, and
+  /// execution times). Unset by default — zero cost when unused.
+  using StageGeneratedHook = std::function<void(
+      std::uint64_t client_id, std::uint64_t seq, sim::SimTime ingress_at,
+      sim::SimTime created_at)>;
+  using StageExecutedHook = std::function<void(
+      std::uint64_t client_id, std::uint64_t seq, sim::SimTime created_at,
+      sim::SimTime linked_at, sim::SimTime executed_at)>;
+  void set_stage_hooks(StageGeneratedHook on_generated, StageExecutedHook on_executed) {
+    stage_generated_ = std::move(on_generated);
+    stage_executed_ = std::move(on_executed);
+  }
+
   // -- Introspection (tests, harness) --------------------------------------
   [[nodiscard]] proto::View view() const { return view_; }
   [[nodiscard]] proto::ReplicaId leader_of(proto::View v) const { return v % cfg_.n; }
@@ -300,6 +318,8 @@ class LeopardReplica final : public protocol::ProtocolBase {
   std::uint64_t executed_request_count_ = 0;
   ExecutionHandler execution_handler_;
   RequestValidator request_validator_;
+  StageGeneratedHook stage_generated_;
+  StageExecutedHook stage_executed_;
   std::unordered_set<crypto::Digest> invalid_datablocks_;
 };
 

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/worker_pool.hpp"
 
 namespace leopard::erasure {
 
 namespace {
+
+obs::Histogram encode_hist() {
+  static const obs::Histogram h = obs::Registry::global().histogram(
+      "leopard_erasure_encode_ns", "Reed-Solomon encode latency in nanoseconds");
+  return h;
+}
+
+obs::Histogram decode_hist() {
+  static const obs::Histogram h = obs::Registry::global().histogram(
+      "leopard_erasure_decode_ns", "Reed-Solomon decode latency in nanoseconds");
+  return h;
+}
 
 /// rows (r×k, flat row-major) times k input rows, restricted to the byte
 /// columns [col_begin, col_end) of every row, into r contiguous output rows
@@ -183,6 +196,7 @@ std::size_t ReedSolomon::shard_size(std::size_t message_size) const {
 
 EncodedShards ReedSolomon::encode_into(std::span<const std::uint8_t> message,
                                        RsScratch& scratch) const {
+  const auto t0 = obs::mono_now_ns();
   const std::size_t width = shard_size(message.size());
 
   // Layout: u32 length || message || zero padding, split row-major into k rows.
@@ -208,6 +222,7 @@ EncodedShards ReedSolomon::encode_into(std::span<const std::uint8_t> message,
     matrix_apply_parallel(row(k_), n_ - k_, k_, scratch.inputs.data(), width,
                           scratch.coded.data() + static_cast<std::size_t>(k_) * width);
   }
+  encode_hist().record_since(t0);
   return EncodedShards{scratch.coded.data(), width, n_};
 }
 
@@ -243,6 +258,7 @@ bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scra
   // Systematic fast path: k distinct in-range indices all below k means we
   // hold every data row, so reassembly is pure memcpy — no submatrix
   // inversion and no kernel work (ROADMAP: decode fast path).
+  const auto t0 = obs::mono_now_ns();
   bool all_systematic = true;
   for (const auto* c : chosen) all_systematic = all_systematic && c->index < k_;
   if (all_systematic) {
@@ -251,7 +267,9 @@ bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scra
       std::memcpy(scratch.padded.data() + static_cast<std::size_t>(c->index) * width,
                   c->data.data(), width);
     }
-    return unpack_padded(scratch.padded, out);
+    const bool ok = unpack_padded(scratch.padded, out);
+    if (ok) decode_hist().record_since(t0);
+    return ok;
   }
 
   // Invert the k×k submatrix of the rows we actually hold.
@@ -273,7 +291,9 @@ bool ReedSolomon::decode_into(std::span<const ShardView> shards, RsScratch& scra
   scratch.padded.resize(width * k_);
   matrix_apply_parallel(scratch.sub.data(), k_, k_, scratch.inputs.data(), width,
                         scratch.padded.data());
-  return unpack_padded(scratch.padded, out);
+  const bool ok = unpack_padded(scratch.padded, out);
+  if (ok) decode_hist().record_since(t0);
+  return ok;
 }
 
 std::optional<util::Bytes> ReedSolomon::decode(std::span<const Shard> shards) const {

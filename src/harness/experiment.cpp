@@ -309,7 +309,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   net.traffic().mark_measurement_start(sim.now());
   core::ProtocolMetrics baseline = metrics;
-  metrics.latency_samples.clear();  // percentiles from the window only
+  metrics.latency_hist.reset();  // percentiles from the window only
 
   sim.run_until(warmup + measure);
   const auto now = sim.now();

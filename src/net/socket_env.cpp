@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "protocol/sim_env.hpp"  // apply_metrics_update
 #include "util/check.hpp"
 
@@ -837,6 +838,140 @@ void SocketEnv::run(const std::function<bool()>& should_stop) {
   }
   stop_workers();
   stop_requested_.store(false, std::memory_order_relaxed);  // later run() may resume
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+std::vector<SocketEnv::PeerSnapshot> SocketEnv::peer_snapshots() const {
+  std::vector<PeerSnapshot> out;
+  out.reserve(peer_counters_.size());
+  // Every id that ever dialed, was dialed, or shed appears in at least one of
+  // peers_ / peer_counters_; merge both maps so accepted-only peers show too.
+  std::map<sim::NodeId, PeerSnapshot> merged;
+  for (const auto& [id, peer] : peers_) {
+    auto& snap = merged[id];
+    snap.id = id;
+    snap.connected = peer.fd >= 0;
+    snap.queued_bytes += peer.pending.bytes();
+    if (peer.fd >= 0) {
+      if (const auto it = conns_.find(peer.fd); it != conns_.end()) {
+        snap.queued_bytes += it->second->outq.bytes();
+      }
+    }
+  }
+  for (const auto& [fd, conn] : conns_) {
+    if (!conn->bound || peers_.contains(conn->peer)) continue;
+    auto& snap = merged[conn->peer];
+    snap.id = conn->peer;
+    snap.connected = true;
+    snap.queued_bytes += conn->outq.bytes();
+  }
+  for (const auto& [id, counters] : peer_counters_) {
+    auto& snap = merged[id];
+    snap.id = id;
+    snap.shed_frames = counters.shed_frames;
+    snap.reconnect_attempts = counters.reconnect_attempts;
+  }
+  for (auto& [id, snap] : merged) out.push_back(snap);
+  return out;
+}
+
+void SocketEnv::register_observability(obs::Registry& registry) {
+  const struct {
+    const char* name;
+    const char* help;
+    const std::uint64_t* field;
+  } kCounters[] = {
+      {"leopard_net_frames_sent_total", "Frames written to peer connections",
+       &stats_.frames_sent},
+      {"leopard_net_bytes_sent_total", "Wire bytes written to peer connections",
+       &stats_.bytes_sent},
+      {"leopard_net_frames_received_total", "Frames decoded from peer connections",
+       &stats_.frames_received},
+      {"leopard_net_bytes_received_total", "Wire bytes read from peer connections",
+       &stats_.bytes_received},
+      {"leopard_net_decode_errors_total", "Malformed frames (connection dropped)",
+       &stats_.decode_errors},
+      {"leopard_net_frames_shed_total", "Frames dropped by peer-buffer overflow",
+       &stats_.frames_dropped},
+      {"leopard_net_connects_total", "Successful dials including reconnects",
+       &stats_.connects},
+      {"leopard_net_accepts_total", "Accepted inbound connections", &stats_.accepts},
+      {"leopard_net_unknown_instance_total",
+       "Frames addressed to an unregistered shard instance", &stats_.unknown_instance},
+      {"leopard_net_writev_calls_total", "sendmsg() syscalls on the flush path",
+       &stats_.writev_calls},
+      {"leopard_net_payload_copies_total", "Outbound payload serializations",
+       &stats_.payload_copies},
+      {"leopard_net_frames_shared_total",
+       "Broadcast enqueues aliasing an existing frame body", &stats_.frames_shared},
+  };
+  for (const auto& c : kCounters) {
+    registry.counter_fn(c.name, c.help, {},
+                        [field = c.field] { return static_cast<double>(*field); });
+  }
+
+  registry.gauge_fn("leopard_net_send_queue_bytes",
+                    "Outbound bytes queued across all peer links", {}, [this] {
+                      double total = 0;
+                      for (const auto& snap : peer_snapshots()) {
+                        total += static_cast<double>(snap.queued_bytes);
+                      }
+                      return total;
+                    });
+  registry.gauge_fn("leopard_net_connected_peers", "Peer links currently established",
+                    {}, [this] {
+                      double n = 0;
+                      for (const auto& snap : peer_snapshots()) n += snap.connected ? 1 : 0;
+                      return n;
+                    });
+
+  const auto peer_label = [](sim::NodeId id) {
+    return "peer=\"" + std::to_string(id) + "\"";
+  };
+  for (const auto& [id, peer] : peers_) {
+    const auto pid = id;
+    registry.counter_fn("leopard_net_peer_shed_frames_total",
+                        "Frames dropped toward one peer", peer_label(pid), [this, pid] {
+                          const auto it = peer_counters_.find(pid);
+                          return it == peer_counters_.end()
+                                     ? 0.0
+                                     : static_cast<double>(it->second.shed_frames);
+                        });
+    registry.counter_fn("leopard_net_peer_reconnects_total",
+                        "Dial retries scheduled toward one peer", peer_label(pid),
+                        [this, pid] {
+                          const auto it = peer_counters_.find(pid);
+                          return it == peer_counters_.end()
+                                     ? 0.0
+                                     : static_cast<double>(it->second.reconnect_attempts);
+                        });
+    registry.gauge_fn("leopard_net_peer_queue_bytes",
+                      "Outbound bytes queued toward one peer", peer_label(pid),
+                      [this, pid] {
+                        for (const auto& snap : peer_snapshots()) {
+                          if (snap.id == pid) return static_cast<double>(snap.queued_bytes);
+                        }
+                        return 0.0;
+                      });
+  }
+
+  // Protocol-core counters derived from MetricsUpdate actions. metrics_ is
+  // mutated only on the transport thread (MuxEnv posts its updates here), the
+  // same thread that scrapes.
+  registry.counter_fn("leopard_executed_requests_total",
+                      "Requests executed (counted at the designated observer)", {},
+                      [this] { return static_cast<double>(metrics_.executed_requests); });
+  registry.counter_fn("leopard_view_changes_total", "View changes completed", {},
+                      [this] { return static_cast<double>(metrics_.view_changes_completed); });
+  registry.counter_fn("leopard_datablocks_recovered_total",
+                      "Datablocks reconstructed via erasure retrieval", {},
+                      [this] { return static_cast<double>(metrics_.datablocks_recovered); });
+  registry.gauge_fn("leopard_safety_violation",
+                    "1 if this node ever observed conflicting confirmations", {},
+                    [this] { return metrics_.safety_violation ? 1.0 : 0.0; });
 }
 
 }  // namespace leopard::net

@@ -44,6 +44,10 @@
 #include "net/wire.hpp"
 #include "protocol/protocol.hpp"
 
+namespace leopard::obs {
+class Registry;
+}  // namespace leopard::obs
+
 namespace leopard::net {
 
 struct PeerAddr {
@@ -206,6 +210,30 @@ class SocketEnv final : public protocol::Env {
   [[nodiscard]] const std::map<sim::NodeId, PeerCounters>& peer_counters() const {
     return peer_counters_;
   }
+
+  /// The transport event loop. Observability endpoints (obs::HttpServer)
+  /// register on it so scrape handlers run on the transport thread and may
+  /// read transport-owned state (stats_, metrics_, peers_) without locks.
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
+  /// Point-in-time view of one peer link for /statusz: connection state,
+  /// outbound queue depth (pending + live-connection bytes), and the shed /
+  /// reconnect counters. Transport thread only.
+  struct PeerSnapshot {
+    sim::NodeId id = 0;
+    bool connected = false;
+    std::uint64_t queued_bytes = 0;
+    std::uint64_t shed_frames = 0;
+    std::uint64_t reconnect_attempts = 0;
+  };
+  [[nodiscard]] std::vector<PeerSnapshot> peer_snapshots() const;
+
+  /// Registers this env's transport stats as scrape-evaluated series
+  /// (counter_fn/gauge_fn) in `registry`: aggregate frame/byte/shed/connect
+  /// counters, total send-queue depth, and per-peer shed / reconnect / queue
+  /// series for every currently-known peer. The registry must be scraped on
+  /// the transport thread (serve the HTTP endpoints from loop()).
+  void register_observability(obs::Registry& registry);
 
   // -- protocol::Env ---------------------------------------------------------
   [[nodiscard]] sim::SimTime now() const override;

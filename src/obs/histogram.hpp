@@ -1,0 +1,108 @@
+// Log-bucketed HDR-style histogram layout shared by every percentile path in
+// the tree: the lock-free registry histograms (obs/metrics.hpp), the
+// single-threaded HdrHistogram value type embedded in core::ProtocolMetrics
+// (sim + wire client latency), and snapshot percentile math.
+//
+// Layout: values below kSub are exact (width-1 buckets); above that each
+// power-of-two range [2^h, 2^(h+1)) splits into kSub sub-buckets, so the
+// relative quantization error is bounded by 1/kSub (~3.1%) everywhere.
+// Values at or above 2^kMaxBits clamp into the top bucket (2^40 ns ≈ 18 min
+// — far beyond any latency this tree measures).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace leopard::obs {
+
+struct HdrLayout {
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint32_t kSub = 1u << kSubBits;  // 32 sub-buckets
+  static constexpr std::uint32_t kMaxBits = 40;
+  static constexpr std::uint32_t kBuckets = kSub * (kMaxBits - kSubBits + 1);  // 1152
+
+  [[nodiscard]] static constexpr std::uint32_t index_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::uint32_t>(v);
+    std::uint32_t h = 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+    if (h >= kMaxBits) {  // clamp into the top bucket
+      h = kMaxBits - 1;
+      v = (std::uint64_t{1} << kMaxBits) - 1;
+    }
+    const auto sub = static_cast<std::uint32_t>((v >> (h - kSubBits)) & (kSub - 1));
+    return kSub + (h - kSubBits) * kSub + sub;
+  }
+
+  /// Smallest value mapping to `index`.
+  [[nodiscard]] static constexpr std::uint64_t lower_bound(std::uint32_t index) {
+    if (index < kSub) return index;
+    const std::uint32_t exp = index / kSub - 1;
+    const std::uint32_t sub = index % kSub;
+    return static_cast<std::uint64_t>(kSub + sub) << exp;
+  }
+
+  /// Bucket width (number of distinct values collapsing into `index`).
+  [[nodiscard]] static constexpr std::uint64_t width_of(std::uint32_t index) {
+    return index < kSub ? 1 : std::uint64_t{1} << (index / kSub - 1);
+  }
+
+  /// The value a bucket reports for everything it absorbed (midpoint).
+  [[nodiscard]] static constexpr std::uint64_t representative(std::uint32_t index) {
+    return lower_bound(index) + width_of(index) / 2;
+  }
+};
+
+/// Percentile over any indexable bucket-count sequence laid out per
+/// HdrLayout. `p` in [0, 1]; nearest-rank, so p=0 is the smallest recorded
+/// bucket and p=1 the largest.
+template <typename Counts>
+[[nodiscard]] std::uint64_t hdr_percentile(const Counts& counts, std::uint64_t total, double p) {
+  if (total == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(p * static_cast<double>(total) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < HdrLayout::kBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) return HdrLayout::representative(i);
+  }
+  return HdrLayout::representative(HdrLayout::kBuckets - 1);
+}
+
+/// Plain single-threaded histogram value type (copyable; buckets allocated on
+/// first record so an idle instance costs three words).
+class HdrHistogram {
+ public:
+  void record(std::uint64_t value) {
+    if (counts_.empty()) counts_.assign(HdrLayout::kBuckets, 0);
+    ++counts_[HdrLayout::index_of(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  void reset() {
+    counts_.clear();
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    return counts_.empty() ? 0 : hdr_percentile(counts_, count_, p);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace leopard::obs

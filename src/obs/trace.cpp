@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace leopard::obs {
+
+namespace {
+
+std::uint64_t clamp_ns(std::int64_t dt) {
+  return dt > 0 ? static_cast<std::uint64_t>(dt) : 0;
+}
+
+}  // namespace
+
+StageTracer::StageTracer(Registry& registry, Options opts)
+    : opts_(std::move(opts)),
+      stash_cap_(std::max<std::size_t>(64, opts_.ring_capacity * 4)) {
+  const auto hist = [&](const char* stage, const char* help) {
+    std::string labels = "stage=\"" + std::string(stage) + "\"";
+    if (!opts_.labels.empty()) labels = opts_.labels + "," + labels;
+    return registry.histogram("leopard_request_stage_ns", help, labels);
+  };
+  generation_ = hist("generation", "Table IV request stage latency in nanoseconds");
+  dissemination_ = hist("dissemination", "Table IV request stage latency in nanoseconds");
+  agreement_ = hist("agreement", "Table IV request stage latency in nanoseconds");
+  total_ = hist("total", "Table IV request stage latency in nanoseconds");
+  observed_ = registry.counter("leopard_trace_requests_observed_total",
+                               "Requests seen by the stage tracer at generation",
+                               opts_.labels);
+  spans_ = registry.counter("leopard_trace_spans_total",
+                            "Sampled spans completed into the trace ring", opts_.labels);
+}
+
+std::uint64_t StageTracer::mix(std::uint64_t client_id, std::uint64_t seq) {
+  // splitmix64 over the packed identity; good avalanche so `% sample_every`
+  // does not correlate with client id or sequence stride.
+  std::uint64_t x = client_id * 0x9e3779b97f4a7c15ULL ^ (seq + 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+bool StageTracer::sampled(std::uint64_t client_id, std::uint64_t seq) const {
+  if (opts_.sample_every == 0) return false;
+  return mix(client_id, seq) % opts_.sample_every == 0;
+}
+
+void StageTracer::on_generated(std::uint64_t client_id, std::uint64_t seq,
+                               std::int64_t ingress_ns, std::int64_t created_ns) {
+  observed_.inc();
+  generation_.record(clamp_ns(created_ns - ingress_ns));
+  if (!sampled(client_id, seq)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stash_.size() >= stash_cap_) return;  // bounded: drop the sample, not memory
+  stash_.emplace(mix(client_id, seq), ingress_ns);
+}
+
+void StageTracer::on_executed(std::uint64_t client_id, std::uint64_t seq,
+                              std::int64_t created_ns, std::int64_t linked_ns,
+                              std::int64_t executed_ns) {
+  dissemination_.record(clamp_ns(linked_ns - created_ns));
+  agreement_.record(clamp_ns(executed_ns - linked_ns));
+  if (!sampled(client_id, seq)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = stash_.find(mix(client_id, seq));
+  if (it == stash_.end()) return;  // generated before the tracer, or stash-dropped
+  const auto ingress_ns = it->second;
+  stash_.erase(it);
+  total_.record(clamp_ns(executed_ns - ingress_ns));
+  spans_.inc();
+  Span span{client_id, seq, ingress_ns, created_ns, linked_ns, executed_ns};
+  if (ring_.size() < opts_.ring_capacity) {
+    ring_.push_back(span);
+  } else if (!ring_.empty()) {
+    ring_[ring_next_] = span;
+    ring_next_ = (ring_next_ + 1) % ring_.size();
+  }
+  ++ring_seen_;
+}
+
+void StageTracer::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  w.object_begin();
+  w.key("sample_every").value(static_cast<std::uint64_t>(opts_.sample_every));
+  w.key("ring_capacity").value(static_cast<std::uint64_t>(opts_.ring_capacity));
+  w.key("spans_completed").value(ring_seen_);
+  w.key("spans").array_begin();
+  // Oldest → newest: once the ring wraps, ring_next_ points at the oldest.
+  const std::size_t n = ring_.size();
+  const std::size_t start = n < opts_.ring_capacity ? 0 : ring_next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Span& s = ring_[(start + i) % n];
+    w.object_begin();
+    w.key("client_id").value(s.client_id);
+    w.key("seq").value(s.seq);
+    w.key("ingress_ns").value(static_cast<std::int64_t>(s.ingress_ns));
+    w.key("generation_ns").value(clamp_ns(s.created_ns - s.ingress_ns));
+    w.key("dissemination_ns").value(clamp_ns(s.linked_ns - s.created_ns));
+    w.key("agreement_ns").value(clamp_ns(s.executed_ns - s.linked_ns));
+    w.key("total_ns").value(clamp_ns(s.executed_ns - s.ingress_ns));
+    w.object_end();
+  }
+  w.array_end();
+  w.object_end();
+}
+
+}  // namespace leopard::obs

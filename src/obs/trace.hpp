@@ -1,0 +1,98 @@
+// Sampled request-stage tracer: timestamps the Table IV pipeline stages of a
+// request on the wire path and summarizes them as per-stage histograms, with
+// a fixed-size ring of complete spans dumpable via /statusz?traces=1.
+//
+// Stage boundaries (all on ONE replica's clock — the datablock maker's — so
+// the arithmetic never mixes process epochs; SocketEnv clocks are relative to
+// each process's own start and do NOT compare across processes):
+//
+//   ingress   request enters the maker's mempool (client submit, as locally
+//             observable)
+//   created   the maker batches it into a datablock       → generation stage
+//   linked    the maker receives the BFTblock linking it  → dissemination
+//   executed  the maker executes the linking block        → agreement
+//
+// Per-stage histograms are recorded for EVERY maker-owned request (the
+// duration inputs ride on hooks the replica already fires); the mutex-guarded
+// span stash and ring are touched only for the 1-in-`sample_every` requests
+// selected by a deterministic hash of (client_id, seq) — the same request is
+// sampled at every replica, so cross-node dumps line up.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace leopard::obs {
+
+class JsonWriter;
+
+class StageTracer {
+ public:
+  struct Options {
+    std::uint32_t sample_every = 64;  // 1 = every request, 0 = spans disabled
+    std::size_t ring_capacity = 256;  // completed spans kept for dumping
+    std::string labels;               // label body for the stage histograms
+  };
+
+  /// A completed request trace; times are env-clock nanoseconds.
+  struct Span {
+    std::uint64_t client_id = 0;
+    std::uint64_t seq = 0;
+    std::int64_t ingress_ns = 0;
+    std::int64_t created_ns = 0;
+    std::int64_t linked_ns = 0;
+    std::int64_t executed_ns = 0;
+  };
+
+  StageTracer(Registry& registry, Options opts);
+
+  /// Deterministic sampling decision — identical on every replica.
+  [[nodiscard]] bool sampled(std::uint64_t client_id, std::uint64_t seq) const;
+
+  /// The maker batched (client_id, seq) into a datablock.
+  void on_generated(std::uint64_t client_id, std::uint64_t seq, std::int64_t ingress_ns,
+                    std::int64_t created_ns);
+  /// The maker executed the block linking (client_id, seq)'s datablock.
+  void on_executed(std::uint64_t client_id, std::uint64_t seq, std::int64_t created_ns,
+                   std::int64_t linked_ns, std::int64_t executed_ns);
+
+  /// {"sample_every":N,"observed":N,"spans":[...]} — newest span last.
+  void write_json(JsonWriter& w) const;
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  // Stage histogram handles (pass to Registry::histogram_snapshot for
+  // percentile summaries in shutdown reports).
+  [[nodiscard]] const Histogram& generation_hist() const { return generation_; }
+  [[nodiscard]] const Histogram& dissemination_hist() const { return dissemination_; }
+  [[nodiscard]] const Histogram& agreement_hist() const { return agreement_; }
+  [[nodiscard]] const Histogram& total_hist() const { return total_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t client_id, std::uint64_t seq);
+
+  Options opts_;
+  Histogram generation_;     // ingress → created
+  Histogram dissemination_;  // created → linked
+  Histogram agreement_;      // linked → executed
+  Histogram total_;          // ingress → executed (sampled spans only)
+  Counter observed_;         // requests seen at generation
+  Counter spans_;            // spans completed into the ring
+
+  // Sampled-request state. The stash holds ingress stamps between the two
+  // hooks; bounded so a request that never executes (view-change churn,
+  // crash) cannot grow it without limit.
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::int64_t> stash_;  // mix(id,seq) → ingress
+  std::size_t stash_cap_;
+  std::vector<Span> ring_;
+  std::size_t ring_next_ = 0;
+  std::uint64_t ring_seen_ = 0;
+};
+
+}  // namespace leopard::obs

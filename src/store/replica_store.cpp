@@ -4,11 +4,27 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace leopard::store {
 
 namespace {
+
+// Process-wide durability latency histograms (all stores in a process share
+// one WAL discipline; the per-thread shards keep multi-store recording
+// uncontended anyway).
+obs::Histogram wal_append_hist() {
+  static const obs::Histogram h = obs::Registry::global().histogram(
+      "leopard_wal_append_ns", "WAL entry encode+write latency in nanoseconds");
+  return h;
+}
+
+obs::Histogram wal_fsync_hist() {
+  static const obs::Histogram h = obs::Registry::global().histogram(
+      "leopard_wal_fsync_ns", "WAL fsync latency in nanoseconds");
+  return h;
+}
 
 constexpr std::uint32_t kSnapshotMagic = 0x504E534Cu;  // "LSNP"
 constexpr std::uint8_t kSnapshotVersion = 1;
@@ -285,6 +301,7 @@ bool ReplicaStore::append(std::uint64_t seq, std::uint32_t ordinal,
                           std::span<const std::uint8_t> frame, sim::SimTime now,
                           std::string* err) {
   util::expects(is_open(), "ReplicaStore::append before open");
+  const auto append_t0 = obs::mono_now_ns();
   WalEntry entry;
   entry.index = entries();
   entry.seq = seq;
@@ -322,6 +339,7 @@ bool ReplicaStore::append(std::uint64_t seq, std::uint32_t ordinal,
   tail_ordinal_ = ordinal;
   dirty_ = true;
   ++stats_.appends;
+  wal_append_hist().record_since(append_t0);
 
   bool ok = true;
   switch (opts_.fsync_policy) {
@@ -355,10 +373,12 @@ bool ReplicaStore::flush(std::string* err) {
 
 bool ReplicaStore::do_fsync() {
   ++stats_.fsyncs;
+  const auto t0 = obs::mono_now_ns();
   if (!io().fsync(fd_)) {
     ++stats_.fsync_errors;
     return false;
   }
+  wal_fsync_hist().record_since(t0);
   dirty_ = false;
   return true;
 }

@@ -340,36 +340,73 @@ TEST(ChaosWire, GarbageSharesCannotPoisonStateTransfer) {
       << "the byzantine replica never actually served a corrupted chunk";
 }
 
-TEST(ChaosWire, LaggardLeaderDelaysEveryFrameButClusterCommits) {
-  // FnF-style laggard: the leader holds every outbound frame for 150 ms. No
-  // view change should fire (the generous timeout absorbs the lag), commits
-  // just arrive late — and all four replicas fold the same stream.
+TEST(ChaosWire, LaggardLeaderDegradesMeasuredCommitLatencyWithoutViewChange) {
+  // FnF-style laggard: the leader holds every outbound frame for `kLagMs`.
+  // No view change should fire (the generous timeout absorbs the lag) and all
+  // replicas fold the same stream — but the attack must also be VISIBLE in the
+  // measured commit-latency histogram: run an identical honest cluster first
+  // and demand the attacked percentiles degrade by a bounded factor. The
+  // client's p50/p99 come from the same HDR histogram /metrics exposes.
+  constexpr std::uint64_t kLagMs = 150;
   const auto dir = temp_dir();
-  const auto ports = pick_free_ports(4);
-  const auto manifest = write_manifest(dir, "cluster.conf", ports, {});
 
-  ReplicaSet cluster;
-  for (std::size_t id = 0; id < 4; ++id) {
-    std::vector<std::string> extra;
-    if (id == 1) extra = {"--byzantine", "laggard", "--byzantine-lag-ms", "150"};
-    cluster.start(id, manifest, dir, "", std::move(extra));
-  }
+  const auto run_cluster = [&](const std::string& tag,
+                               bool laggard) -> std::map<std::string, std::string> {
+    const auto ports = pick_free_ports(4);
+    const auto manifest = write_manifest(dir, "cluster_" + tag + ".conf", ports, {});
+    ReplicaSet cluster;
+    for (std::size_t id = 0; id < 4; ++id) {
+      std::vector<std::string> extra;
+      if (laggard && id == 1) {
+        extra = {"--byzantine", "laggard", "--byzantine-lag-ms", std::to_string(kLagMs)};
+      }
+      cluster.start(id, manifest, dir, "", std::move(extra));
+    }
+    const auto client_out = dir + "/client_" + tag + ".out";
+    EXPECT_EQ(run_client(manifest, client_out, 100, 300, 1000), 0)
+        << "cluster lost liveness (" << tag << ")";
+    if (laggard) ::usleep(800 * 1000);  // let the last held frames flush
 
-  ASSERT_EQ(run_client(manifest, dir + "/client.out", 100, 300, 1000), 0)
-      << "cluster lost liveness under a laggard leader";
-  ::usleep(800 * 1000);  // let the last held frames flush
+    const auto reports = stop_all(cluster, 4);
+    for (std::size_t id = 1; id < 4; ++id) {
+      EXPECT_TRUE(reports[id].contains("exec_digest")) << tag << " replica " << id;
+      EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest"))
+          << tag << " replica " << id;
+    }
+    for (const std::size_t id : {0u, 2u, 3u}) {
+      EXPECT_EQ(reports[id].at("view"), "1")
+          << "laggard=" << laggard << " should not force a view change (replica " << id
+          << ")";
+    }
+    if (laggard) {
+      EXPECT_GT(std::stoull(reports[1].at("byz_delayed")), 0u)
+          << "the laggard never actually delayed a frame";
+    }
+    return parse_report(client_out);
+  };
 
-  const auto reports = stop_all(cluster, 4);
-  for (std::size_t id = 1; id < 4; ++id) {
-    ASSERT_TRUE(reports[id].contains("exec_digest")) << "replica " << id;
-    EXPECT_EQ(reports[id].at("exec_digest"), reports[0].at("exec_digest")) << id;
-  }
-  for (const std::size_t id : {0u, 2u, 3u}) {
-    EXPECT_EQ(reports[id].at("view"), "1")
-        << "a 150 ms laggard should not force a view change (replica " << id << ")";
-  }
-  EXPECT_GT(std::stoull(reports[1].at("byz_delayed")), 0u)
-      << "the laggard never actually delayed a frame";
+  const auto baseline = run_cluster("baseline", false);
+  const auto attacked = run_cluster("laggard", true);
+
+  ASSERT_TRUE(baseline.contains("p50_latency_ms") && baseline.contains("p99_latency_ms"));
+  ASSERT_TRUE(attacked.contains("p50_latency_ms") && attacked.contains("p99_latency_ms"));
+  const double base_p50 = std::stod(baseline.at("p50_latency_ms"));
+  const double base_p99 = std::stod(baseline.at("p99_latency_ms"));
+  const double atk_p50 = std::stod(attacked.at("p50_latency_ms"));
+  const double atk_p99 = std::stod(attacked.at("p99_latency_ms"));
+
+  // Lower bound: the leader's held frames sit on the commit path, so the
+  // median must absorb most of one lag and clearly degrade from baseline.
+  EXPECT_GE(atk_p50, static_cast<double>(kLagMs) * 0.6)
+      << "laggard p50 " << atk_p50 << "ms does not reflect a " << kLagMs << "ms hold";
+  EXPECT_GE(atk_p50, 2.0 * base_p50)
+      << "laggard p50 " << atk_p50 << "ms vs baseline " << base_p50
+      << "ms: degradation factor under 2x";
+  // Upper bound: a fixed lag must not compound — the tail stays within a few
+  // held rounds of the honest tail (generous so CI jitter cannot trip it).
+  EXPECT_LE(atk_p99, base_p99 + 25.0 * static_cast<double>(kLagMs))
+      << "laggard p99 " << atk_p99 << "ms blew past baseline " << base_p99
+      << "ms + 25 lags";
 }
 
 // --- chaos proxy partition schedules -----------------------------------------

@@ -15,9 +15,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -172,6 +174,52 @@ struct ReplicaSet {
   int next_out_ = 0;
 };
 
+/// Blocking one-shot HTTP GET against a daemon's observability endpoint.
+/// Empty string on connect/read failure (caller retries — the endpoint comes
+/// up with the event loop).
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\nHost: t\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) != static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[8192];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Body after the HTTP header; empty when the response is not a 200.
+std::string http_body(const std::string& response) {
+  if (response.find("200") == std::string::npos) return "";
+  const auto sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? "" : response.substr(sep + 4);
+}
+
+/// Value of an unlabeled series in Prometheus exposition text, -1 if absent.
+double scrape_value(const std::string& body, const std::string& name) {
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) return std::stod(line.substr(name.size() + 1));
+  }
+  return -1.0;
+}
+
 int run_client(const std::string& manifest, const std::string& out_path, std::uint32_t id,
                std::uint32_t requests, std::uint32_t resubmit_ms = 1000) {
   const pid_t pid = spawn_node(manifest, out_path,
@@ -235,6 +283,117 @@ TEST(SocketCluster, LeopardCommitsEndToEnd) { expect_cluster_commits("leopard");
 TEST(SocketCluster, HotStuffCommitsEndToEnd) { expect_cluster_commits("hotstuff"); }
 
 TEST(SocketCluster, PbftCommitsEndToEnd) { expect_cluster_commits("pbft"); }
+
+TEST(SocketCluster, LiveObservabilityEndpointsServeAllThreeRoutes) {
+  // End-to-end scrape: every replica runs with --metrics-addr and must answer
+  // /healthz, /metrics (well-formed Prometheus text), and /statusz (JSON)
+  // while committing. The executed-height gauge must be monotone across
+  // scrapes and reach the client's total.
+  const auto dir = temp_dir();
+  const auto ports = pick_free_ports(8);
+  const std::vector<std::uint16_t> node_ports(ports.begin(), ports.begin() + 4);
+  const std::vector<std::uint16_t> obs_ports(ports.begin() + 4, ports.end());
+  const auto manifest = write_manifest(dir, "leopard", node_ports);
+
+  ReplicaSet cluster;
+  for (std::size_t id = 0; id < 4; ++id) {
+    cluster.start(id, manifest, dir, dir + "/data" + std::to_string(id),
+                  {"--metrics-addr", "127.0.0.1:" + std::to_string(obs_ports[id]),
+                   "--trace-sample", "4"});
+  }
+
+  // Health gate: all four endpoints answer before any traffic flows.
+  for (std::size_t id = 0; id < 4; ++id) {
+    std::string health;
+    for (int attempt = 0; attempt < 100 && health.find("ok") == std::string::npos;
+         ++attempt) {
+      health = http_body(http_get(obs_ports[id], "/healthz"));
+      if (health.empty()) ::usleep(100 * 1000);
+    }
+    ASSERT_NE(health.find("ok"), std::string::npos) << "replica " << id << " unhealthy";
+  }
+
+  const auto before = scrape_value(http_body(http_get(obs_ports[0], "/metrics")),
+                                   "leopard_executed_through");
+  ASSERT_GE(before, 0.0) << "leopard_executed_through gauge missing";
+
+  const auto client_out = dir + "/client.out";
+  ASSERT_EQ(run_client(manifest, client_out, 100, 300), 0);
+  EXPECT_EQ(parse_report(client_out).at("acked"), "300");
+
+  for (std::size_t id = 0; id < 4; ++id) {
+    const auto body = http_body(http_get(obs_ports[id], "/metrics"));
+    ASSERT_FALSE(body.empty()) << "replica " << id << " /metrics not a 200";
+
+    // Prometheus well-formedness: every line is a comment or "series value",
+    // every series was announced by a preceding # TYPE for its family.
+    std::set<std::string> typed;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream ts(line.substr(7));
+        std::string fam;
+        ts >> fam;
+        typed.insert(fam);
+        continue;
+      }
+      if (line[0] == '#') {
+        EXPECT_EQ(line.rfind("# HELP ", 0), 0u) << "stray comment: " << line;
+        continue;
+      }
+      const auto sp = line.rfind(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      EXPECT_NO_THROW(std::stod(line.substr(sp + 1))) << line;
+      auto series = line.substr(0, sp);
+      const auto brace = series.find('{');
+      if (brace != std::string::npos) series = series.substr(0, brace);
+      // Histogram sample suffixes belong to the histogram family.
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s = suffix;
+        if (series.size() > s.size() &&
+            series.compare(series.size() - s.size(), s.size(), s) == 0 &&
+            typed.contains(series.substr(0, series.size() - s.size()))) {
+          series = series.substr(0, series.size() - s.size());
+          break;
+        }
+      }
+      EXPECT_TRUE(typed.contains(series)) << "series without # TYPE: " << line;
+    }
+
+    // Transport counters are live on every replica.
+    EXPECT_GT(scrape_value(body, "leopard_net_frames_sent_total"), 0.0) << id;
+    EXPECT_GT(scrape_value(body, "leopard_net_bytes_received_total"), 0.0) << id;
+    EXPECT_EQ(scrape_value(body, "leopard_safety_violation"), 0.0) << id;
+
+    // /statusz is JSON with the node identity and the metrics dump.
+    const auto statusz = http_body(http_get(obs_ports[id], "/statusz?traces=1"));
+    ASSERT_FALSE(statusz.empty()) << "replica " << id << " /statusz not a 200";
+    EXPECT_EQ(statusz.front(), '{') << id;
+    EXPECT_NE(statusz.find("\"role\":\"replica\""), std::string::npos) << id;
+    EXPECT_NE(statusz.find("\"exec_digest\":\""), std::string::npos) << id;
+    EXPECT_NE(statusz.find("\"peers\":["), std::string::npos) << id;
+    EXPECT_NE(statusz.find("\"metrics\":{"), std::string::npos) << id;
+    EXPECT_NE(statusz.find("\"traces\":{"), std::string::npos) << id;
+    EXPECT_EQ(std::count(statusz.begin(), statusz.end(), '{'),
+              std::count(statusz.begin(), statusz.end(), '}'))
+        << "unbalanced JSON braces (replica " << id << ")";
+  }
+
+  // Monotone executed height: the post-commit scrape dominates the pre-commit
+  // one and shows real progress.
+  const auto after = scrape_value(http_body(http_get(obs_ports[0], "/metrics")),
+                                  "leopard_executed_through");
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.0);
+  EXPECT_GE(scrape_value(http_body(http_get(obs_ports[0], "/metrics")),
+                         "leopard_executed_requests_total"),
+            300.0)
+      << "designated observer undercounted executions";
+
+  for (std::size_t id = 0; id < 4; ++id) EXPECT_EQ(cluster.stop(id), 0) << id;
+}
 
 // Two protocol shards multiplexed over the same TCP connections: every
 // replica must agree per shard (shardK_digest) AND on the merged global

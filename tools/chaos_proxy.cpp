@@ -48,6 +48,8 @@
 
 #include "net/event_loop.hpp"
 #include "net/timer_wheel.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
 
@@ -85,6 +87,7 @@ struct Options {
   std::uint64_t seed = 1;
   double run_for = -1;
   std::string report_path;
+  std::string metrics_addr;  // HOST:PORT (or :PORT / PORT); empty disables
 };
 
 struct Stats {
@@ -106,7 +109,8 @@ struct Stats {
                "                   [--delay-ms N] [--jitter-ms N] [--drop-pct P]\n"
                "                   [--reorder-pct P] [--rate-kbps N]\n"
                "                   [--partition LPORT@START_MS+DUR_MS ...]\n"
-               "                   [--seed N] [--run-for SEC] [--report FILE]\n");
+               "                   [--seed N] [--run-for SEC] [--report FILE]\n"
+               "                   [--metrics-addr HOST:PORT]\n");
   std::exit(2);
 }
 
@@ -159,6 +163,8 @@ Options parse_args(int argc, char** argv) {
       opts.run_for = std::strtod(next(), nullptr);
     } else if (arg == "--report") {
       opts.report_path = next();
+    } else if (arg == "--metrics-addr") {
+      opts.metrics_addr = next();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", std::string(arg).c_str());
       usage();
@@ -193,6 +199,7 @@ class Proxy {
     for (auto& spec : opts_.routes) {
       if (!open_route(spec)) return 1;
     }
+    if (!setup_metrics()) return 1;
     for (std::size_t i = 0; i < opts_.partitions.size(); ++i) {
       timers_.arm(kPartitionBit | (i << 1), opts_.partitions[i].start);
       timers_.arm(kPartitionBit | (i << 1) | 1,
@@ -510,6 +517,61 @@ class Proxy {
     }
   }
 
+  /// Binds the /metrics endpoint when --metrics-addr is set. The proxy's
+  /// fault counters become live scrape targets, so an experiment can watch
+  /// drops/reorders/partitions while the cluster runs through the proxy.
+  bool setup_metrics() {
+    if (opts_.metrics_addr.empty()) return true;
+    lp::obs::HttpServer::Options hopts;
+    const auto& addr = opts_.metrics_addr;
+    const auto colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      hopts.port = static_cast<std::uint16_t>(std::strtoul(addr.c_str(), nullptr, 10));
+    } else {
+      if (colon > 0) hopts.host = addr.substr(0, colon);
+      hopts.port =
+          static_cast<std::uint16_t>(std::strtoul(addr.c_str() + colon + 1, nullptr, 10));
+    }
+    http_ = std::make_unique<lp::obs::HttpServer>(loop_, hopts);
+    if (!http_->listening()) {
+      std::fprintf(stderr, "chaos_proxy: cannot bind --metrics-addr %s\n", addr.c_str());
+      return false;
+    }
+    auto& reg = lp::obs::Registry::global();
+    const struct {
+      const char* name;
+      const char* help;
+      const std::uint64_t* field;
+    } kCounters[] = {
+        {"leopard_proxy_links_opened_total", "Accepted client links", &stats_.links_opened},
+        {"leopard_proxy_links_closed_total", "Links torn down", &stats_.links_closed},
+        {"leopard_proxy_chunks_forwarded_total", "Chunks relayed", &stats_.chunks_forwarded},
+        {"leopard_proxy_bytes_forwarded_total", "Bytes relayed", &stats_.bytes_forwarded},
+        {"leopard_proxy_chunks_dropped_total", "Chunks dropped by fault injection",
+         &stats_.chunks_dropped},
+        {"leopard_proxy_bytes_dropped_total", "Bytes dropped by fault injection",
+         &stats_.bytes_dropped},
+        {"leopard_proxy_chunks_reordered_total", "Chunks delivered out of order",
+         &stats_.chunks_reordered},
+        {"leopard_proxy_accepts_refused_total", "Accepts refused while partitioned",
+         &stats_.accepts_refused},
+        {"leopard_proxy_partitions_started_total", "Partition windows opened",
+         &stats_.partitions_started},
+        {"leopard_proxy_partitions_healed_total", "Partition windows closed",
+         &stats_.partitions_healed},
+    };
+    for (const auto& c : kCounters) {
+      reg.counter_fn(c.name, c.help, {},
+                     [field = c.field] { return static_cast<double>(*field); });
+    }
+    reg.gauge_fn("leopard_proxy_routes", "Configured listen routes", {},
+                 [this] { return static_cast<double>(routes_.size()); });
+    reg.gauge_fn("leopard_proxy_live_links", "Currently open links", {},
+                 [this] { return static_cast<double>(links_.size()); });
+    http_->serve_registry(reg);
+    return true;
+  }
+
   Options opts_;
   lp::util::Rng rng_;
   lp::net::EventLoop loop_;
@@ -519,6 +581,7 @@ class Proxy {
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t next_link_id_ = 1;
   Stats stats_;
+  std::unique_ptr<lp::obs::HttpServer> http_;
 };
 
 }  // namespace

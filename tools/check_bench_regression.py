@@ -56,6 +56,15 @@ METRIC_SETS = {
         ("scaling.sim_speedup_s2", 1.5),
         ("scaling.sim_speedup_s4", 3.0),
     ],
+    "obs": [
+        # 50 ns/op record ceiling expressed as a floor: 20 Mops/thread. The
+        # bench also enforces this itself unless run with --no-acceptance.
+        ("record.histogram_Mops", 20.0),
+        ("record.counter_Mops", 20.0),
+        # Per-thread-shard registry vs one shared fetch_add histogram; only a
+        # scaling statement with real parallelism underneath.
+        ("contention.shard_speedup", 1.5, 4),
+    ],
     "wire": [
         # Exact arithmetic, not a timing: one serialization fanned to 15
         # peer queues. Any copy-per-peer regression drops this to ~1.

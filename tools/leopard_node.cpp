@@ -36,6 +36,10 @@
 #include "net/manifest.hpp"
 #include "net/socket_env.hpp"
 #include "net/wire.hpp"
+#include "obs/http.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/factory.hpp"
 #include "shard/mux_env.hpp"
 #include "shard/sequencer.hpp"
@@ -65,6 +69,12 @@ struct Args {
   std::uint32_t io_threads = 1;  // worker threads for shard instances (sharded mode)
   std::string report_path;    // optional: also write the report to a file
 
+  // Observability: HOST:PORT (or :PORT / PORT) for /metrics, /statusz,
+  // /healthz; empty disables the endpoint. trace_sample is the stage tracer's
+  // 1-in-N span sampling (0 = histograms only, no span ring).
+  std::string metrics_addr;
+  std::uint32_t trace_sample = 64;
+
   // Byzantine behaviour (replica mode; empty = honest).
   std::string byzantine;
   std::uint32_t byzantine_lag_ms = 150;
@@ -86,9 +96,10 @@ struct Args {
                "          [--data-dir DIR] [--recover strict|truncate]\n"
                "          [--fsync always|interval|none] [--fsync-interval-ms MS]\n"
                "          [--snapshot-every N]\n"
+               "          [--metrics-addr HOST:PORT] [--trace-sample N]\n"
                "       %s --manifest FILE --id ID --client --requests N [--window W]\n"
                "          [--payload BYTES] [--resubmit-ms MS] [--timeout SEC]\n"
-               "          [--shards S]\n"
+               "          [--shards S] [--metrics-addr HOST:PORT]\n"
                "       (see docs/DEPLOY.md)\n",
                argv0, argv0);
   std::exit(2);
@@ -135,6 +146,10 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (arg == "--report") {
       args.report_path = next();
+    } else if (arg == "--metrics-addr") {
+      args.metrics_addr = next();
+    } else if (arg == "--trace-sample") {
+      args.trace_sample = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--byzantine") {
       args.byzantine = next();
       if (!leopard::chaos::parse_wire_attack(args.byzantine)) {
@@ -285,6 +300,92 @@ void size_worker_pool(const leopard::net::Manifest& manifest) {
   leopard::util::WorkerPool::global().resize(lanes);
 }
 
+/// "HOST:PORT", ":PORT", or bare "PORT" → listen options.
+leopard::obs::HttpServer::Options parse_metrics_addr(const std::string& addr) {
+  leopard::obs::HttpServer::Options opts;
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    opts.port = static_cast<std::uint16_t>(std::strtoul(addr.c_str(), nullptr, 10));
+  } else {
+    if (colon > 0) opts.host = addr.substr(0, colon);
+    opts.port =
+        static_cast<std::uint16_t>(std::strtoul(addr.c_str() + colon + 1, nullptr, 10));
+  }
+  return opts;
+}
+
+/// Binds the observability endpoint or returns nullptr when --metrics-addr is
+/// unset. A bind failure is fatal: an operator who asked for the endpoint
+/// must not silently lose it.
+std::unique_ptr<leopard::obs::HttpServer> make_metrics_server(
+    const Args& args, leopard::net::SocketEnv& env, bool* failed) {
+  *failed = false;
+  if (args.metrics_addr.empty()) return nullptr;
+  auto http = std::make_unique<leopard::obs::HttpServer>(
+      env.loop(), parse_metrics_addr(args.metrics_addr));
+  if (!http->listening()) {
+    std::fprintf(stderr, "leopard_node: cannot bind --metrics-addr %s\n",
+                 args.metrics_addr.c_str());
+    *failed = true;
+    return nullptr;
+  }
+  return http;
+}
+
+void write_peers_json(leopard::obs::JsonWriter& w, leopard::net::SocketEnv& env) {
+  w.key("peers").array_begin();
+  for (const auto& p : env.peer_snapshots()) {
+    w.object_begin();
+    w.key("id").value(static_cast<std::uint64_t>(p.id));
+    w.key("connected").value(p.connected);
+    w.key("queued_bytes").value(p.queued_bytes);
+    w.key("shed_frames").value(p.shed_frames);
+    w.key("reconnect_attempts").value(p.reconnect_attempts);
+    w.object_end();
+  }
+  w.array_end();
+}
+
+/// Table IV stage percentiles for the shutdown report (only when the stage
+/// tracer ran — the histograms are empty otherwise).
+void print_stage_latency(std::string& report, leopard::obs::Registry& registry,
+                         const leopard::obs::StageTracer& tracer) {
+  const struct {
+    const char* name;
+    const leopard::obs::Histogram& hist;
+  } kStages[] = {
+      {"generation", tracer.generation_hist()},
+      {"dissemination", tracer.dissemination_hist()},
+      {"agreement", tracer.agreement_hist()},
+      {"total", tracer.total_hist()},
+  };
+  for (const auto& stage : kStages) {
+    const auto snap = registry.histogram_snapshot(stage.hist);
+    if (snap.count == 0) continue;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "stage_%s_count=%llu stage_%s_p50_ms=%.3f stage_%s_p99_ms=%.3f\n",
+                  stage.name, static_cast<unsigned long long>(snap.count), stage.name,
+                  static_cast<double>(snap.percentile(0.50)) / 1e6, stage.name,
+                  static_cast<double>(snap.percentile(0.99)) / 1e6);
+    report += buf;
+  }
+}
+
+/// Client commit-latency summary. `mean_latency_ms`/`p50_latency_ms` are the
+/// historical keys (scripts parse them); the tail percentiles are additive.
+void print_client_latency(std::string& report, const leopard::core::ProtocolMetrics& metrics) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "mean_latency_ms=%.2f p50_latency_ms=%.2f p90_latency_ms=%.2f "
+                "p99_latency_ms=%.2f p999_latency_ms=%.2f\n",
+                metrics.mean_latency_sec() * 1e3, metrics.latency_percentile(0.5) * 1e3,
+                metrics.latency_percentile(0.9) * 1e3,
+                metrics.latency_percentile(0.99) * 1e3,
+                metrics.latency_percentile(0.999) * 1e3);
+  report += buf;
+}
+
 int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   namespace lp = leopard;
 
@@ -297,6 +398,26 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
   // `inner_core` always points at the consensus core for report accessors.
   std::unique_ptr<lp::protocol::Protocol> hosted = lp::protocol::make_protocol(spec, ts, args.id);
   const lp::protocol::Protocol* inner_core = hosted.get();
+
+  // Request-stage tracer: hooks into the (still-unwrapped) Leopard core so
+  // Table IV stage latencies are measured on the real wire path. Stage
+  // histograms land in the global registry; sampled spans are dumpable via
+  // /statusz?traces=1.
+  auto& registry = lp::obs::Registry::global();
+  lp::obs::StageTracer::Options topts;
+  topts.sample_every = args.trace_sample;
+  auto tracer = std::make_unique<lp::obs::StageTracer>(registry, topts);
+  if (auto* lr = dynamic_cast<lp::core::LeopardReplica*>(hosted.get())) {
+    lp::obs::StageTracer* t = tracer.get();
+    lr->set_stage_hooks(
+        [t](std::uint64_t client, std::uint64_t seq, lp::sim::SimTime ingress,
+            lp::sim::SimTime created) { t->on_generated(client, seq, ingress, created); },
+        [t](std::uint64_t client, std::uint64_t seq, lp::sim::SimTime created,
+            lp::sim::SimTime linked, lp::sim::SimTime executed) {
+          t->on_executed(client, seq, created, linked, executed);
+        });
+  }
+
   lp::chaos::ByzantineInterposer* byz = nullptr;
   if (!args.byzantine.empty()) {
     lp::chaos::InterposerOptions bopts;
@@ -369,6 +490,52 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
     sync.on_execute(e.seq, e.ordinal, block_digest, e.requests, frame, env.now());
   });
 
+  // Observability endpoint: runs on the transport thread's event loop, so
+  // handlers may read env/sync/core state directly (the unsharded core runs
+  // on that same thread). Declared after env/sync — destroyed before them.
+  env.register_observability(registry);
+  if (const auto* replica = dynamic_cast<const lp::core::LeopardReplica*>(inner_core)) {
+    registry.gauge_fn("leopard_view", "Current consensus view", "",
+                      [replica] { return static_cast<double>(replica->view()); });
+    registry.gauge_fn("leopard_executed_through", "Highest contiguously executed sn", "",
+                      [replica] { return static_cast<double>(replica->executed_through()); });
+  }
+  bool metrics_bind_failed = false;
+  auto http = make_metrics_server(args, env, &metrics_bind_failed);
+  if (metrics_bind_failed) return 3;
+  if (http != nullptr) {
+    http->handle("/statusz", [&, inner_core](std::string_view query) {
+      lp::obs::JsonWriter w;
+      w.object_begin();
+      w.key("role").value("replica");
+      w.key("id").value(static_cast<std::uint64_t>(args.id));
+      w.key("protocol").value(manifest.protocol);
+      w.key("n").value(static_cast<std::uint64_t>(manifest.n));
+      if (const auto* replica = dynamic_cast<const lp::core::LeopardReplica*>(inner_core)) {
+        w.key("view").value(static_cast<std::uint64_t>(replica->view()));
+        w.key("executed_through").value(replica->executed_through());
+        w.key("state_digest").value(replica->state_digest().hex());
+      }
+      w.key("executed_requests").value(sync.executed_requests());
+      w.key("executed_blocks").value(sync.executed_blocks());
+      w.key("exec_digest").value(sync.exec_digest().hex());
+      w.key("sync_live").value(sync.live());
+      write_peers_json(w, env);
+      w.key("metrics");
+      registry.write_statusz(w);
+      if (lp::obs::query_param(query, "traces") == "1") {
+        w.key("traces");
+        tracer->write_json(w);
+      }
+      w.object_end();
+      lp::obs::HttpServer::Response resp;
+      resp.content_type = "application/json";
+      resp.body = w.str();
+      return resp;
+    });
+    http->serve_registry(registry);
+  }
+
   sync.start(env.now());
 
   const auto deadline =
@@ -408,6 +575,7 @@ int run_replica(const Args& args, const leopard::net::Manifest& manifest) {
                   static_cast<unsigned long long>(replica->executed_through()));
     report += buf;
   }
+  print_stage_latency(report, registry, *tracer);
   if (rstore != nullptr) {
     const auto& st = rstore->stats();
     std::snprintf(buf, sizeof(buf),
@@ -544,7 +712,15 @@ int run_replica_sharded(const Args& args, const leopard::net::Manifest& manifest
   for (std::uint32_t s = 0; s < shards; ++s) {
     schemes.emplace_back(n, manifest.quorum(), manifest.seed + s);
   }
-  lp::core::ProtocolMetrics metrics;
+  // Request-stage tracer shared by every shard core. The stage hooks fire on
+  // whichever worker thread runs the shard; the tracer's histograms record
+  // through per-thread registry shards and its span ring is mutex-guarded, so
+  // one tracer serves all shards.
+  auto& registry = lp::obs::Registry::global();
+  lp::obs::StageTracer::Options topts;
+  topts.sample_every = args.trace_sample;
+  auto tracer = std::make_unique<lp::obs::StageTracer>(registry, topts);
+
   std::vector<std::unique_ptr<lp::protocol::Protocol>> cores;
   std::vector<std::unique_ptr<lp::shard::MuxEnv>> muxes;
   std::vector<const lp::core::LeopardReplica*> leopard_cores(shards, nullptr);
@@ -553,6 +729,16 @@ int run_replica_sharded(const Args& args, const leopard::net::Manifest& manifest
     const auto core_id = static_cast<lp::proto::ReplicaId>((args.id + n - s % n) % n);
     auto hosted = lp::protocol::make_protocol(spec, schemes[s], core_id);
     leopard_cores[s] = dynamic_cast<const lp::core::LeopardReplica*>(hosted.get());
+    if (auto* lr = dynamic_cast<lp::core::LeopardReplica*>(hosted.get())) {
+      lp::obs::StageTracer* t = tracer.get();
+      lr->set_stage_hooks(
+          [t](std::uint64_t client, std::uint64_t seq, lp::sim::SimTime ingress,
+              lp::sim::SimTime created) { t->on_generated(client, seq, ingress, created); },
+          [t](std::uint64_t client, std::uint64_t seq, lp::sim::SimTime created,
+              lp::sim::SimTime linked, lp::sim::SimTime executed) {
+            t->on_executed(client, seq, created, linked, executed);
+          });
+    }
     if (!args.byzantine.empty()) {
       lp::chaos::InterposerOptions bopts;
       bopts.attack = *lp::chaos::parse_wire_attack(args.byzantine);
@@ -565,7 +751,9 @@ int run_replica_sharded(const Args& args, const leopard::net::Manifest& manifest
       byzs[s] = wrapped.get();
       hosted = std::move(wrapped);
     }
-    auto mux = std::make_unique<lp::shard::MuxEnv>(env, metrics, n, s, shards);
+    // env.metrics() is the transport-owned ProtocolMetrics the registry's
+    // core counter_fns read; MuxEnv posts its updates to the transport thread.
+    auto mux = std::make_unique<lp::shard::MuxEnv>(env, env.metrics(), n, s, shards);
     mux->attach(*hosted);
     mux->set_execute_observer([&, s](const lp::protocol::Execute& e) {
       auto& ps = per_shard[s];
@@ -593,6 +781,58 @@ int run_replica_sharded(const Args& args, const leopard::net::Manifest& manifest
   env.set_payload_interceptor([&](lp::sim::NodeId from, const lp::sim::PayloadPtr& payload) {
     return sync.on_payload(from, payload, env.now());
   });
+
+  env.register_observability(registry);
+  registry.gauge_fn("leopard_seq_emitted", "Global records emitted by the sequencer", "",
+                    [&sequencer] { return static_cast<double>(sequencer.emitted()); });
+  registry.gauge_fn("leopard_seq_round", "Cross-shard sequencer round cursor", "",
+                    [&sequencer] { return static_cast<double>(sequencer.round()); });
+  bool metrics_bind_failed = false;
+  auto http = make_metrics_server(args, env, &metrics_bind_failed);
+  if (metrics_bind_failed) return 3;
+  if (http != nullptr) {
+    http->handle("/statusz", [&](std::string_view query) {
+      lp::obs::JsonWriter w;
+      w.object_begin();
+      w.key("role").value("replica");
+      w.key("id").value(static_cast<std::uint64_t>(args.id));
+      w.key("protocol").value(manifest.protocol);
+      w.key("n").value(static_cast<std::uint64_t>(n));
+      w.key("shards").value(static_cast<std::uint64_t>(shards));
+      w.key("executed_requests").value(sync.executed_requests());
+      w.key("executed_blocks").value(sync.executed_blocks());
+      w.key("exec_digest").value(sync.exec_digest().hex());
+      w.key("sync_live").value(sync.live());
+      // Sequencer cursors are transport-owned (the merge callback runs on the
+      // transport thread), so they are always safe to read here.
+      w.key("seq_emitted").value(sequencer.emitted());
+      w.key("seq_round").value(sequencer.round());
+      // Shard cores run on worker threads when io_threads > 1; their live
+      // views are only coherently readable from this (transport) thread in
+      // the single-io-thread layout.
+      if (args.io_threads <= 1) {
+        w.key("shard_views").array_begin();
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          w.value(static_cast<std::uint64_t>(
+              leopard_cores[s] != nullptr ? leopard_cores[s]->view() : 0));
+        }
+        w.array_end();
+      }
+      write_peers_json(w, env);
+      w.key("metrics");
+      registry.write_statusz(w);
+      if (lp::obs::query_param(query, "traces") == "1") {
+        w.key("traces");
+        tracer->write_json(w);
+      }
+      w.object_end();
+      lp::obs::HttpServer::Response resp;
+      resp.content_type = "application/json";
+      resp.body = w.str();
+      return resp;
+    });
+    http->serve_registry(registry);
+  }
 
   const auto stall_tick = [&] {
     // Recovery or state transfer may have advanced the durable tail without
@@ -668,6 +908,7 @@ int run_replica_sharded(const Args& args, const leopard::net::Manifest& manifest
                 static_cast<unsigned long long>(sequencer.round()),
                 static_cast<unsigned long long>(noops_injected));
   report += buf;
+  print_stage_latency(report, registry, *tracer);
   if (byzs[0] != nullptr) {
     lp::chaos::ByzantineInterposer::Stats total{};
     for (const auto* b : byzs) {
@@ -757,6 +998,32 @@ int run_client(const Args& args, const leopard::net::Manifest& manifest) {
   lp::net::SocketEnv env(manifest.client_env_options(args.id));
   env.attach(client);
 
+  auto& registry = lp::obs::Registry::global();
+  env.register_observability(registry);
+  bool metrics_bind_failed = false;
+  auto http = make_metrics_server(args, env, &metrics_bind_failed);
+  if (metrics_bind_failed) return 3;
+  if (http != nullptr) {
+    http->handle("/statusz", [&](std::string_view) {
+      lp::obs::JsonWriter w;
+      w.object_begin();
+      w.key("role").value("client");
+      w.key("id").value(static_cast<std::uint64_t>(args.id));
+      w.key("protocol").value(manifest.protocol);
+      w.key("submitted").value(client.submitted());
+      w.key("acked").value(client.acked());
+      write_peers_json(w, env);
+      w.key("metrics");
+      registry.write_statusz(w);
+      w.object_end();
+      lp::obs::HttpServer::Response resp;
+      resp.content_type = "application/json";
+      resp.body = w.str();
+      return resp;
+    });
+    http->serve_registry(registry);
+  }
+
   const auto deadline = lp::sim::from_seconds(args.timeout);
   env.run([&] { return g_stop != 0 || client.done() || env.now() >= deadline; });
   const double elapsed = lp::sim::to_seconds(env.now());
@@ -773,9 +1040,7 @@ int run_client(const Args& args, const leopard::net::Manifest& manifest) {
                 static_cast<unsigned long long>(client.acked()), elapsed,
                 elapsed > 0 ? static_cast<double>(client.acked()) / elapsed / 1e3 : 0.0);
   report += buf;
-  std::snprintf(buf, sizeof(buf), "mean_latency_ms=%.2f p50_latency_ms=%.2f\n",
-                metrics.mean_latency_sec() * 1e3, metrics.latency_percentile(0.5) * 1e3);
-  report += buf;
+  print_client_latency(report, metrics);
   print_transport_stats(report, env);
   emit_report(args, report);
   return client.done() ? 0 : 1;
@@ -831,6 +1096,39 @@ int run_client_sharded(const Args& args, const leopard::net::Manifest& manifest,
     return true;
   };
 
+  auto& registry = lp::obs::Registry::global();
+  env.register_observability(registry);
+  bool metrics_bind_failed = false;
+  auto http = make_metrics_server(args, env, &metrics_bind_failed);
+  if (metrics_bind_failed) return 3;
+  if (http != nullptr) {
+    http->handle("/statusz", [&](std::string_view) {
+      std::uint64_t submitted = 0;
+      std::uint64_t acked = 0;
+      for (const auto& sub : subs) {
+        submitted += sub->submitted();
+        acked += sub->acked();
+      }
+      lp::obs::JsonWriter w;
+      w.object_begin();
+      w.key("role").value("client");
+      w.key("id").value(static_cast<std::uint64_t>(args.id));
+      w.key("protocol").value(manifest.protocol);
+      w.key("shards").value(static_cast<std::uint64_t>(shards));
+      w.key("submitted").value(submitted);
+      w.key("acked").value(acked);
+      write_peers_json(w, env);
+      w.key("metrics");
+      registry.write_statusz(w);
+      w.object_end();
+      lp::obs::HttpServer::Response resp;
+      resp.content_type = "application/json";
+      resp.body = w.str();
+      return resp;
+    });
+    http->serve_registry(registry);
+  }
+
   const auto deadline = lp::sim::from_seconds(args.timeout);
   env.run([&] { return g_stop != 0 || all_done() || env.now() >= deadline; });
   const double elapsed = lp::sim::to_seconds(env.now());
@@ -854,9 +1152,7 @@ int run_client_sharded(const Args& args, const leopard::net::Manifest& manifest,
                 static_cast<unsigned long long>(acked), elapsed,
                 elapsed > 0 ? static_cast<double>(acked) / elapsed / 1e3 : 0.0);
   report += buf;
-  std::snprintf(buf, sizeof(buf), "mean_latency_ms=%.2f p50_latency_ms=%.2f\n",
-                metrics.mean_latency_sec() * 1e3, metrics.latency_percentile(0.5) * 1e3);
-  report += buf;
+  print_client_latency(report, metrics);
   print_transport_stats(report, env);
   emit_report(args, report);
   return all_done() ? 0 : 1;

@@ -104,9 +104,25 @@ for id in 0 1 2 3; do
     echo "replica $id: byzantine mode $BYZ_MODE"
   fi
   "$NODE_BIN" --manifest "$MANIFEST" --id "$id" "${EXTRA[@]+"${EXTRA[@]}"}" \
+    --metrics-addr "127.0.0.1:$(( PORT_BASE + 100 + id ))" \
     > "$WORK/replica$id.out" 2>&1 &
   echo $! > "$WORK/replica$id.pid"
 done
+
+# Health gate: don't declare the cluster up (or start the client) until every
+# replica's /healthz answers. Catches a replica that died on startup with a
+# clear message instead of a hung client.
+for id in 0 1 2 3; do
+  HEALTH_URL="http://127.0.0.1:$(( PORT_BASE + 100 + id ))/healthz"
+  for attempt in $(seq 1 50); do
+    if curl -sf --max-time 1 "$HEALTH_URL" > /dev/null 2>&1; then break; fi
+    kill -0 "$(cat "$WORK/replica$id.pid")" 2>/dev/null \
+      || { echo "FAIL: replica $id exited before becoming healthy"; cat "$WORK/replica$id.out"; exit 1; }
+    [ "$attempt" = 50 ] && { echo "FAIL: replica $id /healthz never came up"; exit 1; }
+    sleep 0.1
+  done
+done
+echo "cluster up: /healthz ok on replicas 0-3 (metrics at ports $(( PORT_BASE + 100 ))-$(( PORT_BASE + 103 )))"
 
 "$NODE_BIN" --manifest "$WORK/cluster.conf" --client --id 100 \
   --requests "$REQUESTS" --window 64 --timeout 120 | tee "$WORK/client.out"
